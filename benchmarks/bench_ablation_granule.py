@@ -1,0 +1,76 @@
+"""Ablation: AHH granule-size sensitivity (Section 5.2).
+
+"The granules must be large enough that the incremental change in working
+set is small with further increases in granule size ... we need a larger
+granule size for Level-2 unified cache than for Level-1 instruction
+cache."  We sweep the instruction granule and report u(1), p1, lav and
+the downstream dilation-model estimate for one cache/dilation point.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.ahh.modeler import ItraceModeler
+from repro.cache.config import CacheConfig
+from repro.core.estimator import DilationEstimator
+from repro.ahh.params import TraceParameters
+from repro.experiments.runner import get_pipeline
+
+GRANULES = (500, 1_000, 2_000, 4_000, 8_000)
+CONFIG = CacheConfig.from_size(16 * 1024, 2, 32)
+DILATION = 2.4
+
+
+def run_sweep(settings):
+    pipeline = get_pipeline("085.gcc", settings)
+    itrace = pipeline.reference_artifacts().instruction_trace
+    evaluator = pipeline.memory_evaluator()
+    base_params = pipeline.trace_parameters()
+    truth = pipeline.dilated_misses(DILATION, "icache", [CONFIG])[CONFIG]
+
+    rows = [
+        f"{'granule':>8} {'u(1)':>10} {'p1':>8} {'lav':>8} "
+        f"{'estimate':>12} {'rel.err':>8}"
+    ]
+    estimates = []
+    for granule in GRANULES:
+        modeler = ItraceModeler(granule_size=granule)
+        modeler.process_trace(itrace)
+        icache_params = modeler.finalize()
+        params = TraceParameters(
+            icache=icache_params,
+            unified_instr=base_params.unified_instr,
+            unified_data=base_params.unified_data,
+        )
+        estimator = DilationEstimator(params)
+        needed = estimator.required_icache_configs(CONFIG, DILATION)
+        reference = {
+            c: evaluator.simulated_misses("icache", c) for c in needed
+        }
+        estimate = estimator.estimate_icache_misses(
+            CONFIG, DILATION, reference
+        )
+        estimates.append(estimate)
+        rows.append(
+            f"{granule:>8} {icache_params.u1:>10.1f} "
+            f"{icache_params.p1:>8.3f} {icache_params.lav:>8.2f} "
+            f"{estimate:>12.0f} {abs(estimate - truth) / truth:>8.3f}"
+        )
+    rows.append(f"dilated-trace ground truth: {truth}")
+    return estimates, truth, "\n".join(rows)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_granule_size(benchmark, settings, results_dir):
+    estimates, truth, text = benchmark.pedantic(
+        lambda: run_sweep(settings), rounds=1, iterations=1
+    )
+    save_result(results_dir, "ablation_granule", text)
+    print("\n" + text)
+    # Estimates stay in a sane band across a 16x granule range: the
+    # interpolation is anchored by simulations at both ends, so granule
+    # choice must not destabilize it.
+    for estimate in estimates:
+        assert 0.4 * truth < estimate < 2.5 * truth
+    spread = (max(estimates) - min(estimates)) / truth
+    assert spread < 1.0

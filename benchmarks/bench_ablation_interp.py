@@ -1,0 +1,79 @@
+"""Ablation: Lemma-2 (linear in Coll) vs naive linear-in-L interpolation.
+
+The paper argues "a linear interpolation is not suitable because the
+misses are a very nonlinear function of line size" (Section 4.3.1).  We
+quantify it: for fractional dilations, compare the AHH-collision
+interpolation against straight-line interpolation in line size, scoring
+both against the dilated-trace simulation ground truth.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.cache.config import CacheConfig
+from repro.core.interpolate import interpolate_linear_in
+from repro.experiments.runner import get_pipeline
+
+CONFIGS = [
+    CacheConfig.from_size(1024, 1, 32),
+    CacheConfig.from_size(16 * 1024, 2, 32),
+]
+DILATIONS = (1.3, 1.7, 2.4, 2.8, 3.4)
+
+
+def run_ablation(settings):
+    pipeline = get_pipeline("085.gcc", settings)
+    evaluator = pipeline.memory_evaluator()
+    estimator = evaluator.estimator
+    rows = []
+    model_errors, naive_errors = [], []
+    for config in CONFIGS:
+        for dilation in DILATIONS:
+            truth = pipeline.dilated_misses(dilation, "icache", [config])[
+                config
+            ]
+            model = pipeline.estimated_misses(dilation, "icache", [config])[
+                config
+            ]
+            # Naive: interpolate misses linearly in line size.
+            effective = config.line_size / dilation
+            needed = estimator.required_icache_configs(config, dilation)
+            ref = {
+                c: evaluator.simulated_misses("icache", c) for c in needed
+            }
+            if len(needed) == 1:
+                naive = float(ref[needed[0]])
+            else:
+                lower, upper = needed
+                naive = interpolate_linear_in(
+                    float(ref[lower]),
+                    float(lower.line_size),
+                    float(ref[upper]),
+                    float(upper.line_size),
+                    effective,
+                )
+            model_errors.append(abs(model - truth) / max(truth, 1))
+            naive_errors.append(abs(naive - truth) / max(truth, 1))
+            rows.append(
+                f"{config} d={dilation:<4} truth={truth:>9} "
+                f"ahh={model:>11.0f} naive={naive:>11.0f}"
+            )
+    mean_model = sum(model_errors) / len(model_errors)
+    mean_naive = sum(naive_errors) / len(naive_errors)
+    rows.append(
+        f"mean relative error: ahh-interp={mean_model:.3f} "
+        f"naive-linear={mean_naive:.3f}"
+    )
+    return mean_model, mean_naive, "\n".join(rows)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_interpolation(benchmark, settings, results_dir):
+    mean_model, mean_naive, text = benchmark.pedantic(
+        lambda: run_ablation(settings), rounds=1, iterations=1
+    )
+    save_result(results_dir, "ablation_interp", text)
+    print("\n" + text)
+    # The collision-based interpolation must not lose to naive linear.
+    assert mean_model <= mean_naive + 0.02
+    assert mean_model < 0.30

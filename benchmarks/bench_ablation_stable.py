@@ -1,0 +1,56 @@
+"""Ablation: direct vs tail-series collision computation (Section 5.3).
+
+Times both methods across the regime where each is preferred and checks
+that `auto` never returns a clamped-to-zero artifact where the stable
+series finds genuinely positive collisions.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.ahh.stable import (
+    collisions_auto,
+    collisions_direct,
+    collisions_stable,
+)
+
+#: (u, sets, assoc) probe grid: dense caches, balanced, and the
+#: cancellation-dominated sparse regime.
+GRID = [
+    (u, sets, assoc)
+    for u in (8.0, 64.0, 512.0, 4096.0)
+    for sets in (32, 256, 4096, 65536)
+    for assoc in (1, 2, 4, 8)
+]
+
+
+def evaluate_grid():
+    rows = []
+    artifacts = 0
+    for u, sets, assoc in GRID:
+        direct = collisions_direct(u, sets, assoc)
+        stable = collisions_stable(u, sets, assoc)
+        auto = collisions_auto(u, sets, assoc)
+        if direct == 0.0 and stable > 0.0:
+            artifacts += 1
+            # auto must have picked the stable value.
+            assert auto == pytest.approx(stable)
+        rows.append(
+            f"u={u:>7.0f} S={sets:>6} A={assoc} "
+            f"direct={direct:.6e} stable={stable:.6e} auto={auto:.6e}"
+        )
+    rows.append(
+        f"cancellation artifacts rescued by the stable series: {artifacts}"
+    )
+    return artifacts, "\n".join(rows)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_stable_collisions(benchmark, results_dir):
+    artifacts, text = benchmark.pedantic(
+        evaluate_grid, rounds=3, iterations=1
+    )
+    save_result(results_dir, "ablation_stable", text)
+    print("\n" + text)
+    # The sparse corner of the grid genuinely needs the stable series.
+    assert artifacts >= 1

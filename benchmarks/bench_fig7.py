@@ -1,0 +1,54 @@
+"""Figure 7: actual vs dilated vs estimated misses for gcc.
+
+Paper claims verified here:
+
+* actual misses grow with issue width for every cache — the figure's
+  headline point that assuming width-independent memory behaviour
+  (normalized misses = 1) is badly wrong;
+* the dilated-trace simulation tracks the actual misses (the uniform
+  text-dilation assumption holds for gcc);
+* the instruction-cache estimates track the actual misses much more
+  tightly than the unified-cache estimates (interpolation vs
+  extrapolation).
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.experiments.runner import run_figure7
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure7(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_figure7("085.gcc", settings=settings),
+        rounds=1,
+        iterations=1,
+    )
+    text = result.render()
+    save_result(results_dir, "figure7", text)
+    print("\n" + text)
+
+    order = ("2111", "3221", "4221", "6332")
+    icache_errors = []
+    ucache_errors = []
+    for label, per_bench in result.data.items():
+        per_proc = per_bench["085.gcc"]
+        actuals = [per_proc[name][0] for name in order]
+        # Actual misses grow with width; ignoring width is badly wrong.
+        assert actuals == sorted(actuals), (label, actuals)
+        assert actuals[-1] > 1.1
+        for name in order:
+            act, dil, est = per_proc[name]
+            rel = abs(est - act) / act
+            (icache_errors if "Icache" in label else ucache_errors).append(
+                rel
+            )
+            # Dilated simulation tracks actual within 2x everywhere.
+            assert 0.5 < dil / act < 2.0, (label, name, act, dil)
+
+    mean_ic = sum(icache_errors) / len(icache_errors)
+    mean_uc = sum(ucache_errors) / len(ucache_errors)
+    # Interpolation (icache) beats extrapolation (ucache) on average.
+    assert mean_ic < mean_uc
+    assert mean_ic < 0.25

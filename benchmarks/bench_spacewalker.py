@@ -1,0 +1,73 @@
+"""Figure 2 flow: spacewalker exploration producing a Pareto frontier.
+
+Runs the full automatic-design loop on one benchmark over a processor x
+memory design space, using the dilation model for every non-reference
+processor (no target-processor cache simulation), and reports the
+cost/performance frontier.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.experiments.runner import get_pipeline
+from repro.explore.spec import (
+    CacheDesignSpace,
+    ProcessorDesignSpace,
+    SystemDesignSpace,
+)
+from repro.explore.spacewalker import Spacewalker
+
+
+def build_space() -> SystemDesignSpace:
+    return SystemDesignSpace(
+        processors=ProcessorDesignSpace(
+            int_units=(1, 2, 4), float_units=(1, 2), memory_units=(1, 2),
+            branch_units=(1,),
+        ),
+        icache=CacheDesignSpace(
+            sizes_kb=(1, 2, 4, 8, 16), assocs=(1, 2), line_sizes=(16, 32)
+        ),
+        dcache=CacheDesignSpace(
+            sizes_kb=(1, 2, 4, 8, 16), assocs=(1, 2), line_sizes=(16, 32)
+        ),
+        unified=CacheDesignSpace(
+            sizes_kb=(16, 32, 64, 128), assocs=(2, 4), line_sizes=(64,)
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="exploration")
+def test_spacewalker(benchmark, settings, results_dir):
+    space = build_space()
+    pipeline = get_pipeline("epic", settings)
+
+    def walk():
+        return Spacewalker(space, pipeline).walk()
+
+    pareto = benchmark.pedantic(walk, rounds=1, iterations=1)
+
+    lines = [
+        f"Design space: {space.total_designs()} raw system designs "
+        f"({len(space.processors)} processors)",
+        f"Pareto frontier: {len(pareto)} designs "
+        f"({pareto.inserted} inserted, {pareto.rejected} rejected)",
+        "",
+        f"{'cost':>10}  {'cycles':>14}  design",
+    ]
+    for point in pareto.frontier():
+        memory = point.design.memory
+        lines.append(
+            f"{point.cost:>10.2f}  {point.time:>14.0f}  "
+            f"proc={point.design.processor} ic={memory.icache} "
+            f"dc={memory.dcache} uc={memory.unified}"
+        )
+    text = "\n".join(lines)
+    save_result(results_dir, "spacewalker", text)
+    print("\n" + text)
+
+    assert pareto.is_consistent()
+    assert len(pareto) >= 3
+    # The frontier spans a real cost/performance trade-off.
+    frontier = pareto.frontier()
+    assert frontier[0].cost < frontier[-1].cost
+    assert frontier[0].time > frontier[-1].time

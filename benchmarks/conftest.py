@@ -1,0 +1,43 @@
+"""Shared configuration for the benchmark/experiment harness.
+
+Every bench regenerates one paper table or figure (see DESIGN.md's
+experiment index), saves the rendered text to ``benchmarks/results/`` and
+asserts the shape-level claims the paper makes about it.  Timings are
+reported by pytest-benchmark.
+
+Pipelines are shared across bench modules through the runner's module
+cache, so the expensive compile/emulate/simulate work is paid once per
+benchmark program regardless of how many tables use it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import RunnerSettings
+
+#: Paper-scale settings shared by every bench: full workload footprints,
+#: a 60k-visit execution sample, paper-proportional granule sizes.
+BENCH_SETTINGS = RunnerSettings(
+    scale=1.0, max_visits=60_000, i_granule=2_000, u_granule=20_000
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def settings() -> RunnerSettings:
+    return BENCH_SETTINGS
+
+
+def save_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered table/figure for EXPERIMENTS.md."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")

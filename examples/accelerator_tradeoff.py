@@ -1,0 +1,117 @@
+"""Accelerator trade-off study: completing the Figure-1 design space.
+
+The paper's design space includes "an optional hardware accelerator in
+the form of a non-programmable systolic array" next to the VLIW core.
+This example asks the designer's question: for a float-heavy media
+workload, is silicon better spent on a wider VLIW or on a systolic
+array bolted to the narrow one?
+
+Processor-side cycles use the same schedule-length × profile estimation
+as the paper (Section 3.2); memory-side stalls come from the dilation
+model, so the wide machine is charged for its code growth.
+
+Run:  python examples/accelerator_tradeoff.py
+"""
+
+from repro import CacheConfig
+from repro.core.hierarchy_eval import MissPenalties, evaluate_system
+from repro.experiments.pipeline import ExperimentPipeline
+from repro.isa.operations import OpClass
+from repro.machine.accelerator import (
+    SystolicArray,
+    accelerated_cycles,
+    accelerator_cost,
+)
+from repro.machine.cost import processor_cost
+from repro.machine.presets import P1111, P3221
+from repro.workloads.suite import load_benchmark
+
+
+def main() -> None:
+    workload = load_benchmark("mipmap", scale=0.4)
+    pipeline = ExperimentPipeline(workload, max_visits=20_000)
+
+    # A generously sized hierarchy keeps the processor on the critical
+    # path, so the compute-side trade-off is visible; shrink the caches
+    # to watch memory stalls swallow both upgrades.
+    icache = CacheConfig.from_size(16 * 1024, 2, 32)
+    dcache = CacheConfig.from_size(16 * 1024, 2, 32)
+    ucache = CacheConfig.from_size(128 * 1024, 4, 64)
+    penalties = MissPenalties(l1_miss=6, l2_miss=30)
+
+    def memory_stalls(processor):
+        d = pipeline.dilation(processor)
+        ic = pipeline.estimated_misses(d, "icache", [icache])[icache]
+        dc = pipeline.estimated_misses(d, "dcache", [dcache])[dcache]
+        uc = pipeline.estimated_misses(d, "unified", [ucache])[ucache]
+        return (
+            ic * penalties.l1_miss
+            + dc * penalties.l1_miss
+            + uc * penalties.l2_miss
+        )
+
+    array = SystolicArray(
+        "fp8x8",
+        OpClass.FLOAT,
+        rows=8,
+        cols=8,
+        initiation_interval=1,
+        offload_fraction=0.7,
+    )
+
+    narrow_art = pipeline.artifacts(P1111)
+    wide_art = pipeline.artifacts(P3221)
+
+    designs = {
+        "1111 (narrow)": (
+            processor_cost(P1111),
+            pipeline.processor_cycles(P1111),
+            memory_stalls(P1111),
+        ),
+        "3221 (wide VLIW)": (
+            processor_cost(P3221),
+            pipeline.processor_cycles(P3221),
+            memory_stalls(P3221),
+        ),
+        f"1111 + {array.name}": (
+            processor_cost(P1111) + accelerator_cost(array),
+            accelerated_cycles(narrow_art.compiled, narrow_art.events, array),
+            memory_stalls(P1111),
+        ),
+        f"3221 + {array.name}": (
+            processor_cost(P3221) + accelerator_cost(array),
+            accelerated_cycles(wide_art.compiled, wide_art.events, array),
+            memory_stalls(P3221),
+        ),
+    }
+
+    print(f"Workload: {workload.program.name} (float-heavy)\n")
+    print(
+        f"{'design':<22}{'cost':>9}{'cpu cycles':>13}"
+        f"{'mem stalls':>13}{'total':>13}"
+    )
+    for name, (cost, cpu, mem) in designs.items():
+        print(f"{name:<22}{cost:>9.2f}{cpu:>13.0f}{mem:>13.0f}{cpu + mem:>13.0f}")
+
+    designs = {
+        name: (cost, cpu + mem) for name, (cost, cpu, mem) in designs.items()
+    }
+    base_cost, base_cycles = designs["1111 (narrow)"]
+    print("\nSpeedup per added cost unit vs the narrow baseline:")
+    for name, (cost, cycles) in designs.items():
+        if name == "1111 (narrow)":
+            continue
+        speedup = base_cycles / cycles
+        efficiency = (speedup - 1.0) / max(cost - base_cost, 1e-9)
+        print(f"  {name:<22} speedup {speedup:5.2f}x  "
+              f"efficiency {efficiency:+.4f}/cost-unit")
+    print(
+        "\nThe accelerated narrow core avoids the wide machine's code "
+        "dilation (and its cache cost) while winning back the float "
+        "cycles — the embedded-systems trade the paper's Figure 1 is "
+        "drawn around."
+    )
+
+
+if __name__ == "__main__":
+    main()

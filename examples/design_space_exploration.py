@@ -1,0 +1,74 @@
+"""Automatic design-space exploration (the Figure 2 flow).
+
+Plays the role of the paper's embedded-system designer: given one
+application and a parameterized processor + memory design space, find the
+cost/performance-optimal systems.  Every non-reference processor's cache
+behaviour comes from the dilation model — the reference processor is the
+only one whose traces are ever simulated.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import time
+
+from repro.experiments.pipeline import ExperimentPipeline
+from repro.explore.spacewalker import Spacewalker
+from repro.explore.spec import (
+    CacheDesignSpace,
+    ProcessorDesignSpace,
+    SystemDesignSpace,
+)
+from repro.workloads.suite import load_benchmark
+
+
+def main() -> None:
+    workload = load_benchmark("pgpdecode", scale=0.4)
+    pipeline = ExperimentPipeline(workload, max_visits=20_000)
+
+    space = SystemDesignSpace(
+        processors=ProcessorDesignSpace(
+            int_units=(1, 2, 4),
+            float_units=(1,),
+            memory_units=(1, 2),
+            branch_units=(1,),
+        ),
+        icache=CacheDesignSpace(
+            sizes_kb=(1, 2, 4, 8, 16), assocs=(1, 2), line_sizes=(16, 32)
+        ),
+        dcache=CacheDesignSpace(
+            sizes_kb=(1, 2, 4, 8), assocs=(1, 2), line_sizes=(16, 32)
+        ),
+        unified=CacheDesignSpace(
+            sizes_kb=(16, 32, 64), assocs=(2, 4), line_sizes=(64,)
+        ),
+    )
+    print(
+        f"Raw design space: {space.total_designs()} systems "
+        f"({len(space.processors)} processors x "
+        f"{len(space.icache)}/{len(space.dcache)}/{len(space.unified)} "
+        "I/D/U caches)"
+    )
+
+    started = time.perf_counter()
+    pareto = Spacewalker(space, pipeline).walk()
+    elapsed = time.perf_counter() - started
+
+    evaluator = pipeline.memory_evaluator()
+    print(
+        f"Explored in {elapsed:.1f}s using only "
+        f"{evaluator.simulation_passes} reference-trace simulation passes"
+    )
+    print(f"\nPareto frontier ({len(pareto)} designs):")
+    print(f"{'cost':>9}  {'cycles':>13}  processor  caches (I / D / U)")
+    for point in pareto.frontier():
+        memory = point.design.memory
+        print(
+            f"{point.cost:>9.2f}  {point.time:>13.0f}  "
+            f"{point.design.processor:>9}  "
+            f"{memory.icache.describe()} / {memory.dcache.describe()} / "
+            f"{memory.unified.describe()}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for offline editable installs (no `wheel` package needed).
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-build-isolation --no-use-pep517`` in environments
+without network access to build backends.
+"""
+
+from setuptools import setup
+
+setup()

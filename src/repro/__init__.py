@@ -1,0 +1,62 @@
+"""repro: reproduction of Abraham & Mahlke, MICRO-32 (1999).
+
+"Automatic and Efficient Evaluation of Memory Hierarchies for Embedded
+Systems" — the dilation model for estimating cache misses of arbitrary
+VLIW processors from a single reference processor's trace, plus every
+substrate it runs on: a VLIW machine model and compiler, instruction
+format synthesis and linking, trace generation, single-pass cache
+simulation, the AHH analytic cache model, and a spacewalker design-space
+explorer.
+
+Quickstart::
+
+    from repro import load_benchmark, P1111, P6332
+    from repro.experiments import ExperimentPipeline
+
+    pipeline = ExperimentPipeline(load_benchmark("epic", scale=0.3))
+    run = pipeline.run(P1111)  # reference traces + simulations
+
+See ``examples/quickstart.py`` for the full tour.
+"""
+
+from repro.cache import CacheConfig, CacheSimulator, CheetahSimulator
+from repro.core import (
+    DilationEstimator,
+    dilate_binary,
+    evaluate_system,
+    measure_dilation,
+)
+from repro.machine import (
+    P1111,
+    P2111,
+    P3221,
+    P4221,
+    P6332,
+    MachineDescription,
+    VliwProcessor,
+    processor_from_name,
+)
+from repro.workloads import load_benchmark, tiny_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "CacheSimulator",
+    "CheetahSimulator",
+    "DilationEstimator",
+    "measure_dilation",
+    "dilate_binary",
+    "evaluate_system",
+    "VliwProcessor",
+    "MachineDescription",
+    "processor_from_name",
+    "P1111",
+    "P2111",
+    "P3221",
+    "P4221",
+    "P6332",
+    "load_benchmark",
+    "tiny_workload",
+    "__version__",
+]

@@ -1,0 +1,103 @@
+"""AHH fit diagnostics: how well does u(L) describe a real trace?
+
+The dilation model leans on the analytic u(L) at line sizes that were
+never simulated, so a user should be able to check the formula against
+*measured* per-granule unique-line counts before trusting estimates on a
+new workload.  :func:`u_of_l_fit` does exactly that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ahh.params import ComponentParameters
+from repro.cache.config import WORD_BYTES
+from repro.errors import ModelError
+from repro.trace.ranges import RangeTrace
+
+
+@dataclass(frozen=True)
+class FitPoint:
+    """Measured vs modeled unique lines at one line size."""
+
+    line_bytes: int
+    measured: float
+    modeled: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.measured == 0:
+            return 0.0 if self.modeled == 0 else float("inf")
+        return abs(self.modeled - self.measured) / self.measured
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """u(L) fit quality across line sizes."""
+
+    points: tuple[FitPoint, ...]
+
+    @property
+    def max_relative_error(self) -> float:
+        return max(p.relative_error for p in self.points)
+
+    @property
+    def mean_relative_error(self) -> float:
+        return sum(p.relative_error for p in self.points) / len(self.points)
+
+    def render(self) -> str:
+        """Fixed-width text table of the fit."""
+        rows = [f"{'L(bytes)':>9}{'measured':>12}{'modeled':>12}{'rel.err':>9}"]
+        for p in self.points:
+            rows.append(
+                f"{p.line_bytes:>9}{p.measured:>12.1f}"
+                f"{p.modeled:>12.1f}{p.relative_error:>9.3f}"
+            )
+        return "\n".join(rows)
+
+
+def measured_unique_lines_per_granule(
+    trace: RangeTrace, granule_size: int, line_bytes: int
+) -> float:
+    """Average unique lines of ``line_bytes`` per ``granule_size``-word
+    granule of the instruction component."""
+    if line_bytes < WORD_BYTES or line_bytes % WORD_BYTES:
+        raise ModelError(
+            f"line size must be a multiple of {WORD_BYTES}, got {line_bytes}"
+        )
+    words = trace.instruction_component.word_addresses()
+    if words.size < granule_size:
+        raise ModelError("trace shorter than one granule")
+    line_words = line_bytes // WORD_BYTES
+    counts = []
+    for start in range(0, words.size - granule_size + 1, granule_size):
+        chunk = words[start : start + granule_size]
+        counts.append(np.unique(chunk // line_words).size)
+    return float(np.mean(counts))
+
+
+def u_of_l_fit(
+    trace: RangeTrace,
+    params: ComponentParameters,
+    line_sizes: tuple[int, ...] = (4, 8, 16, 32, 64),
+) -> FitReport:
+    """Compare the analytic u(L) against per-granule measurement.
+
+    ``params`` must have been derived from ``trace`` (same granule size)
+    for the comparison to be meaningful; the granule size is taken from
+    the parameters.
+    """
+    points = []
+    for line_bytes in line_sizes:
+        measured = measured_unique_lines_per_granule(
+            trace, params.granule_size, line_bytes
+        )
+        modeled = params.unique_lines_bytes(float(line_bytes))
+        points.append(
+            FitPoint(
+                line_bytes=line_bytes, measured=measured, modeled=modeled
+            )
+        )
+    return FitReport(points=tuple(points))

@@ -1,0 +1,157 @@
+"""Extended AHH model: start-up and non-stationary miss components.
+
+The paper deliberately keeps only the steady-state component: "We assume
+that steady-state interference misses dominate and ignore the start-up
+and nonstationary misses" (Section 4.2) — valid because its estimators
+*scale simulated* misses rather than predict absolute ones.  The original
+AHH model [11] has all three components:
+
+* **start-up** — cold misses filling the working set of the first
+  granule;
+* **non-stationary** — lines newly entering the working set in later
+  granules (program phase drift);
+* **intrinsic interference** — the per-granule collision count the rest
+  of this package models.
+
+This module implements the full decomposition, enabling the standalone
+(no-simulation) absolute miss prediction the paper argues is *not*
+accurate enough — quantified by ``benchmarks/bench_ablation_standalone.py``,
+which reproduces that argument with numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ahh.granules import granule_statistics
+from repro.ahh.model import collisions
+from repro.ahh.params import ComponentParameters
+from repro.cache.config import WORD_BYTES, CacheConfig
+from repro.errors import ConfigurationError, ModelError
+from repro.trace.ranges import RangeTrace
+
+
+@dataclass(frozen=True)
+class ExtendedComponentParameters:
+    """Basic AHH parameters plus working-set drift measurements."""
+
+    base: ComponentParameters
+    #: Unique words of the very first granule (start-up working set).
+    first_granule_unique: float
+    #: Average words per granule never seen in any earlier granule
+    #: (excluding the first granule).
+    new_words_per_granule: float
+    #: Complete granules measured.
+    granules: int
+
+    def line_ratio(self, line_words: float) -> float:
+        """u(L)/u(1): how unique word counts shrink into line counts."""
+        return self.base.unique_lines_words(line_words) / self.base.u1
+
+
+class ExtendedItraceModeler:
+    """Measure extended AHH parameters from an instruction range trace."""
+
+    def __init__(self, granule_size: int):
+        if granule_size < 2:
+            raise ConfigurationError(
+                f"granule size must be >= 2, got {granule_size}"
+            )
+        self.granule_size = granule_size
+        self._buffer: list[int] = []
+        self._seen: set[int] = set()
+        self._stats: list = []
+        self._new_counts: list[int] = []
+
+    def process_trace(self, trace: RangeTrace) -> None:
+        """Feed a trace segment (instruction component only)."""
+        instr = trace.instruction_component
+        if not len(instr):
+            return
+        for word in instr.word_addresses().tolist():
+            self._buffer.append(word)
+            if len(self._buffer) >= self.granule_size:
+                self._close()
+
+    def _close(self) -> None:
+        self._stats.append(granule_statistics(self._buffer))
+        unique = set(self._buffer)
+        self._new_counts.append(len(unique - self._seen))
+        self._seen.update(unique)
+        self._buffer.clear()
+
+    def finalize(self) -> ExtendedComponentParameters:
+        """Average the accumulated granules into extended parameters."""
+        if len(self._buffer) >= self.granule_size // 2:
+            self._close()
+        if not self._stats:
+            raise ModelError(
+                "no complete granule; trace shorter than half a granule"
+            )
+        u1 = float(np.mean([g.unique for g in self._stats]))
+        ratios = [g.isolated / g.unique for g in self._stats if g.unique]
+        p1 = float(np.mean(ratios)) if ratios else 0.0
+        lav = float(np.mean([g.mean_run_length for g in self._stats]))
+        later = self._new_counts[1:]
+        return ExtendedComponentParameters(
+            base=ComponentParameters(
+                u1=u1,
+                p1=p1,
+                lav=lav,
+                granule_size=self.granule_size,
+                granules=len(self._stats),
+            ),
+            first_granule_unique=float(self._new_counts[0]),
+            new_words_per_granule=float(np.mean(later)) if later else 0.0,
+            granules=len(self._stats),
+        )
+
+
+@dataclass(frozen=True)
+class MissBreakdown:
+    """The three AHH miss components for one cache configuration."""
+
+    start_up: float
+    non_stationary: float
+    intrinsic: float
+
+    @property
+    def total(self) -> float:
+        return self.start_up + self.non_stationary + self.intrinsic
+
+
+def standalone_miss_estimate(
+    params: ExtendedComponentParameters,
+    config: CacheConfig,
+    dilation: float = 1.0,
+) -> MissBreakdown:
+    """Absolute miss prediction with no simulation anchor.
+
+    * start-up: the first granule's working set arrives cold, one miss
+      per unique line;
+    * non-stationary: each later granule brings ``new_words_per_granule``
+      fresh words, each a compulsory line miss (scaled to lines);
+    * intrinsic: every granule re-misses its colliding lines once
+      (the AHH steady-state approximation).
+
+    ``dilation`` contracts the effective line size (Lemma 1), exactly as
+    the anchored estimator does.
+    """
+    if dilation <= 0:
+        raise ModelError(f"dilation must be positive, got {dilation}")
+    line_words = max(1.0, config.line_size / dilation / WORD_BYTES)
+    ratio = params.line_ratio(line_words)
+    start_up = params.first_granule_unique * ratio
+    non_stationary = (
+        max(0, params.granules - 1) * params.new_words_per_granule * ratio
+    )
+    u_lines = params.base.unique_lines_words(line_words)
+    coll = collisions(u_lines, config.sets, config.assoc)
+    intrinsic = params.granules * coll
+    return MissBreakdown(
+        start_up=start_up,
+        non_stationary=non_stationary,
+        intrinsic=intrinsic,
+    )

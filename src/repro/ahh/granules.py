@@ -1,0 +1,136 @@
+"""Granule processing: measuring u(1), p1 and lav from an address stream.
+
+The AHH model divides a trace into *granules* of a fixed number of
+references.  Within each granule the unique word addresses are sorted;
+maximal sequences of consecutive addresses are *runs*, and addresses with
+no neighbour are *isolated* (Section 4.2).  Three basic parameters are
+averaged over granules:
+
+* ``u(1)`` — unique word addresses per granule;
+* ``p1``  — fraction of unique addresses that are isolated;
+* ``lav`` — average run length over runs (length >= 2).
+
+The paper's TraceModeler (Section 5.2) accumulates addresses into a
+``uniqueRefSet`` and processes it at each granule boundary; this module is
+that machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ModelError
+
+
+@dataclass(frozen=True)
+class GranuleStats:
+    """Raw statistics of one granule."""
+
+    unique: int
+    isolated: int
+    runs: int
+    run_length_total: int
+
+    @property
+    def mean_run_length(self) -> float:
+        """Average run length; 1.0 when the granule has no runs."""
+        if self.runs == 0:
+            return 1.0
+        return self.run_length_total / self.runs
+
+
+def granule_statistics(addresses: Sequence[int] | np.ndarray) -> GranuleStats:
+    """Compute run statistics for the word addresses of one granule."""
+    arr = np.asarray(addresses, dtype=np.int64)
+    if arr.size == 0:
+        return GranuleStats(unique=0, isolated=0, runs=0, run_length_total=0)
+    unique = np.unique(arr)  # sorted
+    if unique.size == 1:
+        return GranuleStats(unique=1, isolated=1, runs=0, run_length_total=0)
+    # Split the sorted unique addresses into maximal consecutive runs.
+    gaps = np.flatnonzero(np.diff(unique) != 1)
+    # Segment lengths between gap boundaries.
+    boundaries = np.concatenate(([-1], gaps, [unique.size - 1]))
+    lengths = np.diff(boundaries)
+    isolated = int(np.count_nonzero(lengths == 1))
+    run_lengths = lengths[lengths >= 2]
+    return GranuleStats(
+        unique=int(unique.size),
+        isolated=isolated,
+        runs=int(run_lengths.size),
+        run_length_total=int(run_lengths.sum()),
+    )
+
+
+class GranuleAccumulator:
+    """Streaming accumulator of granule statistics.
+
+    Feed word addresses with :meth:`feed`; whenever the number of buffered
+    references reaches the granule size, the granule is processed and the
+    buffer cleared.  :meth:`finalize` returns the per-granule averages.
+
+    A trailing partial granule is processed only if it holds at least half
+    a granule of references — short tails would otherwise bias u(1) low.
+    """
+
+    def __init__(self, granule_size: int):
+        if granule_size < 2:
+            raise ConfigurationError(
+                f"granule size must be >= 2, got {granule_size}"
+            )
+        self.granule_size = granule_size
+        self._buffer: list[int] = []
+        self._granules: list[GranuleStats] = []
+        self.references = 0
+
+    def feed(self, addresses: Iterable[int] | np.ndarray) -> None:
+        """Append word addresses, processing full granules as they form."""
+        if isinstance(addresses, np.ndarray):
+            addresses = addresses.tolist()
+        buf = self._buffer
+        size = self.granule_size
+        for addr in addresses:
+            buf.append(addr)
+            if len(buf) >= size:
+                self._granules.append(granule_statistics(buf))
+                self.references += len(buf)
+                buf.clear()
+
+    @property
+    def complete_granules(self) -> int:
+        return len(self._granules)
+
+    def finalize(self) -> "AverageStats":
+        """Average the accumulated granules into (u(1), p1, lav).
+
+        Raises :class:`ModelError` if no granule was completed — the
+        parameters would be meaningless.
+        """
+        granules = list(self._granules)
+        if len(self._buffer) >= self.granule_size // 2:
+            granules.append(granule_statistics(self._buffer))
+        if not granules:
+            raise ModelError(
+                "no complete granule accumulated; trace shorter than half "
+                f"a granule ({self.granule_size} references)"
+            )
+        u1 = float(np.mean([g.unique for g in granules]))
+        # p1 is "the average of the ratios of isolated references to unique
+        # references over all granules" (Section 4.2).
+        ratios = [g.isolated / g.unique for g in granules if g.unique > 0]
+        p1 = float(np.mean(ratios)) if ratios else 0.0
+        lav = float(np.mean([g.mean_run_length for g in granules]))
+        return AverageStats(u1=u1, p1=p1, lav=lav, granules=len(granules))
+
+
+@dataclass(frozen=True)
+class AverageStats:
+    """Per-granule averages produced by :class:`GranuleAccumulator`."""
+
+    u1: float
+    p1: float
+    lav: float
+    granules: int

@@ -1,0 +1,149 @@
+"""The AHH analytic machinery: u(L), P(L,a), Coll(S,A,L), miss scaling.
+
+Equations follow Section 4.2 of the paper, with one documented correction.
+The report's Eq (4.5) as typeset,
+
+    u(L) = u(1) (1 + p1 L - p2) / (1 + p1 - p2),
+
+*increases* with line size L, contradicting both its meaning (unique cache
+lines per granule must decrease as lines lengthen) and the original AHH
+paper; moreover, substituting Eq (4.4)'s p2 makes p1 cancel entirely.  We
+therefore use the physically derived form (``variant="derived"``, default):
+each isolated address covers one line, and a run of length l words covers
+(l-1)/L + 1 lines of L words at random alignment, giving
+
+    u(L) = u(1) * [ p1 + (1 - p1) * ((lav - 1)/L + 1) / lav ].
+
+This satisfies u(1) = u(1), decreases monotonically in L, and tends to the
+cluster count u(1) (p1 + (1-p1)/lav) as L grows.  The literal typeset
+formula is available as ``variant="paper-literal"`` for the ablation bench.
+
+All line sizes in this module are in **words** (the AHH model works on
+word addresses); callers convert byte line sizes with
+``line_size // WORD_BYTES``.
+"""
+
+from __future__ import annotations
+
+from repro.ahh.stable import _occupancy_terms, collisions_auto
+from repro.errors import ModelError
+
+
+def transition_probability(lav: float, p1: float) -> float:
+    """Eq (4.4): p2 = (lav - (1 + p1)) / (lav - 1).
+
+    Reported for compatibility with the paper's parameter set; the derived
+    u(L) uses (u1, p1, lav) directly.  ``lav == 1`` (no runs) maps to
+    p2 = 0 by convention.
+    """
+    if lav < 1.0:
+        raise ModelError(f"average run length must be >= 1, got {lav}")
+    if lav == 1.0:
+        return 0.0
+    return (lav - (1.0 + p1)) / (lav - 1.0)
+
+
+def unique_lines(
+    u1: float,
+    p1: float,
+    lav: float,
+    line_words: float,
+    variant: str = "derived",
+) -> float:
+    """u(L): average unique cache lines per granule for lines of L words.
+
+    ``line_words`` may be fractional — the dilation model evaluates
+    u(L/d) for non-power-of-two effective line sizes directly through
+    this formula (Section 4.3.2).
+    """
+    if u1 < 0:
+        raise ModelError(f"u(1) must be non-negative, got {u1}")
+    if not 0.0 <= p1 <= 1.0:
+        raise ModelError(f"p1 must be in [0, 1], got {p1}")
+    if lav < 1.0:
+        raise ModelError(f"lav must be >= 1, got {lav}")
+    if line_words < 1.0:
+        raise ModelError(f"line size must be >= 1 word, got {line_words}")
+
+    if variant == "derived":
+        if lav == 1.0:
+            # No runs: every unique address is isolated, one line each.
+            return u1
+        run_term = ((lav - 1.0) / line_words + 1.0) / lav
+        return u1 * (p1 + (1.0 - p1) * run_term)
+    if variant == "paper-literal":
+        p2 = transition_probability(lav, p1)
+        denom = 1.0 + p1 - p2
+        if denom <= 0:
+            raise ModelError(
+                f"paper-literal u(L) undefined: 1 + p1 - p2 = {denom}"
+            )
+        return u1 * (1.0 + p1 * line_words - p2) / denom
+    raise ModelError(f"unknown u(L) variant {variant!r}")
+
+
+def occupancy_pmf(u: float, sets: int, max_a: int) -> list[float]:
+    """P(L,a) for a = 0..max_a: Eq (4.6), binomial occupancy of one set.
+
+    P(a) = C(u, a) (1/S)^a (1 - 1/S)^(u-a), generalized to real u by the
+    multiplicative recurrence P(a+1) = P(a) * (u - a) / ((a + 1) (S - 1)),
+    truncated to zero once a exceeds u (the support of the occupancy).
+    The recurrence runs in log space so the head term's underflow for
+    large u cannot zero the whole distribution (see
+    :func:`repro.ahh.stable._occupancy_terms`).
+
+    For integer u this is exactly Binomial(u, 1/S).  For fractional u the
+    positive-term truncation of the generalized binomial over-counts
+    slightly (worst near u = 0.5, where the sum reaches ~1.06); the AHH
+    model tolerates this because collisions are ratios of like-computed
+    quantities (Eq 4.7/4.15).
+    """
+    if u < 0:
+        raise ModelError(f"u must be non-negative, got {u}")
+    if sets < 1:
+        raise ModelError(f"sets must be >= 1, got {sets}")
+    if sets == 1:
+        # Degenerate single-set cache: all u lines land in the set.  Model
+        # the occupancy as a point mass at floor(u) (clamped to max_a).
+        pmf = [0.0] * (max_a + 1)
+        pmf[min(int(u), max_a)] = 1.0
+        return pmf
+    pmf = [0.0] * (max_a + 1)
+    for a, p in _occupancy_terms(u, sets):
+        if a > max_a:
+            break
+        pmf[a] = p
+    return pmf
+
+
+def collisions(
+    u_lines: float, sets: int, assoc: int, method: str = "auto"
+) -> float:
+    """Coll(S,A,L) of Eq (4.8) for a trace with u(L) = ``u_lines``.
+
+    ``method`` selects the direct computation, the numerically stable
+    tail series (Section 5.3), or automatic selection (default).
+    """
+    return collisions_auto(u_lines, sets, assoc, method=method)
+
+
+def scale_misses(
+    misses_c1: float, coll_c1: float, coll_c2: float
+) -> float:
+    """Eq (4.7): m(C2) = Coll(C2) / Coll(C1) * m(C1).
+
+    Used both for cache-to-cache extrapolation and (with dilated
+    collision counts, Eq 4.15) for dilated-trace estimation.  A zero
+    reference collision count with nonzero target collisions means the
+    model cannot scale (division by zero) and raises :class:`ModelError`.
+    """
+    if coll_c1 < 0 or coll_c2 < 0:
+        raise ModelError("collision counts must be non-negative")
+    if coll_c1 == 0.0:
+        if coll_c2 == 0.0:
+            return misses_c1
+        raise ModelError(
+            "reference configuration has zero modeled collisions; "
+            "cannot extrapolate"
+        )
+    return misses_c1 * (coll_c2 / coll_c1)

@@ -1,0 +1,139 @@
+"""TraceModeler: derive AHH parameters from range traces (Section 5.2).
+
+The paper's TraceModeler has an ``ItraceModeler`` for the instruction-only
+trace and a ``UtraceModeler`` for the unified trace.  The unified modeler
+shares granule boundaries between the components — "we divide the unified
+trace into fixed-size granules and then separately sort the instruction
+and data addresses" — so a granule closes when the *combined* reference
+count reaches the unified granule size.
+
+Default granule sizes scale the paper's 10,000 / 200,000 down to match
+the shorter synthetic traces (Section 4 scaling note in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ahh.granules import GranuleAccumulator, granule_statistics
+from repro.ahh.params import ComponentParameters, TraceParameters
+from repro.cache.config import WORD_BYTES
+from repro.errors import ConfigurationError, ModelError
+from repro.trace.ranges import KIND_DATA, KIND_INSTR, RangeTrace
+
+#: Default instruction-trace granule, in word references.
+DEFAULT_I_GRANULE = 2_000
+
+#: Default unified-trace granule, in word references.
+DEFAULT_U_GRANULE = 20_000
+
+
+class ItraceModeler:
+    """Measure (u(1), p1, lav) of an instruction range trace."""
+
+    def __init__(self, granule_size: int = DEFAULT_I_GRANULE):
+        self._acc = GranuleAccumulator(granule_size)
+
+    def process_trace(self, trace: RangeTrace) -> None:
+        """Feed a trace segment (may be called repeatedly)."""
+        instr = trace.instruction_component
+        if len(instr):
+            self._acc.feed(instr.word_addresses())
+
+    def finalize(self) -> ComponentParameters:
+        """Average the accumulated granules into (u(1), p1, lav)."""
+        stats = self._acc.finalize()
+        return ComponentParameters(
+            u1=stats.u1,
+            p1=stats.p1,
+            lav=stats.lav,
+            granule_size=self._acc.granule_size,
+            granules=stats.granules,
+        )
+
+
+class UtraceModeler:
+    """Measure per-component (u(1), p1, lav) of a unified range trace.
+
+    Granule boundaries are shared: a granule closes when the combined
+    instruction + data word-reference count reaches the granule size; the
+    instruction and data address sets of that granule are then processed
+    separately (Section 4.3).
+    """
+
+    def __init__(self, granule_size: int = DEFAULT_U_GRANULE):
+        if granule_size < 2:
+            raise ConfigurationError(
+                f"granule size must be >= 2, got {granule_size}"
+            )
+        self.granule_size = granule_size
+        self._i_words: list[int] = []
+        self._d_words: list[int] = []
+        self._count = 0
+        self._i_stats: list = []
+        self._d_stats: list = []
+
+    def process_trace(self, trace: RangeTrace) -> None:
+        """Feed a trace segment in event order."""
+        starts = trace.starts.tolist()
+        sizes = trace.sizes.tolist()
+        kinds = trace.kinds.tolist()
+        for start, size, kind in zip(starts, sizes, kinds):
+            first = start // WORD_BYTES
+            last = (start + size - 1) // WORD_BYTES
+            words = range(first, last + 1)
+            if kind == KIND_INSTR:
+                self._i_words.extend(words)
+            else:
+                self._d_words.extend(words)
+            self._count += last - first + 1
+            if self._count >= self.granule_size:
+                self._close_granule()
+
+    def _close_granule(self) -> None:
+        self._i_stats.append(granule_statistics(self._i_words))
+        self._d_stats.append(granule_statistics(self._d_words))
+        self._i_words.clear()
+        self._d_words.clear()
+        self._count = 0
+
+    def finalize(self) -> tuple[ComponentParameters, ComponentParameters]:
+        """Return (instruction component, data component) parameters."""
+        if self._count >= self.granule_size // 2:
+            self._close_granule()
+        if not self._i_stats:
+            raise ModelError(
+                "no complete unified granule; trace shorter than half a "
+                f"granule ({self.granule_size} references)"
+            )
+        return (
+            _average(self._i_stats, self.granule_size),
+            _average(self._d_stats, self.granule_size),
+        )
+
+
+def _average(stats: list, granule_size: int) -> ComponentParameters:
+    u1 = float(np.mean([g.unique for g in stats]))
+    ratios = [g.isolated / g.unique for g in stats if g.unique > 0]
+    p1 = float(np.mean(ratios)) if ratios else 0.0
+    lav = float(np.mean([g.mean_run_length for g in stats]))
+    return ComponentParameters(
+        u1=u1, p1=p1, lav=lav, granule_size=granule_size, granules=len(stats)
+    )
+
+
+def derive_trace_parameters(
+    instruction_trace: RangeTrace,
+    unified_trace: RangeTrace,
+    i_granule: int = DEFAULT_I_GRANULE,
+    u_granule: int = DEFAULT_U_GRANULE,
+) -> TraceParameters:
+    """The ``deriveTraceParms`` entry point: all nine parameters at once."""
+    imod = ItraceModeler(i_granule)
+    imod.process_trace(instruction_trace)
+    umod = UtraceModeler(u_granule)
+    umod.process_trace(unified_trace)
+    u_instr, u_data = umod.finalize()
+    return TraceParameters(
+        icache=imod.finalize(), unified_instr=u_instr, unified_data=u_data
+    )

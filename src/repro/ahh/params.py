@@ -1,0 +1,88 @@
+"""Trace-parameter containers (the TP of Table 1).
+
+A :class:`ComponentParameters` holds the three basic AHH parameters of one
+trace component (instruction-only, or the instruction/data components of a
+unified trace).  A :class:`TraceParameters` bundles the nine values the
+paper's ``getTraceParms`` delivers (Section 5.2): u(1), p1, lav for the
+instruction trace plus the instruction and data components of the unified
+trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ahh.model import transition_probability, unique_lines
+from repro.cache.config import WORD_BYTES
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class ComponentParameters:
+    """Basic AHH parameters of one trace component.
+
+    ``granule_size`` records the granule length (references) the
+    parameters were measured with, and ``granules`` how many granules
+    contributed — both matter when judging parameter stability
+    (Section 5.2 discusses granule sizing).
+    """
+
+    u1: float
+    p1: float
+    lav: float
+    granule_size: int
+    granules: int = 1
+
+    def __post_init__(self) -> None:
+        if self.u1 < 0:
+            raise ModelError(f"u(1) must be non-negative, got {self.u1}")
+        if not 0.0 <= self.p1 <= 1.0:
+            raise ModelError(f"p1 must be in [0, 1], got {self.p1}")
+        if self.lav < 1.0:
+            raise ModelError(f"lav must be >= 1, got {self.lav}")
+
+    @property
+    def p2(self) -> float:
+        """Eq (4.4) transition probability."""
+        return transition_probability(self.lav, self.p1)
+
+    def unique_lines_words(self, line_words: float) -> float:
+        """u(L) for a line of ``line_words`` words (may be fractional)."""
+        return unique_lines(self.u1, self.p1, self.lav, line_words)
+
+    def unique_lines_bytes(self, line_bytes: float) -> float:
+        """u(L) for a line of ``line_bytes`` bytes (may be fractional)."""
+        line_words = line_bytes / WORD_BYTES
+        return self.unique_lines_words(line_words)
+
+
+@dataclass(frozen=True)
+class TraceParameters:
+    """The nine trace-model parameters for one (application, reference).
+
+    * ``icache`` — parameters of the instruction-only trace, measured with
+      the (smaller) instruction granule;
+    * ``unified_instr`` / ``unified_data`` — parameters of the instruction
+      and data components of the unified trace, measured with the (larger)
+      unified granule but shared granule boundaries (Section 4.3).
+    """
+
+    icache: ComponentParameters
+    unified_instr: ComponentParameters
+    unified_data: ComponentParameters
+
+    def unified_unique_lines(
+        self, line_bytes: float, dilation: float = 1.0
+    ) -> float:
+        """u(L, d) = uD(L) + uI(L/d) of Section 4.3.2.
+
+        Dilating the instruction component by d is modeled as contracting
+        its effective line size; the data component is undilated.
+        """
+        if dilation <= 0:
+            raise ModelError(f"dilation must be positive, got {dilation}")
+        u_data = self.unified_data.unique_lines_bytes(line_bytes)
+        effective = line_bytes / dilation
+        line_words = max(1.0, effective / WORD_BYTES)
+        u_instr = self.unified_instr.unique_lines_words(line_words)
+        return u_data + u_instr

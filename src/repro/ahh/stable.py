@@ -1,0 +1,128 @@
+"""Collision computation, direct and numerically stable variants.
+
+Section 5.3 of the paper: "A straightforward computation of Coll(IC(S,A,L))
+using Equations (4.8) and (4.6) is not numerically stable when the number
+of collisions is small.  If the primary method is not numerically stable,
+we use an alternate procedure that sums an adequate initial segment of an
+infinite monotonically decreasing series."
+
+The direct form is
+
+    Coll = u - S * sum_{a=0}^{A} a P(a),
+
+a small difference of large numbers when u >> Coll.  Because the occupancy
+mean satisfies sum_a a P(a) = u / S, the identity
+
+    Coll = S * sum_{a=A+1}^{oo} a P(a)
+
+holds, and every term beyond the occupancy mean decreases monotonically —
+this is the paper's alternate series, summed until the terms are
+negligible.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ModelError
+
+#: Relative tail-term threshold for truncating the stable series.
+_TAIL_RTOL = 1e-12
+
+#: Below this fraction of u, the direct difference is considered at risk of
+#: cancellation and the stable series is used instead.
+_STABLE_SWITCH = 1e-6
+
+
+def _occupancy_terms(u: float, sets: int):
+    """Yield (a, P(a)) for a = 0, 1, ... until the support is exhausted.
+
+    Uses the multiplicative recurrence of the generalized binomial,
+    tracked in *log space*: for large u the head probability
+    (1 - 1/S)**u underflows to exactly 0.0, and a linear-space recurrence
+    would then zero the entire distribution even though the mass near the
+    mean u/S is perfectly representable.  Individual terms whose log is
+    below the double-precision floor still exponentiate to 0.0, which is
+    correct for every summation use.
+    """
+    if sets == 1:
+        # All u lines land in the single set: a point mass at u itself
+        # (kept fractional so the direct and tail-series forms agree for
+        # non-integer u).
+        yield u, 1.0
+        return
+    log_p = u * math.log1p(-1.0 / sets)
+    log_s1 = math.log(sets - 1)
+    a = 0
+    while True:
+        yield a, math.exp(log_p) if log_p > -745.0 else 0.0
+        if u - a <= 0:
+            return
+        log_p += math.log(u - a) - math.log(a + 1) - log_s1
+        a += 1
+
+
+def collisions_direct(u: float, sets: int, assoc: int) -> float:
+    """Eq (4.8) computed literally: u - S * sum_{a<=A} a P(a).
+
+    Clamped at zero: floating-point cancellation can otherwise yield tiny
+    negative values.
+    """
+    _validate(u, sets, assoc)
+    acc = 0.0
+    for a, p in _occupancy_terms(u, sets):
+        if a > assoc:
+            break
+        acc += a * p
+    return max(0.0, u - sets * acc)
+
+
+def collisions_stable(u: float, sets: int, assoc: int) -> float:
+    """The tail series: Coll = S * sum_{a>A} a P(a).
+
+    Exact for integer u (occupancy mean identity); for fractional u it
+    agrees with the direct form to the accuracy of the generalized
+    binomial truncation.  Terms are summed until they fall below a
+    relative threshold of the accumulated sum.
+    """
+    _validate(u, sets, assoc)
+    acc = 0.0
+    for a, p in _occupancy_terms(u, sets):
+        if a <= assoc:
+            continue
+        term = a * p
+        acc += term
+        if acc > 0 and term < _TAIL_RTOL * acc and a > u / sets:
+            break
+    return sets * acc
+
+
+def collisions_auto(
+    u: float, sets: int, assoc: int, method: str = "auto"
+) -> float:
+    """Dispatch between the direct and stable collision computations.
+
+    ``method="auto"`` computes the direct difference and falls back to
+    the stable series when the result is so small relative to u that
+    cancellation dominates (the paper's strategy in
+    ``TraceParms::computeMisses``).
+    """
+    if method == "direct":
+        return collisions_direct(u, sets, assoc)
+    if method == "stable":
+        return collisions_stable(u, sets, assoc)
+    if method != "auto":
+        raise ModelError(f"unknown collision method {method!r}")
+    direct = collisions_direct(u, sets, assoc)
+    if u > 0 and direct < _STABLE_SWITCH * u:
+        return collisions_stable(u, sets, assoc)
+    return direct
+
+
+def _validate(u: float, sets: int, assoc: int) -> None:
+    if u < 0:
+        raise ModelError(f"u must be non-negative, got {u}")
+    if sets < 1:
+        raise ModelError(f"sets must be >= 1, got {sets}")
+    if assoc < 0:
+        raise ModelError(f"assoc must be >= 0, got {assoc}")

@@ -1,0 +1,39 @@
+"""Cache configurations and simulators.
+
+Two independent simulators are provided, mirroring the paper's tooling:
+
+* :class:`~repro.cache.simulator.CacheSimulator` — a direct set-associative
+  LRU simulator (plays the role of the IMPACT simulator used for validation
+  in Section 6.1).
+* :class:`~repro.cache.cheetah.CheetahSimulator` — a single-pass
+  multi-configuration simulator (plays the role of Cheetah [17]): one pass
+  over a trace yields the misses of every cache with a common line size.
+
+Traces are *range traces*: parallel arrays ``(starts, sizes)`` of byte
+ranges.  A data reference is a one-word range; an instruction basic-block
+visit is the block's whole byte range.  Touching each line of a range once,
+in order, is miss-equivalent to touching every word: consecutive words of a
+line hit the already-MRU line without changing LRU state.
+"""
+
+from repro.cache.area import cache_cost
+from repro.cache.cheetah import CheetahSimulator, simulate_many
+from repro.cache.config import CacheConfig
+from repro.cache.inclusion import satisfies_inclusion
+from repro.cache.simulator import CacheSimulator, MissResult, simulate_trace
+from repro.cache.sweep import sweep_design_space
+from repro.cache.writepolicy import WriteResult, simulate_write_policy
+
+__all__ = [
+    "CacheConfig",
+    "CacheSimulator",
+    "MissResult",
+    "simulate_trace",
+    "CheetahSimulator",
+    "simulate_many",
+    "sweep_design_space",
+    "satisfies_inclusion",
+    "cache_cost",
+    "simulate_write_policy",
+    "WriteResult",
+]

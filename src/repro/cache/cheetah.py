@@ -1,0 +1,196 @@
+"""Single-pass multi-configuration cache simulation (the Cheetah role).
+
+The paper (Sections 1 and 3.3) relies on the Cheetah simulator [17] to
+evaluate *every* cache with a common line size in one pass over the trace.
+This module implements the same capability with the classic
+all-associativity algorithm: for each set-mapping, per-set LRU stacks
+record the *stack distance* of every reference, and the misses of an
+A-way cache are exactly the references whose distance is >= A (plus cold
+references).  Maintaining one stack family per candidate set count still
+requires only a single pass over the trace.
+
+The stacks are truncated at the maximum associativity of interest, so
+memory stays bounded regardless of trace length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import MissResult, _as_list
+from repro.errors import ConfigurationError, TraceError
+
+
+@dataclass
+class _StackFamily:
+    """Per-set truncated LRU stacks for one set count."""
+
+    nsets: int
+    max_assoc: int
+    stacks: list[list[int]]
+    # hist[k] = number of references found at stack depth k (0 = MRU).
+    # hist[max_assoc] accumulates "deeper than we track, or absent".
+    hist: list[int]
+
+    @classmethod
+    def create(cls, nsets: int, max_assoc: int) -> "_StackFamily":
+        return cls(
+            nsets=nsets,
+            max_assoc=max_assoc,
+            stacks=[[] for _ in range(nsets)],
+            hist=[0] * (max_assoc + 1),
+        )
+
+
+class CheetahSimulator:
+    """Simulate all caches of one line size in a single trace pass.
+
+    Parameters
+    ----------
+    line_size:
+        Common line size in bytes of every simulated configuration.
+    set_counts:
+        The distinct set counts to track (each a power of two).
+    max_assoc:
+        Largest associativity of interest.  After a pass,
+        :meth:`misses` answers for any ``A <= max_assoc``.
+    """
+
+    def __init__(
+        self, line_size: int, set_counts: Sequence[int], max_assoc: int = 8
+    ):
+        if max_assoc < 1:
+            raise ConfigurationError(f"max_assoc must be >= 1, got {max_assoc}")
+        # CacheConfig validates line size / set count feasibility for us.
+        for nsets in set_counts:
+            CacheConfig(nsets, 1, line_size)
+        if len(set(set_counts)) != len(list(set_counts)):
+            raise ConfigurationError("set_counts contains duplicates")
+        self.line_size = line_size
+        self.max_assoc = max_assoc
+        self._families = [
+            _StackFamily.create(nsets, max_assoc) for nsets in set_counts
+        ]
+        self.accesses = 0
+
+    @property
+    def set_counts(self) -> list[int]:
+        return [fam.nsets for fam in self._families]
+
+    def reset(self) -> None:
+        """Empty every stack family and zero the counters."""
+        self._families = [
+            _StackFamily.create(fam.nsets, fam.max_assoc)
+            for fam in self._families
+        ]
+        self.accesses = 0
+
+    def access_line(self, line: int) -> None:
+        """Feed one line reference to every stack family."""
+        self.accesses += 1
+        for fam in self._families:
+            _touch(fam, line)
+
+    def simulate(
+        self,
+        starts: Sequence[int] | Iterable[int],
+        sizes: Sequence[int] | Iterable[int],
+    ) -> None:
+        """Feed a whole range trace (may be called repeatedly to append)."""
+        starts_list = _as_list(starts)
+        sizes_list = _as_list(sizes)
+        if len(starts_list) != len(sizes_list):
+            raise TraceError("starts and sizes must have equal length")
+        line_size = self.line_size
+        families = self._families
+        accesses = 0
+        for start, size in zip(starts_list, sizes_list):
+            if size <= 0:
+                raise TraceError(f"range size must be positive, got {size}")
+            first = start // line_size
+            last = (start + size - 1) // line_size
+            accesses += last - first + 1
+            for line in range(first, last + 1):
+                for fam in families:
+                    _touch(fam, line)
+        self.accesses += accesses
+
+    def misses(self, sets: int, assoc: int) -> int:
+        """Misses of cache C(sets, assoc, line_size) on the trace seen so far.
+
+        A reference hits an A-way LRU cache iff its per-set stack distance
+        is < A, so misses = accesses - sum(hist[0:A]).
+        """
+        if assoc < 1 or assoc > self.max_assoc:
+            raise ConfigurationError(
+                f"assoc {assoc} outside tracked range 1..{self.max_assoc}"
+            )
+        for fam in self._families:
+            if fam.nsets == sets:
+                return self.accesses - sum(fam.hist[:assoc])
+        raise ConfigurationError(f"set count {sets} was not tracked")
+
+    def result(self, config: CacheConfig) -> MissResult:
+        """Miss result for one tracked configuration."""
+        if config.line_size != self.line_size:
+            raise ConfigurationError(
+                f"config line size {config.line_size} != simulator "
+                f"line size {self.line_size}"
+            )
+        return MissResult(
+            config, self.accesses, self.misses(config.sets, config.assoc)
+        )
+
+    def results(self) -> dict[CacheConfig, MissResult]:
+        """Miss results for every tracked (sets, assoc) combination."""
+        out: dict[CacheConfig, MissResult] = {}
+        for fam in self._families:
+            for assoc in range(1, self.max_assoc + 1):
+                config = CacheConfig(fam.nsets, assoc, self.line_size)
+                out[config] = self.result(config)
+        return out
+
+
+def _touch(fam: _StackFamily, line: int) -> None:
+    """Record one line touch in a stack family (inlined hot path)."""
+    stack = fam.stacks[line % fam.nsets]
+    try:
+        depth = stack.index(line)
+    except ValueError:
+        fam.hist[fam.max_assoc] += 1
+        stack.insert(0, line)
+        if len(stack) > fam.max_assoc:
+            stack.pop()
+        return
+    fam.hist[depth] += 1
+    if depth:
+        del stack[depth]
+        stack.insert(0, line)
+
+
+def simulate_many(
+    configs: Sequence[CacheConfig],
+    starts: Sequence[int] | Iterable[int],
+    sizes: Sequence[int] | Iterable[int],
+) -> dict[CacheConfig, MissResult]:
+    """Simulate several same-line-size configurations in one pass.
+
+    Convenience wrapper used when the caller already knows all configs
+    share a line size; :func:`repro.cache.sweep.sweep_design_space`
+    handles the general mixed-line-size case.
+    """
+    if not configs:
+        return {}
+    line_sizes = {c.line_size for c in configs}
+    if len(line_sizes) != 1:
+        raise ConfigurationError(
+            "simulate_many requires a common line size; got "
+            f"{sorted(line_sizes)} (use sweep_design_space instead)"
+        )
+    set_counts = sorted({c.sets for c in configs})
+    max_assoc = max(c.assoc for c in configs)
+    sim = CheetahSimulator(configs[0].line_size, set_counts, max_assoc)
+    sim.simulate(starts, sizes)
+    return {c: sim.result(c) for c in configs}

@@ -1,0 +1,105 @@
+"""Cache geometry: the C(S, A, L) notation of the paper (Table 1).
+
+A cache is described by its number of sets ``S``, associativity ``A`` and
+line size ``L`` in bytes.  The paper calls a cache *feasible* when its line
+size and number of sets are powers of two and its associativity is an
+integer (Section 4.1); :class:`CacheConfig` enforces feasibility, while the
+dilation model internally reasons about infeasible line sizes ``L/d``
+without ever constructing one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Word size in bytes; the AHH model works in word addresses.
+WORD_BYTES = 4
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True, order=True)
+class CacheConfig:
+    """A feasible cache configuration C(S, A, L).
+
+    Parameters
+    ----------
+    sets:
+        Number of sets ``S`` (power of two).
+    assoc:
+        Associativity ``A`` (a positive integer).
+    line_size:
+        Line size ``L`` in bytes (power of two, at least one word).
+    ports:
+        Number of access ports (cost-relevant only; the simulators are
+        port-oblivious, as in the paper).
+    """
+
+    sets: int
+    assoc: int
+    line_size: int
+    ports: int = 1
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.sets):
+            raise ConfigurationError(f"sets must be a power of two, got {self.sets}")
+        if self.assoc < 1:
+            raise ConfigurationError(f"assoc must be >= 1, got {self.assoc}")
+        if not _is_pow2(self.line_size) or self.line_size < WORD_BYTES:
+            raise ConfigurationError(
+                f"line_size must be a power of two >= {WORD_BYTES}, "
+                f"got {self.line_size}"
+            )
+        if self.ports < 1:
+            raise ConfigurationError(f"ports must be >= 1, got {self.ports}")
+
+    @property
+    def size_bytes(self) -> int:
+        """Total capacity in bytes: S * A * L."""
+        return self.sets * self.assoc * self.line_size
+
+    @property
+    def size_kb(self) -> float:
+        return self.size_bytes / 1024.0
+
+    def line_of(self, addr: int) -> int:
+        """Line index (global, not set-relative) containing byte ``addr``."""
+        return addr // self.line_size
+
+    def set_of_line(self, line: int) -> int:
+        """Set a line maps to."""
+        return line % self.sets
+
+    def with_line_size(self, line_size: int) -> "CacheConfig":
+        """Same cache with a different line size (Lemma 1 transformations)."""
+        return CacheConfig(self.sets, self.assoc, line_size, self.ports)
+
+    @classmethod
+    def from_size(
+        cls, size_bytes: int, assoc: int, line_size: int, ports: int = 1
+    ) -> "CacheConfig":
+        """Build from total capacity instead of set count.
+
+        ``CacheConfig.from_size(16 * 1024, 2, 32)`` is the paper's 16KB
+        two-way cache with 32-byte lines.
+        """
+        denom = assoc * line_size
+        if size_bytes % denom:
+            raise ConfigurationError(
+                f"size {size_bytes} not divisible by assoc*line_size={denom}"
+            )
+        return cls(size_bytes // denom, assoc, line_size, ports)
+
+    def describe(self) -> str:
+        """Human-readable summary like ``16KB 2-way L=32 (S=256)``."""
+        size = self.size_kb
+        size_str = f"{size:g}KB" if size >= 1 else f"{self.size_bytes}B"
+        way = "direct-mapped" if self.assoc == 1 else f"{self.assoc}-way"
+        return f"{size_str} {way} L={self.line_size} (S={self.sets})"
+
+    def __str__(self) -> str:
+        return f"C(S={self.sets},A={self.assoc},L={self.line_size})"

@@ -1,0 +1,51 @@
+"""Multi-level inclusion checks (Section 3.1).
+
+The paper requires the memory-system parameters to satisfy *inclusion*
+between the L1 caches and the L2 unified cache: the unified cache contains
+everything the L1s contain, which decouples unified-cache misses from the
+L1 configurations and lets each cache be evaluated independently.
+
+We use the standard sufficient conditions for LRU inclusion of an L1
+C(S1, A1, L1) inside an L2 C(S2, A2, L2) fed by the same reference stream:
+
+* the L2 line size is at least the L1 line size (an L2 line covers whole
+  L1 lines);
+* the L2 has at least as many sets worth of reach per line: every L1 set's
+  lines land in at most ``L2_assoc``-worth of L2 ways, i.e.
+  ``A2 >= A1 * ceil((S1 * L1) / (S2 * L2))`` — with power-of-two
+  geometries this is ``A2 >= A1 * max(1, (S1*L1)/(S2*L2))``.
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import CacheConfig
+
+
+def satisfies_inclusion(l1: CacheConfig, l2: CacheConfig) -> bool:
+    """True if ``l2`` can maintain inclusion of ``l1`` under LRU."""
+    if l2.line_size < l1.line_size:
+        return False
+    if l2.size_bytes < l1.size_bytes:
+        return False
+    l1_span = l1.sets * l1.line_size
+    l2_span = l2.sets * l2.line_size
+    # Number of L1 sets that alias onto one L2 set (>= 1 when the L1's
+    # address reach exceeds the L2's).
+    alias = max(1, l1_span // l2_span)
+    return l2.assoc >= l1.assoc * alias
+
+
+def check_hierarchy(
+    icache: CacheConfig, dcache: CacheConfig, unified: CacheConfig
+) -> list[str]:
+    """Return a list of inclusion violations (empty = legal hierarchy)."""
+    problems: list[str] = []
+    if not satisfies_inclusion(icache, unified):
+        problems.append(
+            f"unified {unified} cannot include instruction cache {icache}"
+        )
+    if not satisfies_inclusion(dcache, unified):
+        problems.append(
+            f"unified {unified} cannot include data cache {dcache}"
+        )
+    return problems

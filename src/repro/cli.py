@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the repository's main flows a shell entry point:
+
+* ``table2`` / ``table3`` / ``table4`` / ``fig5`` / ``fig6`` / ``fig7`` —
+  regenerate one paper table/figure and print it;
+* ``explore`` — run the spacewalker on one benchmark and print the
+  Pareto frontier;
+* ``dilation`` — print text dilations of the paper processors for one
+  benchmark;
+* ``errors`` — estimation-error statistics over a table4-style run;
+* ``report`` — assemble bench results into one markdown report;
+* ``benchmarks`` — list the workload suite.
+
+Common options: ``--scale`` (workload footprint multiplier),
+``--visits`` (emulation budget), ``--benchmarks`` (subset).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.runner import (
+    RunnerSettings,
+    get_pipeline,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+from repro.machine.presets import PAPER_PROCESSORS
+from repro.workloads.suite import BENCHMARK_NAMES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (common options live on each subcommand)."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload footprint multiplier (default 1.0 = paper scale)",
+    )
+    common.add_argument(
+        "--visits",
+        type=int,
+        default=60_000,
+        help="emulation budget in block visits (default 60000)",
+    )
+    common.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help=f"benchmark subset (default: all of {', '.join(BENCHMARK_NAMES)})",
+    )
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Automatic and Efficient Evaluation of "
+            "Memory Hierarchies for Embedded Systems' (MICRO-32, 1999)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, doc in (
+        ("table2", "relative data-cache miss rates"),
+        ("table3", "text dilation for all benchmarks"),
+        ("table4", "actual vs dilated vs estimated misses (full suite)"),
+        ("fig5", "dilation distributions (gcc, ghostscript)"),
+        ("fig6", "estimated vs dilated misses across dilations (gcc)"),
+        ("fig7", "actual vs dilated vs estimated misses (gcc)"),
+        ("dilation", "text dilations of the paper processors"),
+        ("explore", "spacewalker Pareto exploration"),
+        ("errors", "estimation-error statistics (table4 slices)"),
+        ("benchmarks", "list the workload suite"),
+    ):
+        sub.add_parser(name, help=doc, parents=[common])
+    report = sub.add_parser(
+        "report", help="assemble bench results into a markdown report"
+    )
+    report.add_argument(
+        "--results",
+        default="benchmarks/results",
+        help="directory of bench result files",
+    )
+    report.add_argument(
+        "--output",
+        default=None,
+        help="write the report here instead of stdout",
+    )
+    return parser
+
+
+def _settings(args: argparse.Namespace) -> RunnerSettings:
+    return RunnerSettings(scale=args.scale, max_visits=args.visits)
+
+
+def _benchmarks(args: argparse.Namespace) -> tuple[str, ...]:
+    if args.benchmarks is None:
+        return BENCHMARK_NAMES
+    unknown = set(args.benchmarks) - set(BENCHMARK_NAMES)
+    if unknown:
+        raise SystemExit(
+            f"unknown benchmarks: {sorted(unknown)}; "
+            f"choose from {', '.join(BENCHMARK_NAMES)}"
+        )
+    return tuple(args.benchmarks)
+
+
+def _cmd_explore(args: argparse.Namespace) -> str:
+    from repro.explore.spacewalker import Spacewalker
+    from repro.explore.spec import SystemDesignSpace
+
+    bench = _benchmarks(args)[0]
+    pipeline = get_pipeline(bench, _settings(args))
+    pareto = Spacewalker(SystemDesignSpace(), pipeline).walk()
+    lines = [f"Pareto frontier for {bench} ({len(pareto)} designs):"]
+    for point in pareto.frontier():
+        memory = point.design.memory
+        lines.append(
+            f"  cost={point.cost:9.2f} cycles={point.time:13.0f} "
+            f"proc={point.design.processor} "
+            f"I={memory.icache.describe()} D={memory.dcache.describe()} "
+            f"U={memory.unified.describe()}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_dilation(args: argparse.Namespace) -> str:
+    lines = []
+    for bench in _benchmarks(args):
+        pipeline = get_pipeline(bench, _settings(args))
+        row = "  ".join(
+            f"{p.name}={pipeline.dilation(p):.2f}" for p in PAPER_PROCESSORS
+        )
+        lines.append(f"{bench:>12}: {row}")
+    return "\n".join(lines)
+
+
+def _cmd_errors(args: argparse.Namespace) -> str:
+    from repro.experiments.runner import run_table4
+    from repro.experiments.summary import render_error_summary
+
+    result = run_table4(benchmarks=_benchmarks(args), settings=_settings(args))
+    return render_error_summary(result)
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    from repro.experiments.report import build_report, save_report
+
+    if args.output:
+        path = save_report(args.results, args.output)
+        return f"report written to {path}"
+    return build_report(args.results)
+
+
+def _cmd_benchmarks(_: argparse.Namespace) -> str:
+    from repro.workloads.suite import benchmark_profile
+
+    lines = []
+    for name in BENCHMARK_NAMES:
+        profile = benchmark_profile(name)
+        lines.append(
+            f"{name:>12}: {profile.n_procedures} procedures, "
+            f"blocks/proc {profile.blocks_per_proc}, "
+            f"mix(i/f/m)={profile.op_mix}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "report":
+        print(_cmd_report(args))
+        return 0
+    settings = _settings(args)
+    benches = _benchmarks(args)
+    if args.command == "table2":
+        out = run_table2(benchmarks=benches, settings=settings).render()
+    elif args.command == "table3":
+        out = run_table3(benchmarks=benches, settings=settings).render()
+    elif args.command == "table4":
+        out = run_table4(benchmarks=benches, settings=settings).render()
+    elif args.command == "fig5":
+        out = run_figure5(settings=settings).render()
+    elif args.command == "fig6":
+        out = run_figure6(settings=settings).render()
+    elif args.command == "fig7":
+        out = run_figure7(settings=settings).render()
+    elif args.command == "dilation":
+        out = _cmd_dilation(args)
+    elif args.command == "explore":
+        out = _cmd_explore(args)
+    elif args.command == "errors":
+        out = _cmd_errors(args)
+    elif args.command == "benchmarks":
+        out = _cmd_benchmarks(args)
+    else:  # pragma: no cover - argparse enforces the choices
+        raise SystemExit(f"unknown command {args.command!r}")
+    print(out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

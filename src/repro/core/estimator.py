@@ -1,0 +1,171 @@
+"""The dilation estimator: Eq 4.1, Lemma 1 + Eq 4.12, Eqs 4.13-4.15.
+
+:class:`DilationEstimator` answers the paper's central question — the
+misses of cache C on processor Pi's trace — from only (a) reference-trace
+simulation results and (b) the nine AHH trace parameters:
+
+* **data cache** (Eq 4.1): the reference misses, unchanged;
+* **instruction cache** (Section 4.3.1): dilation by d is equivalent to
+  contracting the line size to L/d (Lemma 1).  When L/d is a feasible
+  power of two the reference simulation result is returned exactly;
+  otherwise misses are interpolated between the two bracketing power-of-
+  two line sizes, linearly in the AHH collision count (Eq 4.12);
+* **unified cache** (Section 4.3.2): the mixed dilated-instruction /
+  undilated-data trace cannot be reduced to a line-size change, so misses
+  are extrapolated by the collision ratio Coll(TP,d)/Coll(TP,1)
+  (Eqs 4.13-4.15) with u(L,d) = uD(L) + uI(L/d).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.ahh.model import collisions, scale_misses
+from repro.ahh.params import TraceParameters
+from repro.cache.config import WORD_BYTES, CacheConfig
+from repro.core.interpolate import interpolate_linear_in
+from repro.errors import ModelError
+
+#: Smallest feasible line size (one word).
+_MIN_LINE = WORD_BYTES
+
+
+class DilationEstimator:
+    """Estimate dilated-trace cache misses from reference simulations.
+
+    Parameters
+    ----------
+    params:
+        The nine trace-model parameters of the reference trace
+        (:func:`repro.ahh.modeler.derive_trace_parameters`).
+    collision_method:
+        Forwarded to :func:`repro.ahh.model.collisions`
+        (``"auto"`` / ``"direct"`` / ``"stable"``).
+    """
+
+    def __init__(
+        self, params: TraceParameters, collision_method: str = "auto"
+    ):
+        self.params = params
+        self.collision_method = collision_method
+
+    # ------------------------------------------------------------------
+    # Data cache: Eq (4.1).
+    # ------------------------------------------------------------------
+
+    def estimate_dcache_misses(self, reference_misses: float) -> float:
+        """M(DC, Pi) ~= M(DC, Pref): the identity estimator."""
+        return float(reference_misses)
+
+    # ------------------------------------------------------------------
+    # Instruction cache: Lemma 1 + Eq (4.12).
+    # ------------------------------------------------------------------
+
+    def icache_collisions(self, config: CacheConfig, line_bytes: float) -> float:
+        """Coll(S, A, L) for the instruction trace at a (possibly
+        fractional) line size in bytes."""
+        line_words = max(1.0, line_bytes / WORD_BYTES)
+        u = self.params.icache.unique_lines_words(line_words)
+        return collisions(
+            u, config.sets, config.assoc, method=self.collision_method
+        )
+
+    def estimate_icache_misses(
+        self,
+        config: CacheConfig,
+        dilation: float,
+        reference_misses: Mapping[CacheConfig, float],
+    ) -> float:
+        """M(IC(S,A,L), Pref, d) from reference-trace simulations.
+
+        ``reference_misses`` must contain the configurations with the
+        bracketing power-of-two line sizes (same sets/associativity);
+        :meth:`required_icache_configs` lists them.
+        """
+        if dilation <= 0:
+            raise ModelError(f"dilation must be positive, got {dilation}")
+        effective = max(float(_MIN_LINE), config.line_size / dilation)
+        lower, upper = _bracket_line_sizes(effective)
+        if lower == upper:
+            # L/d is itself feasible: Lemma 1 applies exactly.
+            return float(_lookup(reference_misses, _norm(config, lower)))
+        m_lower = float(_lookup(reference_misses, _norm(config, lower)))
+        m_upper = float(_lookup(reference_misses, _norm(config, upper)))
+        coll_lower = self.icache_collisions(config, float(lower))
+        coll_upper = self.icache_collisions(config, float(upper))
+        coll_target = self.icache_collisions(config, effective)
+        estimate = interpolate_linear_in(
+            m_lower, coll_lower, m_upper, coll_upper, coll_target
+        )
+        return max(0.0, estimate)
+
+    def required_icache_configs(
+        self, config: CacheConfig, dilation: float
+    ) -> list[CacheConfig]:
+        """Reference configurations Lemma 1 + Eq (4.12) will look up."""
+        effective = max(float(_MIN_LINE), config.line_size / dilation)
+        lower, upper = _bracket_line_sizes(effective)
+        configs = [_norm(config, lower)]
+        if upper != lower:
+            configs.append(_norm(config, upper))
+        return configs
+
+    # ------------------------------------------------------------------
+    # Unified cache: Eqs (4.13)-(4.15).
+    # ------------------------------------------------------------------
+
+    def unified_collisions(
+        self, config: CacheConfig, dilation: float
+    ) -> float:
+        """Coll(TPref,d, UC(S,A,L)) with u(L,d) = uD(L) + uI(L/d)."""
+        u = self.params.unified_unique_lines(config.line_size, dilation)
+        return collisions(
+            u, config.sets, config.assoc, method=self.collision_method
+        )
+
+    def estimate_unified_misses(
+        self,
+        config: CacheConfig,
+        dilation: float,
+        reference_misses: float,
+    ) -> float:
+        """Eq (4.15): scale the simulated misses by the collision ratio."""
+        if dilation <= 0:
+            raise ModelError(f"dilation must be positive, got {dilation}")
+        coll_ref = self.unified_collisions(config, 1.0)
+        coll_dil = self.unified_collisions(config, dilation)
+        return scale_misses(float(reference_misses), coll_ref, coll_dil)
+
+
+def _bracket_line_sizes(effective: float) -> tuple[int, int]:
+    """Power-of-two line sizes bracketing an effective line size.
+
+    Returns (lower, upper); equal when ``effective`` is itself a feasible
+    power of two.  The lower bound is clamped at one word.
+    """
+    if effective < _MIN_LINE:
+        return _MIN_LINE, _MIN_LINE
+    lower = _MIN_LINE
+    while lower * 2 <= effective:
+        lower *= 2
+    if float(lower) == effective:
+        return lower, lower
+    return lower, lower * 2
+
+
+def _norm(config: CacheConfig, line_size: int) -> CacheConfig:
+    """Port-normalized lookup key: simulators are port-oblivious."""
+    return CacheConfig(config.sets, config.assoc, line_size)
+
+
+def _lookup(
+    reference_misses: Mapping[CacheConfig, float], config: CacheConfig
+) -> float:
+    try:
+        return reference_misses[config]
+    except KeyError:
+        raise ModelError(
+            f"reference simulation results lack {config}; "
+            "simulate the bracketing line sizes first "
+            "(see DilationEstimator.required_icache_configs)"
+        ) from None

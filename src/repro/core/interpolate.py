@@ -1,0 +1,38 @@
+"""Lemma 2: interpolation of a function linear in another (Eq 4.11).
+
+"A linear interpolation is not suitable because the misses are a very
+nonlinear function of line size" (Section 4.3.1): instead, misses are
+treated as a *linear function of the AHH collision count* (Eq 4.7 makes
+the steady-state miss component linear in Coll), and Eq (4.11) recovers
+the line through two known (Coll, misses) points.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ModelError
+
+
+def interpolate_linear_in(
+    f1: float, g1: float, f2: float, g2: float, g: float
+) -> float:
+    """Evaluate f(x) at the point where g(x) = ``g``, per Eq (4.11).
+
+    Given f linear in g and two samples (g1, f1), (g2, f2):
+
+        f = (f1 - f2)/(g1 - g2) * g + (f2*g1 - f1*g2)/(g1 - g2)
+
+    Degenerate case: when g1 == g2 the line is undetermined; if the f
+    samples also agree we return that value, otherwise raise.
+    """
+    if math.isclose(g1, g2, rel_tol=1e-12, abs_tol=1e-12):
+        if math.isclose(f1, f2, rel_tol=1e-9, abs_tol=1e-9):
+            return f1
+        raise ModelError(
+            "interpolation abscissae coincide "
+            f"(g1 = g2 = {g1}) but ordinates differ ({f1} vs {f2})"
+        )
+    slope = (f1 - f2) / (g1 - g2)
+    intercept = (f2 * g1 - f1 * g2) / (g1 - g2)
+    return slope * g + intercept

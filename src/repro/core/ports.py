@@ -1,0 +1,70 @@
+"""Cache-port contention: the ports dimension of the design space.
+
+The paper parameterizes every cache by its "number of ports" and builds
+"Pareto sets ... that satisfy certain constraints with respect to data
+cache ports, unified cache ports and dilation" (Section 5.3) — ports
+bound how many memory operations a cycle can actually issue, regardless
+of how many memory units the processor has.
+
+:func:`port_stall_cycles` charges the structural stalls a port-limited
+data cache adds to a compiled program: per block, memory operations
+issue at ``min(memory units, ports)`` per cycle instead of the
+scheduler's assumption of full memory-unit bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.isa.operations import OpClass
+from repro.trace.events import EventTrace
+from repro.vliwcomp.compile import CompiledProgram
+
+
+def block_port_stalls(
+    n_memory_ops: int, memory_units: int, ports: int
+) -> int:
+    """Extra issue cycles one block needs when ports < memory units.
+
+    The schedule assumed ceil(m / units) memory-issue cycles; a
+    ``ports``-ported cache needs ceil(m / min(units, ports)).
+    """
+    if ports < 1:
+        raise ConfigurationError(f"ports must be >= 1, got {ports}")
+    if memory_units < 1:
+        raise ConfigurationError(
+            f"memory_units must be >= 1, got {memory_units}"
+        )
+    if n_memory_ops == 0:
+        return 0
+    effective = min(memory_units, ports)
+    assumed = math.ceil(n_memory_ops / memory_units)
+    needed = math.ceil(n_memory_ops / effective)
+    return max(0, needed - assumed)
+
+
+def port_stall_cycles(
+    compiled: CompiledProgram,
+    events: EventTrace,
+    ports: int,
+) -> int:
+    """Total structural stall cycles from data-cache port contention.
+
+    Weighted by dynamic visit counts, like
+    :func:`repro.core.hierarchy_eval.processor_cycles`.  Zero whenever
+    the cache has at least as many ports as the machine has memory
+    units — the paper's inclusion of ports in the cost model is what
+    makes under-porting a *trade-off* rather than a free lunch.
+    """
+    memory_units = compiled.mdes.processor.units[OpClass.MEMORY]
+    frequencies = events.visit_frequencies()
+    total = 0
+    for index, count in enumerate(frequencies.tolist()):
+        if not count:
+            continue
+        proc_name, block_id = events.blocks[index]
+        cblock = compiled.block(proc_name, block_id)
+        n_memory = sum(1 for op in cblock.operations if op.is_memory)
+        total += count * block_port_stalls(n_memory, memory_units, ports)
+    return total

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so callers can catch library-level failures with a
+single ``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with invalid or inconsistent parameters."""
+
+
+class ProgramStructureError(ReproError):
+    """A :class:`~repro.isa.program.Program` violates a structural invariant."""
+
+
+class ScheduleError(ReproError):
+    """The list scheduler could not produce a legal schedule."""
+
+
+class EncodingError(ReproError):
+    """The assembler could not encode an instruction with any template."""
+
+
+class TraceError(ReproError):
+    """An address or event trace is malformed or inconsistent."""
+
+
+class ModelError(ReproError):
+    """An analytic model was evaluated outside its domain of validity."""
+
+
+class ExplorationError(ReproError):
+    """The design-space exploration layer hit an unrecoverable condition."""
+
+
+class EvaluationCacheError(ReproError):
+    """The persistent evaluation cache is corrupt or unusable."""

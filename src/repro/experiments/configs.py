@@ -1,0 +1,51 @@
+"""The paper's experimental cache configurations (Section 6).
+
+Two hierarchies are evaluated throughout:
+
+* **small**: 1KB direct-mapped data cache (L=32), 1KB direct-mapped
+  instruction cache (L=32), 16KB 2-way unified cache (L=64);
+* **large**: 16KB 2-way data cache (L=32), 16KB 2-way instruction cache
+  (L=32), 128KB 4-way unified cache (L=64).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.config import CacheConfig
+
+
+@dataclass(frozen=True)
+class PaperCacheConfigs:
+    """The six cache configurations of Section 6."""
+
+    small_icache: CacheConfig = CacheConfig.from_size(1 * 1024, 1, 32)
+    large_icache: CacheConfig = CacheConfig.from_size(16 * 1024, 2, 32)
+    small_dcache: CacheConfig = CacheConfig.from_size(1 * 1024, 1, 32)
+    large_dcache: CacheConfig = CacheConfig.from_size(16 * 1024, 2, 32)
+    small_ucache: CacheConfig = CacheConfig.from_size(16 * 1024, 2, 64)
+    large_ucache: CacheConfig = CacheConfig.from_size(128 * 1024, 4, 64)
+
+    @property
+    def icaches(self) -> tuple[CacheConfig, CacheConfig]:
+        return (self.small_icache, self.large_icache)
+
+    @property
+    def dcaches(self) -> tuple[CacheConfig, CacheConfig]:
+        return (self.small_dcache, self.large_dcache)
+
+    @property
+    def ucaches(self) -> tuple[CacheConfig, CacheConfig]:
+        return (self.small_ucache, self.large_ucache)
+
+    def roles(self) -> dict[str, tuple[CacheConfig, CacheConfig]]:
+        """The (small, large) pair per trace role."""
+        return {
+            "icache": self.icaches,
+            "dcache": self.dcaches,
+            "unified": self.ucaches,
+        }
+
+
+#: The default instance used by the runner functions.
+PAPER_CONFIGS = PaperCacheConfigs()

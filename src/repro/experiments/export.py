@@ -1,0 +1,122 @@
+"""CSV export of experiment results.
+
+Every runner result type renders to paper-style text via ``render()``;
+this module adds machine-readable CSV for downstream analysis (plotting,
+regression tracking).  One function per result type plus a dispatching
+:func:`to_csv`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import (
+    Figure5Result,
+    Figure6Result,
+    Table2Result,
+    Table3Result,
+    ThreeWayResult,
+)
+
+
+def _writer() -> tuple[io.StringIO, csv.writer]:
+    buffer = io.StringIO()
+    return buffer, csv.writer(buffer, lineterminator="\n")
+
+
+def table2_csv(result: Table2Result) -> str:
+    """Columns: cache, benchmark, processor, relative_misses."""
+    buffer, writer = _writer()
+    writer.writerow(["cache", "benchmark", "processor", "relative_misses"])
+    for label, per_bench in result.data.items():
+        for bench, ratios in per_bench.items():
+            for processor, ratio in ratios.items():
+                writer.writerow([label, bench, processor, f"{ratio:.6g}"])
+    return buffer.getvalue()
+
+
+def table3_csv(result: Table3Result) -> str:
+    """Columns: benchmark, processor, text_dilation."""
+    buffer, writer = _writer()
+    writer.writerow(["benchmark", "processor", "text_dilation"])
+    for bench, row in result.data.items():
+        for processor, dilation in row.items():
+            writer.writerow([bench, processor, f"{dilation:.6g}"])
+    return buffer.getvalue()
+
+
+def three_way_csv(result: ThreeWayResult) -> str:
+    """Columns: cache, benchmark, processor, actual, dilated, estimated."""
+    buffer, writer = _writer()
+    writer.writerow(
+        ["cache", "benchmark", "processor", "actual", "dilated", "estimated"]
+    )
+    for label, per_bench in result.data.items():
+        for bench, per_proc in per_bench.items():
+            for processor, (act, dil, est) in per_proc.items():
+                writer.writerow(
+                    [
+                        label,
+                        bench,
+                        processor,
+                        f"{act:.6g}",
+                        f"{dil:.6g}",
+                        f"{est:.6g}",
+                    ]
+                )
+    return buffer.getvalue()
+
+
+def figure5_csv(result: Figure5Result) -> str:
+    """Columns: benchmark, kind, processor, threshold, fraction."""
+    buffer, writer = _writer()
+    writer.writerow(["benchmark", "kind", "processor", "threshold", "fraction"])
+    for bench, series in result.curves.items():
+        for (kind, processor), values in series.items():
+            for threshold, value in zip(result.thresholds, values):
+                writer.writerow(
+                    [bench, kind, processor, f"{threshold:.4g}", f"{value:.6g}"]
+                )
+    return buffer.getvalue()
+
+
+def figure6_csv(result: Figure6Result) -> str:
+    """Columns: cache, dilation, dilated, estimated."""
+    buffer, writer = _writer()
+    writer.writerow(["cache", "dilation", "dilated", "estimated"])
+    for label, pair in result.series.items():
+        for dilation, dil, est in zip(
+            result.dilations, pair["dilated"], pair["estimated"]
+        ):
+            writer.writerow(
+                [label, f"{dilation:g}", f"{dil:.6g}", f"{est:.6g}"]
+            )
+    return buffer.getvalue()
+
+
+def to_csv(result: object) -> str:
+    """Dispatch to the matching exporter by result type."""
+    if isinstance(result, Table2Result):
+        return table2_csv(result)
+    if isinstance(result, Table3Result):
+        return table3_csv(result)
+    if isinstance(result, ThreeWayResult):
+        return three_way_csv(result)
+    if isinstance(result, Figure5Result):
+        return figure5_csv(result)
+    if isinstance(result, Figure6Result):
+        return figure6_csv(result)
+    raise ConfigurationError(
+        f"no CSV exporter for result type {type(result).__name__}"
+    )
+
+
+def save_csv(result: object, path: str | Path) -> Path:
+    """Export ``result`` to ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_csv(result))
+    return path

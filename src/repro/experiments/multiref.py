@@ -1,0 +1,104 @@
+"""Multiple reference processors (Section 4.1, step 1).
+
+"We require that Pref and Pi have the same data speculation and
+predication features, because these features have a large impact on
+address traces.  When the design space covers machines with differing
+predication/speculation features, we use several Pref processors, one for
+each unique combination of predication and speculation."
+
+:class:`MultiReferencePipeline` keeps one :class:`ExperimentPipeline` per
+feature combination and routes every query to the matching one, exposing
+the same miss/dilation interface (and the DesignProvider protocol) as a
+single pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cache.config import CacheConfig
+from repro.experiments.pipeline import ExperimentPipeline
+from repro.machine.processor import VliwProcessor, make_processor
+from repro.workloads.suite import Workload
+
+#: A feature combination: (has_predication, has_speculation).
+FeatureKey = tuple[bool, bool]
+
+
+def feature_key(processor: VliwProcessor) -> FeatureKey:
+    """The (predication, speculation) combination of a processor."""
+    return (processor.has_predication, processor.has_speculation)
+
+
+def make_reference_for(processor: VliwProcessor) -> VliwProcessor:
+    """The narrow 1111 machine with ``processor``'s feature flags."""
+    return make_processor(
+        1,
+        1,
+        1,
+        1,
+        has_predication=processor.has_predication,
+        has_speculation=processor.has_speculation,
+    )
+
+
+class MultiReferencePipeline:
+    """Route evaluation to per-feature-combination reference pipelines."""
+
+    def __init__(self, workload: Workload, **pipeline_kwargs):
+        self.workload = workload
+        self.pipeline_kwargs = pipeline_kwargs
+        self._pipelines: dict[FeatureKey, ExperimentPipeline] = {}
+
+    def pipeline_for(self, processor: VliwProcessor) -> ExperimentPipeline:
+        """The pipeline whose reference matches ``processor``'s features."""
+        key = feature_key(processor)
+        pipeline = self._pipelines.get(key)
+        if pipeline is None:
+            pipeline = ExperimentPipeline(
+                self.workload,
+                reference=make_reference_for(processor),
+                **self.pipeline_kwargs,
+            )
+            self._pipelines[key] = pipeline
+        return pipeline
+
+    @property
+    def references(self) -> list[VliwProcessor]:
+        """Reference processors instantiated so far."""
+        return [p.reference for p in self._pipelines.values()]
+
+    # ------------------------------------------------------------------
+    # Same surface as ExperimentPipeline, feature-routed.
+    # ------------------------------------------------------------------
+
+    def dilation(self, processor: VliwProcessor) -> float:
+        """Text dilation of ``processor`` vs its feature-matched reference."""
+        return self.pipeline_for(processor).dilation(processor)
+
+    def processor_cycles(self, processor: VliwProcessor) -> int:
+        """Schedule-length cycles via the feature-matched pipeline."""
+        return self.pipeline_for(processor).processor_cycles(processor)
+
+    def actual_misses(
+        self,
+        processor: VliwProcessor,
+        role: str,
+        configs: Iterable[CacheConfig],
+    ) -> dict[CacheConfig, int]:
+        """Ground-truth misses of ``processor``'s own traces."""
+        return self.pipeline_for(processor).actual_misses(
+            processor, role, configs
+        )
+
+    def estimated_misses_for(
+        self,
+        processor: VliwProcessor,
+        role: str,
+        configs: Iterable[CacheConfig],
+    ) -> dict[CacheConfig, float]:
+        """Dilation-model estimates against the matching reference."""
+        pipeline = self.pipeline_for(processor)
+        return pipeline.estimated_misses(
+            pipeline.dilation(processor), role, configs
+        )

@@ -1,0 +1,278 @@
+"""Per-benchmark evaluation pipeline with memoized artifacts.
+
+One :class:`ExperimentPipeline` owns a workload and lazily produces, per
+processor: the compiled program, the synthesized/linked binary, the
+(decorated) event trace, and the three address traces — then answers the
+three miss questions of Section 6:
+
+* **actual**   — simulate the processor's own traces;
+* **dilated**  — simulate the reference trace with every block stretched
+  by the text dilation (Section 4.1 step 2, via
+  :func:`repro.core.dilated_trace.dilate_binary`);
+* **estimated** — the dilation model (Section 4.3), answered internally
+  from reference-trace simulations and AHH parameters.
+
+The pipeline also satisfies the
+:class:`repro.explore.spacewalker.DesignProvider` protocol, so a
+spacewalker can drive it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.ahh.modeler import (
+    DEFAULT_I_GRANULE,
+    DEFAULT_U_GRANULE,
+    derive_trace_parameters,
+)
+from repro.ahh.params import TraceParameters
+from repro.cache.config import WORD_BYTES, CacheConfig
+from repro.core.dilated_trace import dilate_binary
+from repro.core.dilation import DilationInfo, measure_dilation
+from repro.core.hierarchy_eval import processor_cycles
+from repro.errors import ConfigurationError
+from repro.explore.evaluators import ROLES, MemoryEvaluator
+from repro.iformat.assembler import assemble
+from repro.iformat.linker import Binary, link
+from repro.machine.mdes import MachineDescription
+from repro.machine.presets import REFERENCE_PROCESSOR
+from repro.machine.processor import VliwProcessor
+from repro.trace.emulator import Emulator
+from repro.trace.events import EventTrace
+from repro.trace.generator import TraceGenerator
+from repro.trace.ranges import RangeTrace
+from repro.vliwcomp.compile import CompiledProgram, compile_program
+from repro.workloads.suite import Workload
+
+
+@dataclass(frozen=True)
+class ProcessorArtifacts:
+    """Everything derived for one (workload, processor) pair."""
+
+    processor: VliwProcessor
+    mdes: MachineDescription
+    compiled: CompiledProgram
+    binary: Binary
+    events: EventTrace
+    instruction_trace: RangeTrace
+    data_trace: RangeTrace
+    unified_trace: RangeTrace
+
+    def trace(self, role: str) -> RangeTrace:
+        """The address trace a given cache role consumes."""
+        if role == "icache":
+            return self.instruction_trace
+        if role == "dcache":
+            return self.data_trace
+        if role == "unified":
+            return self.unified_trace
+        raise ConfigurationError(f"unknown role {role!r}")
+
+
+class ExperimentPipeline:
+    """Memoized end-to-end evaluation for one workload."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        reference: VliwProcessor = REFERENCE_PROCESSOR,
+        seed: int = 1,
+        max_visits: int = 60_000,
+        i_granule: int = DEFAULT_I_GRANULE,
+        u_granule: int = DEFAULT_U_GRANULE,
+    ):
+        self.workload = workload
+        self.reference = reference
+        self.seed = seed
+        self.max_visits = max_visits
+        self.i_granule = i_granule
+        self.u_granule = u_granule
+        self._artifacts: dict[str, ProcessorArtifacts] = {}
+        self._params: TraceParameters | None = None
+        self._ref_evaluator: MemoryEvaluator | None = None
+        # MemoryEvaluators used as pure simulation banks, keyed by the
+        # trace source: a processor name ("actual") or a dilation
+        # ("dilated:<d>").
+        self._sim_banks: dict[str, MemoryEvaluator] = {}
+
+    # ------------------------------------------------------------------
+    # Artifact construction.
+    # ------------------------------------------------------------------
+
+    def artifacts(self, processor: VliwProcessor) -> ProcessorArtifacts:
+        """Compile, assemble, link, emulate and trace for ``processor``."""
+        cached = self._artifacts.get(processor.name)
+        if cached is not None:
+            return cached
+        if not processor.compatible_reference(self.reference):
+            raise ConfigurationError(
+                f"processor {processor.name} and reference "
+                f"{self.reference.name} differ in predication/speculation "
+                "features; the dilation model requires one reference per "
+                "feature combination (Section 4.1)"
+            )
+        mdes = MachineDescription(processor)
+        compiled = compile_program(self.workload.program, mdes)
+        assembled = assemble(compiled)
+        binary = link(
+            self.workload.program,
+            assembled,
+            packet_bytes=processor.issue_width * WORD_BYTES,
+            processor_name=processor.name,
+        )
+        events = Emulator(
+            self.workload.program, self.workload.streams, seed=self.seed
+        ).run(self.max_visits, compiled=compiled)
+        generator = TraceGenerator(binary, events)
+        artifacts = ProcessorArtifacts(
+            processor=processor,
+            mdes=mdes,
+            compiled=compiled,
+            binary=binary,
+            events=events,
+            instruction_trace=generator.instruction_trace(),
+            data_trace=generator.data_trace(),
+            unified_trace=generator.unified_trace(),
+        )
+        self._artifacts[processor.name] = artifacts
+        return artifacts
+
+    def reference_artifacts(self) -> ProcessorArtifacts:
+        """Artifacts of the reference processor."""
+        return self.artifacts(self.reference)
+
+    # ------------------------------------------------------------------
+    # Dilation and trace parameters.
+    # ------------------------------------------------------------------
+
+    def dilation_info(self, processor: VliwProcessor) -> DilationInfo:
+        """Per-block and text dilation of ``processor`` vs the reference."""
+        return measure_dilation(
+            self.reference_artifacts().binary, self.artifacts(processor).binary
+        )
+
+    def dilation(self, processor: VliwProcessor) -> float:
+        """Text dilation d (DesignProvider protocol)."""
+        if processor.name == self.reference.name:
+            return 1.0
+        return self.dilation_info(processor).text_dilation
+
+    def trace_parameters(self) -> TraceParameters:
+        """The nine AHH parameters of the reference trace (cached)."""
+        if self._params is None:
+            ref = self.reference_artifacts()
+            self._params = derive_trace_parameters(
+                ref.instruction_trace,
+                ref.unified_trace,
+                i_granule=self.i_granule,
+                u_granule=self.u_granule,
+            )
+        return self._params
+
+    def memory_evaluator(self) -> MemoryEvaluator:
+        """Reference-trace miss oracle (DesignProvider protocol)."""
+        if self._ref_evaluator is None:
+            ref = self.reference_artifacts()
+            self._ref_evaluator = MemoryEvaluator(
+                ref.instruction_trace,
+                ref.data_trace,
+                ref.unified_trace,
+                self.trace_parameters(),
+            )
+        return self._ref_evaluator
+
+    def processor_cycles(self, processor: VliwProcessor) -> int:
+        """Schedule-length cycles (DesignProvider protocol)."""
+        art = self.artifacts(processor)
+        return processor_cycles(art.compiled, art.events)
+
+    # ------------------------------------------------------------------
+    # The three miss measurements.
+    # ------------------------------------------------------------------
+
+    def actual_misses(
+        self,
+        processor: VliwProcessor,
+        role: str,
+        configs: Iterable[CacheConfig],
+    ) -> dict[CacheConfig, int]:
+        """Simulate ``processor``'s own traces (ground truth)."""
+        art = self.artifacts(processor)
+        bank = self._bank(
+            f"actual:{processor.name}",
+            art.instruction_trace,
+            art.data_trace,
+            art.unified_trace,
+        )
+        configs = list(configs)
+        bank.register(role, configs)
+        return {c: bank.simulated_misses(role, c) for c in configs}
+
+    def dilated_misses(
+        self,
+        dilation: float,
+        role: str,
+        configs: Iterable[CacheConfig],
+    ) -> dict[CacheConfig, int]:
+        """Simulate the reference trace dilated by ``dilation``.
+
+        The data component is not dilated (Section 4.3.2): data-role
+        queries return the plain reference simulation.
+        """
+        ref = self.reference_artifacts()
+        if role == "dcache" or dilation == 1.0:
+            bank = self._bank(
+                "actual:" + self.reference.name,
+                ref.instruction_trace,
+                ref.data_trace,
+                ref.unified_trace,
+            )
+        else:
+            key = f"dilated:{dilation:g}"
+            bank = self._sim_banks.get(key)
+            if bank is None:
+                dilated_binary = dilate_binary(ref.binary, dilation)
+                generator = TraceGenerator(dilated_binary, ref.events)
+                bank = MemoryEvaluator(
+                    generator.instruction_trace(),
+                    ref.data_trace,
+                    generator.unified_trace(),
+                    params=None,
+                )
+                self._sim_banks[key] = bank
+        configs = list(configs)
+        bank.register(role, configs)
+        return {c: bank.simulated_misses(role, c) for c in configs}
+
+    def estimated_misses(
+        self,
+        dilation: float,
+        role: str,
+        configs: Iterable[CacheConfig],
+    ) -> dict[CacheConfig, float]:
+        """The dilation model's estimates (Section 4.3)."""
+        evaluator = self.memory_evaluator()
+        return {
+            c: evaluator.misses(role, c, dilation) for c in configs
+        }
+
+    def _bank(
+        self,
+        key: str,
+        instruction_trace: RangeTrace,
+        data_trace: RangeTrace,
+        unified_trace: RangeTrace,
+    ) -> MemoryEvaluator:
+        bank = self._sim_banks.get(key)
+        if bank is None:
+            bank = MemoryEvaluator(
+                instruction_trace, data_trace, unified_trace, params=None
+            )
+            self._sim_banks[key] = bank
+        return bank
+
+    @staticmethod
+    def roles() -> tuple[str, ...]:
+        return ROLES

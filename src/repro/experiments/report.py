@@ -1,0 +1,88 @@
+"""Report assembly: compose a markdown run report from bench results.
+
+``pytest benchmarks/ --benchmark-only`` leaves one rendered text file per
+experiment in ``benchmarks/results/``; :func:`build_report` stitches them
+into a single markdown document (the measured half of EXPERIMENTS.md),
+so a fresh clone can regenerate and diff its numbers in one step:
+
+    python -c "from repro.experiments.report import build_report; \\
+               print(build_report('benchmarks/results'))" > report.md
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+#: Known experiments in presentation order: (file stem, section title).
+SECTIONS: tuple[tuple[str, str], ...] = (
+    ("table2", "Table 2 — relative data-cache miss rates"),
+    ("table3", "Table 3 — text dilation"),
+    ("figure5", "Figure 5 — dilation distributions"),
+    ("figure6", "Figure 6 — estimated vs dilated misses"),
+    ("figure7", "Figure 7 — actual vs dilated vs estimated (gcc)"),
+    ("table4", "Table 4 — full-suite three-way comparison"),
+    ("validation", "Section 6.1 — simulator cross-validation"),
+    ("costmodel", "Section 1 — evaluation-cost arithmetic"),
+    ("spacewalker", "Figure 2 — spacewalker Pareto exploration"),
+    ("ablation_interp", "Ablation — Lemma-2 vs naive interpolation"),
+    ("ablation_granule", "Ablation — granule-size sensitivity"),
+    ("ablation_stable", "Ablation — stable vs direct collisions"),
+    ("ablation_standalone", "Ablation — standalone AHH vs anchored"),
+)
+
+
+def build_report(
+    results_dir: str | Path, title: str = "Reproduction run report"
+) -> str:
+    """Assemble available results into one markdown document.
+
+    Missing result files are listed (not errors): partial bench runs
+    produce partial reports.  An empty results directory raises, since a
+    report of nothing is always a mistake.
+    """
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise ConfigurationError(
+            f"results directory {results_dir} does not exist; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    parts: list[str] = [f"# {title}", ""]
+    missing: list[str] = []
+    found = 0
+    for stem, section_title in SECTIONS:
+        path = results_dir / f"{stem}.txt"
+        if not path.exists():
+            missing.append(stem)
+            continue
+        found += 1
+        parts.append(f"## {section_title}")
+        parts.append("")
+        parts.append("```text")
+        parts.append(path.read_text().rstrip())
+        parts.append("```")
+        parts.append("")
+    if found == 0:
+        raise ConfigurationError(
+            f"no known result files in {results_dir}; run the bench suite"
+        )
+    if missing:
+        parts.append("## Not regenerated in this run")
+        parts.append("")
+        for stem in missing:
+            parts.append(f"* `{stem}`")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def save_report(
+    results_dir: str | Path,
+    output: str | Path,
+    title: str = "Reproduction run report",
+) -> Path:
+    """Write :func:`build_report`'s output to ``output``."""
+    output = Path(output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(build_report(results_dir, title))
+    return output

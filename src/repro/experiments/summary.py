@@ -1,0 +1,106 @@
+"""Error statistics over three-way (actual/dilated/estimated) results.
+
+The evaluation's verdicts (Section 6.5: "estimates track the actual
+misses better for narrower processors ... better for instruction caches
+than for unified caches") are statements about estimation-error
+distributions; this module computes them from a
+:class:`~repro.experiments.runner.ThreeWayResult` so benches, notebooks
+and the CLI share one implementation.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import ThreeWayResult
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """Relative-error statistics of one estimator slice."""
+
+    n: int
+    mean: float
+    median: float
+    p90: float
+    worst: float
+
+    @classmethod
+    def from_errors(cls, errors: list[float]) -> "ErrorStats":
+        """Aggregate a non-empty list of |est − act| / act values."""
+        if not errors:
+            raise ConfigurationError("no errors to aggregate")
+        ordered = sorted(errors)
+        p90_index = min(len(ordered) - 1, int(0.9 * len(ordered)))
+        return cls(
+            n=len(errors),
+            mean=sum(errors) / len(errors),
+            median=statistics.median(errors),
+            p90=ordered[p90_index],
+            worst=ordered[-1],
+        )
+
+
+def relative_errors(
+    result: ThreeWayResult,
+    *,
+    series: str = "estimated",
+    role: str | None = None,
+    processor: str | None = None,
+) -> list[float]:
+    """Collect |x − actual| / actual over the result's cells.
+
+    ``series`` picks what is compared against the actual misses:
+    ``"estimated"`` (the model) or ``"dilated"`` (the dilated-trace
+    simulation — isolating the uniform-dilation assumption's error).
+    ``role`` filters to ``"icache"``/``"unified"``; ``processor`` to one
+    column.
+    """
+    if series not in ("estimated", "dilated"):
+        raise ConfigurationError(
+            f"series must be 'estimated' or 'dilated', got {series!r}"
+        )
+    out: list[float] = []
+    for label, per_bench in result.data.items():
+        label_role = "icache" if "Icache" in label else "unified"
+        if role is not None and label_role != role:
+            continue
+        for per_proc in per_bench.values():
+            for proc_name, (act, dil, est) in per_proc.items():
+                if processor is not None and proc_name != processor:
+                    continue
+                value = est if series == "estimated" else dil
+                out.append(abs(value - act) / act)
+    return out
+
+
+def error_summary(result: ThreeWayResult) -> dict[str, ErrorStats]:
+    """The paper's headline slices, keyed by a readable label."""
+    slices: dict[str, ErrorStats] = {}
+    for role in ("icache", "unified"):
+        slices[f"estimated/{role}"] = ErrorStats.from_errors(
+            relative_errors(result, role=role)
+        )
+        slices[f"dilated/{role}"] = ErrorStats.from_errors(
+            relative_errors(result, series="dilated", role=role)
+        )
+    for processor in result.processors:
+        slices[f"estimated/{processor}"] = ErrorStats.from_errors(
+            relative_errors(result, processor=processor)
+        )
+    return slices
+
+
+def render_error_summary(result: ThreeWayResult) -> str:
+    """Fixed-width text rendering of :func:`error_summary`."""
+    rows = [
+        f"{'slice':<22}{'n':>5}{'mean':>8}{'median':>8}{'p90':>8}{'worst':>8}"
+    ]
+    for label, stats in error_summary(result).items():
+        rows.append(
+            f"{label:<22}{stats.n:>5}{stats.mean:>8.3f}"
+            f"{stats.median:>8.3f}{stats.p90:>8.3f}{stats.worst:>8.3f}"
+        )
+    return "\n".join(rows)

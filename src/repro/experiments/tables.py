@@ -1,0 +1,55 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The paper's tables normalize misses to the 1111 reference processor; the
+renderers here reproduce that presentation so bench output can be read
+side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Fixed-width table with a title line."""
+    formatted: list[list[str]] = [[_fmt(h, float_format) for h in headers]]
+    for row in rows:
+        formatted.append([_fmt(cell, float_format) for cell in row])
+    widths = [
+        max(len(line[col]) for line in formatted)
+        for col in range(len(headers))
+    ]
+    out = [title]
+    for index, line in enumerate(formatted):
+        out.append(
+            "  ".join(cell.rjust(widths[col]) for col, cell in enumerate(line))
+        )
+        if index == 0:
+            out.append("  ".join("-" * w for w in widths))
+    return "\n".join(out)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    float_format: str = "{:.4g}",
+) -> str:
+    """A figure rendered as columns: x then one column per series."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for index, x in enumerate(xs):
+        rows.append([x, *(values[index] for values in series.values())])
+    return render_table(title, headers, rows, float_format)
+
+
+def _fmt(value: object, float_format: str) -> str:
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)

@@ -1,0 +1,94 @@
+"""Persistent evaluation cache (Section 5.1's EvaluationCache layer).
+
+"The EvaluationCache first looks in a persistent disk-based database if a
+particular metric for a design is available.  Otherwise, it invokes the
+Evaluators layer..."  Implemented as a JSON file of string-keyed metric
+values, written atomically; in-memory use (``path=None``) is supported for
+tests and throwaway explorations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import EvaluationCacheError
+
+#: JSON-representable metric values.
+Metric = float | int | list | dict | str
+
+
+class EvaluationCache:
+    """String-keyed persistent metric store with get-or-compute semantics."""
+
+    def __init__(self, path: str | os.PathLike | None = None):
+        self.path = Path(path) if path is not None else None
+        self._data: dict[str, Metric] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text()
+            self._data = json.loads(text) if text.strip() else {}
+        except (OSError, json.JSONDecodeError) as exc:
+            raise EvaluationCacheError(
+                f"evaluation cache {self.path} is unreadable: {exc}"
+            ) from exc
+        if not isinstance(self._data, dict):
+            raise EvaluationCacheError(
+                f"evaluation cache {self.path} is not a JSON object"
+            )
+
+    def _flush(self) -> None:
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(self._data, handle)
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise EvaluationCacheError(
+                f"cannot write evaluation cache {self.path}: {exc}"
+            ) from exc
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def get(self, key: str) -> Metric | None:
+        """The stored metric, or None when absent."""
+        value = self._data.get(key)
+        if value is not None:
+            self.hits += 1
+        return value
+
+    def put(self, key: str, value: Metric) -> None:
+        """Store a metric and flush to disk (when persistent)."""
+        self._data[key] = value
+        self._flush()
+
+    def get_or_compute(self, key: str, compute: Callable[[], Metric]) -> Metric:
+        """The canonical access pattern: lookup, else evaluate and store."""
+        if key in self._data:
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def __len__(self) -> int:
+        return len(self._data)

@@ -1,0 +1,160 @@
+"""Heuristic walkers (Section 5.1).
+
+"The Walkers module supports many heuristics for exploring the design
+space.  An exhaustive design space exploration evaluates all designs that
+meet the design space specification. ... A heuristic only evaluates
+designs that are likely to be superior than the ones that have already
+been explored."
+
+Two heuristics are provided:
+
+* :class:`GreedyProcessorWalker` — neighbourhood ascent over the
+  processor space: starting from the narrowest machine, repeatedly grow
+  one function-unit class at a time, following moves that improve cycles
+  per unit cost; far fewer compilations than the exhaustive walk.
+* :class:`GuidedCacheWalker` — walks each (associativity, line size)
+  family in increasing capacity and stops growing a family once the miss
+  reduction per added cost falls below a threshold (capacity misses are
+  monotone, so further growth is predictably unprofitable).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cache.area import cache_cost
+from repro.explore.evaluators import MemoryEvaluator
+from repro.explore.pareto import ParetoSet
+from repro.explore.spec import CacheDesignSpace, ProcessorDesignSpace
+from repro.machine.cost import processor_cost
+from repro.machine.processor import VliwProcessor, make_processor
+
+
+class GreedyProcessorWalker:
+    """Neighbourhood-ascent exploration of the processor space."""
+
+    def __init__(
+        self,
+        space: ProcessorDesignSpace,
+        cycles_fn: Callable[[VliwProcessor], float],
+    ):
+        self.space = space
+        self.cycles_fn = cycles_fn
+        self.evaluated: dict[str, tuple[VliwProcessor, float, float]] = {}
+
+    def _evaluate(self, processor: VliwProcessor) -> tuple[float, float]:
+        entry = self.evaluated.get(processor.name)
+        if entry is None:
+            cost = processor_cost(processor)
+            cycles = float(self.cycles_fn(processor))
+            self.evaluated[processor.name] = (processor, cost, cycles)
+            return cost, cycles
+        return entry[1], entry[2]
+
+    def _neighbours(self, processor: VliwProcessor) -> list[VliwProcessor]:
+        """Legal +1-unit moves that stay inside the design space."""
+        allowed = {
+            "int": set(self.space.int_units),
+            "float": set(self.space.float_units),
+            "memory": set(self.space.memory_units),
+            "branch": set(self.space.branch_units),
+        }
+        from repro.isa.operations import OP_CLASSES
+
+        counts = [processor.units[cls] for cls in OP_CLASSES]
+        out = []
+        for index, key in enumerate(("int", "float", "memory", "branch")):
+            bigger = sorted(v for v in allowed[key] if v > counts[index])
+            if not bigger:
+                continue
+            grown = list(counts)
+            grown[index] = bigger[0]
+            out.append(
+                make_processor(
+                    *grown,
+                    has_predication=self.space.has_predication,
+                    has_speculation=self.space.has_speculation,
+                )
+            )
+        return out
+
+    def walk(self) -> ParetoSet[str]:
+        """Explore greedily; returns the Pareto set over evaluated designs."""
+        start = make_processor(
+            min(self.space.int_units),
+            min(self.space.float_units),
+            min(self.space.memory_units),
+            min(self.space.branch_units),
+            has_predication=self.space.has_predication,
+            has_speculation=self.space.has_speculation,
+        )
+        pareto: ParetoSet[str] = ParetoSet()
+        frontier = [start]
+        seen: set[str] = set()
+        while frontier:
+            current = frontier.pop()
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            cost, cycles = self._evaluate(current)
+            pareto.insert_point(current.name, cost=cost, time=cycles)
+            for neighbour in self._neighbours(current):
+                if neighbour.name in seen:
+                    continue
+                n_cost, n_cycles = self._evaluate(neighbour)
+                # Follow only profitable moves: cycles must improve.
+                if n_cycles < cycles:
+                    pareto.insert_point(
+                        neighbour.name, cost=n_cost, time=n_cycles
+                    )
+                    frontier.append(neighbour)
+        return pareto
+
+
+class GuidedCacheWalker:
+    """Capacity-pruned cache walk for one trace role.
+
+    Within each (associativity, line size) family, capacity grows until
+    the marginal miss reduction per unit of added cost drops below
+    ``min_gain`` — further sizes are predictably dominated and skipped.
+    """
+
+    def __init__(
+        self,
+        role: str,
+        space: CacheDesignSpace,
+        evaluator: MemoryEvaluator,
+        miss_penalty: float = 10.0,
+        min_gain: float = 0.0,
+    ):
+        self.role = role
+        self.space = space
+        self.evaluator = evaluator
+        self.miss_penalty = miss_penalty
+        self.min_gain = min_gain
+        self.evaluated = 0
+
+    def step(self, dilation: float = 1.0) -> ParetoSet:
+        """Walk each capacity family with early pruning at one dilation."""
+        families: dict[tuple[int, int], list] = {}
+        for config in self.space.configurations():
+            families.setdefault(
+                (config.assoc, config.line_size), []
+            ).append(config)
+        pareto: ParetoSet = ParetoSet()
+        for family in families.values():
+            family.sort(key=lambda c: c.size_bytes)
+            prev_time: float | None = None
+            prev_cost: float | None = None
+            for config in family:
+                misses = self.evaluator.misses(self.role, config, dilation)
+                self.evaluated += 1
+                time = misses * self.miss_penalty
+                cost = cache_cost(config)
+                pareto.insert_point(config, cost=cost, time=time)
+                if prev_time is not None and prev_cost is not None:
+                    gain = (prev_time - time) / max(cost - prev_cost, 1e-9)
+                    if gain <= self.min_gain:
+                        break  # capacity no longer buys stall cycles
+                prev_time, prev_cost = time, cost
+        return pareto

@@ -1,0 +1,90 @@
+"""Pareto-set accumulation (Section 5.1's Pareto layer).
+
+"A Pareto set consists of designs that are superior in performance to all
+other designs with the same or lower cost.  ...  The Pareto module inserts
+a design point into the cumulative Pareto set only if its performance is
+superior to all other existing Pareto [points] with same or lower cost.
+The Pareto module also removes designs that are inferior to the current
+design."
+
+Cost and execution time are both lower-is-better here (the paper plots
+performance; we track cycles, so smaller dominates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, Hashable, TypeVar
+
+DesignT = TypeVar("DesignT", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class ParetoPoint(Generic[DesignT]):
+    """One design with its cost and execution-time evaluation."""
+
+    design: DesignT
+    cost: float
+    time: float
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """True if self is at least as good on both axes and better on one."""
+        if self.cost > other.cost or self.time > other.time:
+            return False
+        return self.cost < other.cost or self.time < other.time
+
+
+@dataclass
+class ParetoSet(Generic[DesignT]):
+    """An accumulating set of non-dominated points."""
+
+    points: list[ParetoPoint[DesignT]] = field(default_factory=list)
+    inserted: int = 0
+    rejected: int = 0
+
+    def insert_point(self, design: DesignT, cost: float, time: float) -> bool:
+        """Offer a design; returns True if it joined the Pareto set.
+
+        Dominated candidates are rejected; accepted candidates evict any
+        existing points they dominate.  A candidate exactly equal to an
+        existing point on both axes is rejected (the first design at a
+        (cost, time) coordinate wins, keeping the set minimal).
+        """
+        candidate = ParetoPoint(design, cost, time)
+        for point in self.points:
+            if point.dominates(candidate) or (
+                point.cost == cost and point.time == time
+            ):
+                self.rejected += 1
+                return False
+        self.points = [p for p in self.points if not candidate.dominates(p)]
+        self.points.append(candidate)
+        self.inserted += 1
+        return True
+
+    def frontier(self) -> list[ParetoPoint[DesignT]]:
+        """Points sorted by ascending cost (descending time follows)."""
+        return sorted(self.points, key=lambda p: (p.cost, p.time))
+
+    def best_time(self) -> ParetoPoint[DesignT]:
+        """The fastest retained design (ties broken by cost)."""
+        if not self.points:
+            raise ValueError("empty Pareto set")
+        return min(self.points, key=lambda p: (p.time, p.cost))
+
+    def cheapest(self) -> ParetoPoint[DesignT]:
+        """The lowest-cost retained design (ties broken by time)."""
+        if not self.points:
+            raise ValueError("empty Pareto set")
+        return min(self.points, key=lambda p: (p.cost, p.time))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def is_consistent(self) -> bool:
+        """No point dominates another (invariant check for tests)."""
+        for a in self.points:
+            for b in self.points:
+                if a is not b and a.dominates(b):
+                    return False
+        return True

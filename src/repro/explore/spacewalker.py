@@ -1,0 +1,90 @@
+"""The top-level spacewalker (Figure 2 / Section 5).
+
+Drives the whole flow: for every processor in the design space, obtain its
+cycles, cost and text dilation from the provider (synthesis + compilation
++ linking under the hood), combine with memory-hierarchy Pareto designs
+evaluated at that dilation, and accumulate a system-level Pareto set of
+cost/performance-optimal designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.explore.pareto import ParetoSet
+from repro.explore.spec import SystemDesignSpace
+from repro.explore.walkers import CacheWalker, MemoryDesign, MemoryWalker
+from repro.explore.evaluators import MemoryEvaluator
+from repro.machine.cost import processor_cost
+from repro.machine.processor import VliwProcessor
+
+
+class DesignProvider(Protocol):
+    """What the spacewalker needs from the synthesis/compilation stack."""
+
+    def processor_cycles(self, processor: VliwProcessor) -> int:
+        """Execution cycles of the application on the processor alone."""
+        ...
+
+    def dilation(self, processor: VliwProcessor) -> float:
+        """Text dilation of the processor w.r.t. the reference."""
+        ...
+
+    def memory_evaluator(self) -> MemoryEvaluator:
+        """The reference-trace miss oracle."""
+        ...
+
+
+@dataclass(frozen=True)
+class SystemDesign:
+    """One complete system: processor plus memory hierarchy."""
+
+    processor: str
+    memory: MemoryDesign
+
+
+class Spacewalker:
+    """Exhaustive system-level walk producing a Pareto set of systems."""
+
+    def __init__(
+        self,
+        space: SystemDesignSpace,
+        provider: DesignProvider,
+        l1_penalty: float = 10.0,
+        l2_penalty: float = 50.0,
+    ):
+        self.space = space
+        self.provider = provider
+        self.l1_penalty = l1_penalty
+        self.l2_penalty = l2_penalty
+
+    def walk(self) -> ParetoSet[SystemDesign]:
+        """Evaluate every processor x memory-frontier combination."""
+        evaluator = self.provider.memory_evaluator()
+        memory_walker = MemoryWalker(
+            CacheWalker("icache", self.space.icache, evaluator, self.l1_penalty),
+            CacheWalker("dcache", self.space.dcache, evaluator, self.l1_penalty),
+            CacheWalker("unified", self.space.unified, evaluator, self.l1_penalty),
+            l2_penalty=self.l2_penalty,
+        )
+        pareto: ParetoSet[SystemDesign] = ParetoSet()
+        # Memory Pareto sets are cached per dilation: processors with equal
+        # dilation share one memory walk (the paper's dilation intervals).
+        memory_cache: dict[float, ParetoSet[MemoryDesign]] = {}
+        for processor in self.space.processors:
+            cycles = self.provider.processor_cycles(processor)
+            proc_cost = processor_cost(processor)
+            dilation = round(self.provider.dilation(processor), 2)
+            if dilation not in memory_cache:
+                memory_cache[dilation] = memory_walker.walk(dilation)
+            for memory_point in memory_cache[dilation].frontier():
+                design = SystemDesign(
+                    processor=processor.name, memory=memory_point.design
+                )
+                pareto.insert_point(
+                    design,
+                    cost=proc_cost + memory_point.cost,
+                    time=cycles + memory_point.time,
+                )
+        return pareto

@@ -1,0 +1,128 @@
+"""Design-space specifications (the FrontEndGUI input of Section 5.1).
+
+"A design space specification consists of a set of parameters and a range
+of values that each parameter can take."  Cache spaces enumerate feasible
+C(S, A, L) configurations from size/associativity/line-size/port ranges;
+processor spaces enumerate unit-count combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.cache.config import CacheConfig
+from repro.errors import ConfigurationError
+from repro.machine.processor import VliwProcessor, make_processor
+
+
+@dataclass(frozen=True)
+class CacheDesignSpace:
+    """Cartesian cache design space, filtered to feasible geometries."""
+
+    sizes_kb: tuple[float, ...]
+    assocs: tuple[int, ...]
+    line_sizes: tuple[int, ...]
+    ports: tuple[int, ...] = (1,)
+
+    def __post_init__(self) -> None:
+        if not (self.sizes_kb and self.assocs and self.line_sizes and self.ports):
+            raise ConfigurationError("design space dimensions must be non-empty")
+
+    def configurations(self) -> list[CacheConfig]:
+        """All feasible configurations, sorted by (line, size, assoc)."""
+        out: list[CacheConfig] = []
+        for size_kb in self.sizes_kb:
+            size = int(size_kb * 1024)
+            for assoc in self.assocs:
+                for line in self.line_sizes:
+                    if size % (assoc * line):
+                        continue
+                    sets = size // (assoc * line)
+                    if sets < 1 or sets & (sets - 1):
+                        continue
+                    for ports in self.ports:
+                        out.append(CacheConfig(sets, assoc, line, ports))
+        if not out:
+            raise ConfigurationError(
+                "cache design space is empty after feasibility filtering"
+            )
+        return sorted(out, key=lambda c: (c.line_size, c.size_bytes, c.assoc))
+
+    def line_size_groups(self) -> dict[int, list[CacheConfig]]:
+        """Configurations grouped by line size (one Cheetah pass each)."""
+        groups: dict[int, list[CacheConfig]] = {}
+        for config in self.configurations():
+            groups.setdefault(config.line_size, []).append(config)
+        return groups
+
+    def __len__(self) -> int:
+        return len(self.configurations())
+
+
+@dataclass(frozen=True)
+class ProcessorDesignSpace:
+    """VLIW processor design space: per-class unit-count choices."""
+
+    int_units: tuple[int, ...] = (1, 2, 4)
+    float_units: tuple[int, ...] = (1, 2)
+    memory_units: tuple[int, ...] = (1, 2)
+    branch_units: tuple[int, ...] = (1,)
+    has_predication: bool = False
+    has_speculation: bool = True
+
+    def processors(self) -> list[VliwProcessor]:
+        """Every processor in the Cartesian unit-count space."""
+        out: list[VliwProcessor] = []
+        for ni in self.int_units:
+            for nf in self.float_units:
+                for nm in self.memory_units:
+                    for nb in self.branch_units:
+                        out.append(
+                            make_processor(
+                                ni,
+                                nf,
+                                nm,
+                                nb,
+                                has_predication=self.has_predication,
+                                has_speculation=self.has_speculation,
+                            )
+                        )
+        return out
+
+    def __iter__(self) -> Iterator[VliwProcessor]:
+        return iter(self.processors())
+
+    def __len__(self) -> int:
+        return len(self.processors())
+
+
+@dataclass(frozen=True)
+class SystemDesignSpace:
+    """The full cross-product space of Figure 1."""
+
+    processors: ProcessorDesignSpace = field(default_factory=ProcessorDesignSpace)
+    icache: CacheDesignSpace = field(
+        default_factory=lambda: CacheDesignSpace(
+            sizes_kb=(1, 2, 4, 8, 16), assocs=(1, 2), line_sizes=(16, 32)
+        )
+    )
+    dcache: CacheDesignSpace = field(
+        default_factory=lambda: CacheDesignSpace(
+            sizes_kb=(1, 2, 4, 8, 16), assocs=(1, 2), line_sizes=(16, 32)
+        )
+    )
+    unified: CacheDesignSpace = field(
+        default_factory=lambda: CacheDesignSpace(
+            sizes_kb=(16, 32, 64, 128), assocs=(2, 4), line_sizes=(64,)
+        )
+    )
+
+    def total_designs(self) -> int:
+        """Size of the raw cross product (the paper's 40 x 20^3 scale)."""
+        return (
+            len(self.processors)
+            * len(self.icache)
+            * len(self.dcache)
+            * len(self.unified)
+        )

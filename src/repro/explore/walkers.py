@@ -1,0 +1,151 @@
+"""Walkers: enumerate design spaces into Pareto sets (Section 5.3).
+
+"The MemoryWalker delegates the evaluation of the instruction cache, data
+cache and unified cache design spaces to the IcacheWalker, DcacheWalker
+and UcacheWalker respectively.  Currently, the method
+IcacheWalker::step() evaluates all design points ... and builds a set of
+Pareto sets, each Pareto set parameterized by dilation intervals."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cache.area import cache_cost
+from repro.cache.config import CacheConfig
+from repro.cache.inclusion import satisfies_inclusion
+from repro.explore.evaluators import ROLES, MemoryEvaluator
+from repro.explore.pareto import ParetoSet
+from repro.explore.spec import CacheDesignSpace, ProcessorDesignSpace
+from repro.errors import ConfigurationError
+from repro.machine.cost import processor_cost
+from repro.machine.processor import VliwProcessor
+
+
+class CacheWalker:
+    """Exhaustively walk one cache design space for one trace role.
+
+    ``walk`` returns one Pareto set per requested dilation (the paper's
+    "Pareto set parameterized by dilation intervals"): a cache that is
+    Pareto-optimal at dilation 1 may lose its spot at dilation 3, because
+    dilation shifts the miss counts configuration-dependently.
+    """
+
+    def __init__(
+        self,
+        role: str,
+        space: CacheDesignSpace,
+        evaluator: MemoryEvaluator,
+        miss_penalty: float = 10.0,
+    ):
+        if role not in ROLES:
+            raise ConfigurationError(
+                f"unknown role {role!r}; expected one of {ROLES}"
+            )
+        self.role = role
+        self.space = space
+        self.evaluator = evaluator
+        self.miss_penalty = miss_penalty
+
+    def step(
+        self, dilation: float = 1.0
+    ) -> ParetoSet[CacheConfig]:
+        """Evaluate every design point at one dilation."""
+        configs = self.space.configurations()
+        self.evaluator.register(self.role, configs)
+        pareto: ParetoSet[CacheConfig] = ParetoSet()
+        for config in configs:
+            misses = self.evaluator.misses(self.role, config, dilation)
+            pareto.insert_point(
+                config,
+                cost=cache_cost(config),
+                time=misses * self.miss_penalty,
+            )
+        return pareto
+
+    def walk(
+        self, dilations: tuple[float, ...] = (1.0,)
+    ) -> dict[float, ParetoSet[CacheConfig]]:
+        """One Pareto set per dilation (the paper's dilation intervals)."""
+        return {d: self.step(d) for d in dilations}
+
+
+class ProcessorWalker:
+    """Walk the VLIW processor space on (cost, processor cycles).
+
+    Processor cycles come from the caller-provided evaluation function —
+    schedule lengths weighted by profile counts in practice (Section 3.2).
+    """
+
+    def __init__(
+        self,
+        space: ProcessorDesignSpace,
+        cycles_fn: Callable[[VliwProcessor], float],
+    ):
+        self.space = space
+        self.cycles_fn = cycles_fn
+
+    def walk(self) -> ParetoSet[str]:
+        """Evaluate every processor on (cost, cycles)."""
+        pareto: ParetoSet[str] = ParetoSet()
+        for processor in self.space:
+            pareto.insert_point(
+                processor.name,
+                cost=processor_cost(processor),
+                time=float(self.cycles_fn(processor)),
+            )
+        return pareto
+
+
+@dataclass(frozen=True)
+class MemoryDesign:
+    """A legal L1-I / L1-D / L2-unified combination."""
+
+    icache: CacheConfig
+    dcache: CacheConfig
+    unified: CacheConfig
+
+
+class MemoryWalker:
+    """Combine per-cache Pareto frontiers into memory-hierarchy designs.
+
+    Only combinations drawn from the component frontiers are considered
+    (any hierarchy containing a dominated component is itself dominated,
+    because costs and stalls are additive), and inclusion between each L1
+    and the L2 is enforced (Section 3.1).
+    """
+
+    def __init__(
+        self,
+        icache_walker: CacheWalker,
+        dcache_walker: CacheWalker,
+        ucache_walker: CacheWalker,
+        l2_penalty: float = 50.0,
+    ):
+        self.icache_walker = icache_walker
+        self.dcache_walker = dcache_walker
+        self.ucache_walker = ucache_walker
+        self.l2_penalty = l2_penalty
+
+    def walk(self, dilation: float = 1.0) -> ParetoSet[MemoryDesign]:
+        """Combine component frontiers into hierarchy designs."""
+        ic_pareto = self.icache_walker.step(dilation)
+        dc_pareto = self.dcache_walker.step(1.0)  # Eq 4.1: d-independent
+        uc_pareto = self.ucache_walker.step(dilation)
+        pareto: ParetoSet[MemoryDesign] = ParetoSet()
+        for ic in ic_pareto.frontier():
+            for dc in dc_pareto.frontier():
+                for uc in uc_pareto.frontier():
+                    if not satisfies_inclusion(ic.design, uc.design):
+                        continue
+                    if not satisfies_inclusion(dc.design, uc.design):
+                        continue
+                    design = MemoryDesign(ic.design, dc.design, uc.design)
+                    # Component times already include the L1 penalty; the
+                    # unified walker used the L1 penalty too, so rescale.
+                    uc_time = uc.time / self.ucache_walker.miss_penalty
+                    time = ic.time + dc.time + uc_time * self.l2_penalty
+                    cost = ic.cost + dc.cost + uc.cost
+                    pareto.insert_point(design, cost=cost, time=time)
+        return pareto

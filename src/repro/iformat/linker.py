@@ -1,0 +1,181 @@
+"""Linker: code layout, packet alignment and address assignment.
+
+The linker combines the assembled procedures into one text image
+(Section 3.3): procedures are laid out in program order, blocks in layout
+order within each procedure.  Blocks that are branch targets — procedure
+entries and destinations of non-fall-through edges — are aligned to fetch
+*packet* boundaries "to avoid instruction cache fetch stalls for branch
+targets at the expense of slightly larger code size".  The packet is the
+bits fetched per cycle: ``issue_width`` words.
+
+The resulting :class:`Binary` is the address map the trace generator and
+the dilation measurement consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.config import WORD_BYTES
+from repro.errors import TraceError
+from repro.iformat.assembler import AssembledProgram
+from repro.isa.program import Program
+
+#: Base address of the text segment; word aligned and far below the data
+#: segment base so instruction and data addresses never collide.
+TEXT_BASE = 0x0001_0000
+
+
+@dataclass(frozen=True)
+class BlockImage:
+    """Placement of one block in the linked text image."""
+
+    proc_name: str
+    block_id: int
+    start: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+
+@dataclass
+class Binary:
+    """A linked executable's text map for one processor."""
+
+    program_name: str
+    processor_name: str
+    base: int
+    images: list[BlockImage] = field(default_factory=list)
+    _index: dict[tuple[str, int], int] = field(default_factory=dict)
+
+    def add(self, image: BlockImage) -> None:
+        """Register a block placement (duplicates rejected)."""
+        key = (image.proc_name, image.block_id)
+        if key in self._index:
+            raise TraceError(f"duplicate block image {key}")
+        self._index[key] = len(self.images)
+        self.images.append(image)
+
+    def block_image(self, proc_name: str, block_id: int) -> BlockImage:
+        """The placement record of one block."""
+        return self.images[self._index[(proc_name, block_id)]]
+
+    def block_range(self, proc_name: str, block_id: int) -> tuple[int, int]:
+        """(start address, size in bytes) of a block."""
+        image = self.block_image(proc_name, block_id)
+        return image.start, image.size
+
+    @property
+    def text_size(self) -> int:
+        """Linked text size in bytes, including alignment padding."""
+        if not self.images:
+            return 0
+        return self.images[-1].end - self.base
+
+    @property
+    def text_end(self) -> int:
+        return self.base + self.text_size
+
+
+def link(
+    program: Program,
+    assembled: AssembledProgram,
+    packet_bytes: int,
+    base: int = TEXT_BASE,
+    processor_name: str = "",
+    layout: dict[str, list[int]] | None = None,
+) -> Binary:
+    """Lay out the assembled program and assign final addresses.
+
+    ``packet_bytes`` is the fetch-packet size used for branch-target
+    alignment (``issue_width * WORD_BYTES`` for the owning processor).
+
+    ``layout`` optionally overrides the emission order: a mapping from
+    procedure name to its block-id order, iterated in procedure emission
+    order (see :func:`repro.iformat.layout.layout_program` for the
+    profile-guided producer).  It must cover every procedure and every
+    block exactly once.
+    """
+    if packet_bytes < WORD_BYTES or packet_bytes % WORD_BYTES:
+        raise TraceError(
+            f"packet size must be a positive multiple of {WORD_BYTES}, "
+            f"got {packet_bytes}"
+        )
+    plan = _emission_plan(program, layout)
+    binary = Binary(
+        program_name=program.name,
+        processor_name=processor_name,
+        base=base,
+    )
+    cursor = base
+    for proc_name, block_order in plan:
+        proc = program.procedure(proc_name)
+        targets = _branch_targets(proc, block_order)
+        for layout_pos, block_id in enumerate(block_order):
+            is_entry = layout_pos == 0
+            if is_entry or block_id in targets:
+                cursor = _align(cursor, packet_bytes)
+            else:
+                cursor = _align(cursor, WORD_BYTES)
+            size = assembled.blocks[(proc_name, block_id)].size_bytes
+            size = _align(size, WORD_BYTES)
+            binary.add(
+                BlockImage(
+                    proc_name=proc_name,
+                    block_id=block_id,
+                    start=cursor,
+                    size=size,
+                )
+            )
+            cursor += size
+    return binary
+
+
+def _emission_plan(
+    program: Program, layout: dict[str, list[int]] | None
+) -> list[tuple[str, list[int]]]:
+    """Resolve and validate the (procedure, block order) emission plan."""
+    if layout is None:
+        return [
+            (proc.name, [blk.block_id for blk in proc.blocks])
+            for proc in program.procedures.values()
+        ]
+    if set(layout) != set(program.procedures):
+        raise TraceError(
+            "layout must cover exactly the program's procedures; "
+            f"missing {sorted(set(program.procedures) - set(layout))}, "
+            f"extra {sorted(set(layout) - set(program.procedures))}"
+        )
+    plan = []
+    for proc_name, block_order in layout.items():
+        expected = sorted(
+            blk.block_id for blk in program.procedure(proc_name).blocks
+        )
+        if sorted(block_order) != expected:
+            raise TraceError(
+                f"layout for {proc_name!r} is not a permutation of its "
+                "blocks"
+            )
+        plan.append((proc_name, list(block_order)))
+    return plan
+
+
+def _branch_targets(proc, block_order: list[int]) -> set[int]:
+    """Blocks that are destinations of non-fall-through control flow.
+
+    A fall-through edge goes to the next block in *emission* order;
+    anything else (loop back-edges, taken branches) makes the
+    destination a branch target needing packet alignment.
+    """
+    order = {block_id: i for i, block_id in enumerate(block_order)}
+    targets: set[int] = set()
+    for edge in proc.edges:
+        if order[edge.dst] != order[edge.src] + 1:
+            targets.add(edge.dst)
+    return targets
+
+
+def _align(value: int, quantum: int) -> int:
+    return (value + quantum - 1) // quantum * quantum

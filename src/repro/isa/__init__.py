@@ -1,0 +1,21 @@
+"""Program representation: operations, basic blocks, procedures, programs.
+
+This package plays the role of the scheduled-assembly-code interface between
+the Trimaran/Elcor compiler and the memory simulation system in the paper
+(Section 3.3).  Programs are built either by hand (tests, examples) or by the
+synthetic workload generator in :mod:`repro.workloads`.
+"""
+
+from repro.isa.operations import OpClass, Operation
+from repro.isa.program import BasicBlock, ControlFlowEdge, Procedure, Program
+from repro.isa.validate import validate_program
+
+__all__ = [
+    "OpClass",
+    "Operation",
+    "BasicBlock",
+    "ControlFlowEdge",
+    "Procedure",
+    "Program",
+    "validate_program",
+]

@@ -1,0 +1,124 @@
+"""Operations: the atoms scheduled onto VLIW function units.
+
+The paper's design space has four function-unit types (integer, float,
+memory, branch); a processor named ``3221`` has three integer units, two
+float units, two memory units and one branch unit.  Every operation in a
+program belongs to exactly one :class:`OpClass` and executes on one unit of
+the matching type.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class OpClass(enum.Enum):
+    """Function-unit class an operation executes on."""
+
+    INT = "int"
+    FLOAT = "float"
+    MEMORY = "memory"
+    BRANCH = "branch"
+
+    @property
+    def short(self) -> str:
+        """One-letter mnemonic used in dumps (``I``, ``F``, ``M``, ``B``)."""
+        return self.value[0].upper()
+
+
+#: Canonical ordering of classes, matching the digit order in processor
+#: names such as ``3221`` (int, float, memory, branch).
+OP_CLASSES: tuple[OpClass, ...] = (
+    OpClass.INT,
+    OpClass.FLOAT,
+    OpClass.MEMORY,
+    OpClass.BRANCH,
+)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A single scheduled operation.
+
+    Parameters
+    ----------
+    opclass:
+        Function-unit class the operation requires.
+    dests:
+        Virtual register numbers written (0 or 1 for our IR).
+    srcs:
+        Virtual register numbers read.
+    is_load / is_store:
+        Memory direction; only meaningful for ``OpClass.MEMORY``.
+    stream:
+        For memory operations, index of the data stream (see
+        :mod:`repro.trace.datamodel`) this operation draws addresses from.
+    speculative:
+        Marked by the speculation model; speculative loads contribute extra
+        data references on processors that support speculation.
+    """
+
+    opclass: OpClass
+    dests: tuple[int, ...] = field(default=())
+    srcs: tuple[int, ...] = field(default=())
+    is_load: bool = False
+    is_store: bool = False
+    stream: int = 0
+    speculative: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.is_load or self.is_store) and self.opclass is not OpClass.MEMORY:
+            raise ValueError("load/store flags require OpClass.MEMORY")
+        if self.is_load and self.is_store:
+            raise ValueError("an operation cannot be both load and store")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opclass is OpClass.MEMORY
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opclass is OpClass.BRANCH
+
+    def mnemonic(self) -> str:
+        """Human-readable mnemonic, e.g. ``LD``, ``ST``, ``ADD``."""
+        if self.is_load:
+            return "LD"
+        if self.is_store:
+            return "ST"
+        return {
+            OpClass.INT: "ADD",
+            OpClass.FLOAT: "FADD",
+            OpClass.MEMORY: "MEM",
+            OpClass.BRANCH: "BR",
+        }[self.opclass]
+
+
+def make_int(dest: int, srcs: tuple[int, ...] = ()) -> Operation:
+    """Convenience constructor for an integer ALU operation."""
+    return Operation(OpClass.INT, dests=(dest,), srcs=srcs)
+
+
+def make_float(dest: int, srcs: tuple[int, ...] = ()) -> Operation:
+    """Convenience constructor for a floating-point operation."""
+    return Operation(OpClass.FLOAT, dests=(dest,), srcs=srcs)
+
+
+def make_load(dest: int, addr_src: int = 0, stream: int = 0) -> Operation:
+    """Convenience constructor for a load."""
+    return Operation(
+        OpClass.MEMORY, dests=(dest,), srcs=(addr_src,), is_load=True, stream=stream
+    )
+
+
+def make_store(value_src: int, addr_src: int = 0, stream: int = 0) -> Operation:
+    """Convenience constructor for a store."""
+    return Operation(
+        OpClass.MEMORY, srcs=(value_src, addr_src), is_store=True, stream=stream
+    )
+
+
+def make_branch(srcs: tuple[int, ...] = ()) -> Operation:
+    """Convenience constructor for a branch."""
+    return Operation(OpClass.BRANCH, srcs=srcs)

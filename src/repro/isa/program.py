@@ -1,0 +1,158 @@
+"""Basic blocks, procedures and whole programs.
+
+A :class:`Program` is the unit handed to the compiler substrate
+(:mod:`repro.vliwcomp`), the instruction-format/assembler/linker chain
+(:mod:`repro.iformat`) and the emulator (:mod:`repro.trace.emulator`).
+
+The control-flow representation is deliberately simple: each basic block
+ends in an implicit two-way branch (or fall-through), and procedures may
+call other procedures from designated call sites.  This is rich enough to
+drive realistic block-visit sequences, which is all the memory-hierarchy
+evaluation in the paper consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProgramStructureError
+from repro.isa.operations import Operation
+
+
+@dataclass(frozen=True)
+class ControlFlowEdge:
+    """A directed edge in a procedure's control-flow graph.
+
+    ``probability`` is the branch bias used by the emulator when choosing
+    a successor; the probabilities of a block's outgoing edges must sum
+    to 1 (validated in :func:`repro.isa.validate.validate_program`).
+    """
+
+    src: int
+    dst: int
+    probability: float
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line sequence of operations.
+
+    ``block_id`` is unique within the procedure.  ``calls`` lists the names
+    of procedures invoked when this block executes (in order); calls happen
+    conceptually at the end of the block, before the terminating branch.
+    """
+
+    block_id: int
+    operations: list[Operation] = field(default_factory=list)
+    calls: list[str] = field(default_factory=list)
+
+    @property
+    def num_operations(self) -> int:
+        return len(self.operations)
+
+    def memory_operations(self) -> list[Operation]:
+        """The load/store operations in this block, in order."""
+        return [op for op in self.operations if op.is_memory]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BasicBlock(id={self.block_id}, ops={self.num_operations})"
+
+
+@dataclass
+class Procedure:
+    """A named procedure: a CFG of basic blocks with an entry and exits.
+
+    Blocks are stored in layout order; ``blocks[0]`` is the entry.  A block
+    with no outgoing edges is a return block.
+    """
+
+    name: str
+    blocks: list[BasicBlock] = field(default_factory=list)
+    edges: list[ControlFlowEdge] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._succ: dict[int, list[ControlFlowEdge]] | None = None
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ProgramStructureError(f"procedure {self.name!r} has no blocks")
+        return self.blocks[0]
+
+    def block(self, block_id: int) -> BasicBlock:
+        """The block with id ``block_id`` (raises if absent)."""
+        for blk in self.blocks:
+            if blk.block_id == block_id:
+                return blk
+        raise ProgramStructureError(
+            f"procedure {self.name!r} has no block {block_id}"
+        )
+
+    def successors(self, block_id: int) -> list[ControlFlowEdge]:
+        """Outgoing edges of ``block_id`` (cached after first call)."""
+        if self._succ is None:
+            succ: dict[int, list[ControlFlowEdge]] = {}
+            for edge in self.edges:
+                succ.setdefault(edge.src, []).append(edge)
+            self._succ = succ
+        return self._succ.get(block_id, [])
+
+    def invalidate_cfg_cache(self) -> None:
+        """Drop the successor cache after mutating ``edges``."""
+        self._succ = None
+
+    @property
+    def num_operations(self) -> int:
+        return sum(blk.num_operations for blk in self.blocks)
+
+
+@dataclass
+class Program:
+    """A whole application: procedures plus the name of the entry procedure."""
+
+    name: str
+    procedures: dict[str, Procedure] = field(default_factory=dict)
+    entry: str = "main"
+
+    def add(self, procedure: Procedure) -> None:
+        """Register a procedure; names must be unique."""
+        if procedure.name in self.procedures:
+            raise ProgramStructureError(
+                f"duplicate procedure name {procedure.name!r}"
+            )
+        self.procedures[procedure.name] = procedure
+
+    def procedure(self, name: str) -> Procedure:
+        """The procedure named ``name`` (raises if absent)."""
+        try:
+            return self.procedures[name]
+        except KeyError:
+            raise ProgramStructureError(
+                f"program {self.name!r} has no procedure {name!r}"
+            ) from None
+
+    @property
+    def entry_procedure(self) -> Procedure:
+        return self.procedure(self.entry)
+
+    def all_blocks(self) -> list[tuple[str, BasicBlock]]:
+        """Every (procedure name, block) pair in layout order."""
+        out: list[tuple[str, BasicBlock]] = []
+        for proc in self.procedures.values():
+            for blk in proc.blocks:
+                out.append((proc.name, blk))
+        return out
+
+    @property
+    def num_operations(self) -> int:
+        return sum(p.num_operations for p in self.procedures.values())
+
+    @property
+    def num_blocks(self) -> int:
+        return sum(len(p.blocks) for p in self.procedures.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Program(name={self.name!r}, procedures={len(self.procedures)}, "
+            f"blocks={self.num_blocks}, ops={self.num_operations})"
+        )

@@ -1,0 +1,47 @@
+"""VLIW processor design space (Section 3.1 of the paper).
+
+A :class:`~repro.machine.processor.VliwProcessor` is parameterized by the
+number of function units of each class, register-file sizes, and whether it
+supports predication and speculation.  :mod:`repro.machine.presets` provides
+the five processors used throughout the paper's evaluation (1111 reference,
+2111, 3221, 4221, 6332).
+"""
+
+from repro.machine.accelerator import (
+    SystolicArray,
+    accelerated_cycles,
+    accelerator_cost,
+)
+from repro.machine.cost import processor_cost
+from repro.machine.mdes import MachineDescription, default_latencies
+from repro.machine.processor import VliwProcessor
+from repro.machine.presets import (
+    P1111,
+    P2111,
+    P3221,
+    P4221,
+    P6332,
+    PAPER_PROCESSORS,
+    REFERENCE_PROCESSOR,
+    TARGET_PROCESSORS,
+    processor_from_name,
+)
+
+__all__ = [
+    "VliwProcessor",
+    "SystolicArray",
+    "accelerator_cost",
+    "accelerated_cycles",
+    "MachineDescription",
+    "default_latencies",
+    "processor_cost",
+    "P1111",
+    "P2111",
+    "P3221",
+    "P4221",
+    "P6332",
+    "PAPER_PROCESSORS",
+    "REFERENCE_PROCESSOR",
+    "TARGET_PROCESSORS",
+    "processor_from_name",
+]

@@ -1,0 +1,138 @@
+"""Optional non-programmable systolic-array accelerator (Figure 1).
+
+The paper's design space includes "an optional hardware accelerator in
+the form of a non-programmable systolic array" whose performance, like
+the processor's, is "estimated using schedule lengths and profile
+statistics" (Section 3.2).  The paper does not evaluate accelerators
+further; this module completes the Figure-1 design space with the same
+estimation style:
+
+* an accelerator targets one operation class (typically FLOAT or INT)
+  and offloads a configurable fraction of the hot loops' work;
+* offloaded operations execute at ``II`` (initiation interval) cycles
+  per result on a ``depth``-stage array, instead of occupying processor
+  issue slots;
+* cost scales with the processing-element count.
+
+Used by :func:`accelerated_cycles` to adjust a compiled program's
+processor-cycle estimate, and by the spacewalker examples to explore
+with/without-accelerator designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.isa.operations import OpClass
+
+if TYPE_CHECKING:  # break the machine -> vliwcomp -> machine import cycle
+    from repro.trace.events import EventTrace
+    from repro.vliwcomp.compile import CompiledProgram
+
+#: Cost units per processing element (multiplier-accumulator scale).
+_PE_COST = 0.6
+
+#: Fixed control/interface overhead, in cost units.
+_BASE_COST = 1.5
+
+
+@dataclass(frozen=True)
+class SystolicArray:
+    """A non-programmable accelerator specification.
+
+    Parameters
+    ----------
+    name:
+        Display name.
+    target:
+        Operation class the array executes.
+    rows / cols:
+        Processing-element grid dimensions.
+    initiation_interval:
+        Cycles between successive results once the pipeline is primed.
+    offload_fraction:
+        Fraction of the application's target-class operations mapped
+        onto the array (the paper's synthesis system would derive this
+        from the loop nests; here it is a design parameter).
+    """
+
+    name: str
+    target: OpClass
+    rows: int = 4
+    cols: int = 4
+    initiation_interval: int = 1
+    offload_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigurationError("array dimensions must be >= 1")
+        if self.initiation_interval < 1:
+            raise ConfigurationError("initiation interval must be >= 1")
+        if not 0.0 <= self.offload_fraction <= 1.0:
+            raise ConfigurationError(
+                f"offload fraction must be in [0, 1], got "
+                f"{self.offload_fraction}"
+            )
+
+    @property
+    def processing_elements(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def pipeline_depth(self) -> int:
+        """Stages a datum traverses: the longer grid dimension."""
+        return max(self.rows, self.cols)
+
+
+def accelerator_cost(array: SystolicArray) -> float:
+    """Area cost in the same units as processor/cache costs."""
+    pe_cost = _PE_COST * array.processing_elements
+    if array.target is OpClass.FLOAT:
+        pe_cost *= 2.0  # FP PEs are bigger
+    return _BASE_COST + pe_cost
+
+
+def accelerated_cycles(
+    compiled: CompiledProgram,
+    events: EventTrace,
+    array: SystolicArray,
+) -> int:
+    """Processor-cycle estimate with part of the work offloaded.
+
+    Offloaded operations leave the VLIW schedule; the block's issue
+    cycles shrink proportionally to the removed fraction of its
+    operations (bounded below by 1 cycle — control never disappears).
+    The array runs concurrently: its own time,
+    ``offloaded / PEs * II`` plus one pipeline fill, is overlapped with
+    the processor and charged where it exceeds the shrunken block time
+    (the classic "max of producer and consumer" systolic bound).
+    Blocks where offloading loses (the pipeline fill dominating a short
+    block) are kept on the processor — a synthesis system maps only
+    profitable loops onto the array — so the estimate never exceeds the
+    plain schedule-length estimate.
+    """
+    frequencies = events.visit_frequencies()
+    total = 0
+    for index, count in enumerate(frequencies.tolist()):
+        if not count:
+            continue
+        proc_name, block_id = events.blocks[index]
+        cblock = compiled.block(proc_name, block_id)
+        n_ops = len(cblock.operations)
+        n_target = sum(
+            1 for op in cblock.operations if op.opclass is array.target
+        )
+        offloaded = int(n_target * array.offload_fraction)
+        if n_ops == 0 or offloaded == 0:
+            total += count * cblock.issue_cycles
+            continue
+        shrink = 1.0 - offloaded / n_ops
+        cpu_cycles = max(1, round(cblock.issue_cycles * shrink))
+        array_cycles = (
+            offloaded * array.initiation_interval
+        ) / array.processing_elements + array.pipeline_depth
+        offloaded_time = max(cpu_cycles, round(array_cycles))
+        total += count * min(cblock.issue_cycles, offloaded_time)
+    return total

@@ -1,0 +1,51 @@
+"""Processor area/cost model.
+
+The spacewalker needs a scalar cost for every candidate design (Figure 2:
+each design is plotted on a cost/performance graph).  The paper computes
+cost inside its synthesis system; we use a transparent additive gate-count
+style model.  Absolute units are arbitrary ("cost units"); only relative
+ordering matters for Pareto accumulation, which is all the paper uses
+cost for.
+"""
+
+from __future__ import annotations
+
+from repro.isa.operations import OpClass
+from repro.machine.processor import VliwProcessor
+
+#: Relative area of one function unit, in cost units.
+_UNIT_AREA = {
+    OpClass.INT: 1.0,
+    OpClass.FLOAT: 3.0,  # FP datapaths are several times an integer ALU
+    OpClass.MEMORY: 1.5,  # address generation + load/store queue slot
+    OpClass.BRANCH: 0.8,
+}
+
+#: Area per register, per read/write port pair it must support.
+_REG_AREA = 0.004
+
+#: Fixed overhead: fetch, decode, control.
+_BASE_AREA = 2.0
+
+
+def processor_cost(processor: VliwProcessor) -> float:
+    """Area cost of a processor in arbitrary cost units.
+
+    Function units contribute linearly; register files contribute
+    ``size * ports`` where the port count scales with issue width (every
+    unit needs operand bandwidth), capturing the superlinear growth of
+    multiported register files that makes very wide machines expensive.
+    """
+    unit_area = sum(
+        _UNIT_AREA[cls] * count for cls, count in processor.units.items()
+    )
+    ports = 2 * processor.issue_width + 1
+    regfile_area = _REG_AREA * ports * (
+        processor.int_registers + 2 * processor.fp_registers
+    )
+    feature_area = 0.0
+    if processor.has_predication:
+        feature_area += 0.5 + _REG_AREA * ports * processor.pred_registers
+    if processor.has_speculation:
+        feature_area += 0.3
+    return _BASE_AREA + unit_area + regfile_area + feature_area

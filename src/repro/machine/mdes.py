@@ -1,0 +1,84 @@
+"""Machine description (mdes) consumed by the compiler substrate.
+
+The paper's synthesis system emits an mdes file describing the processor to
+the Trimaran compiler (Section 3.2).  Our equivalent bundles the processor
+spec with operation latencies and derived encoding facts used by both the
+scheduler and the instruction-format synthesizer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.isa.operations import OpClass
+from repro.machine.processor import VliwProcessor
+
+
+def default_latencies() -> dict[OpClass, int]:
+    """Latency (cycles until result available) per operation class.
+
+    Values mirror a late-90s embedded VLIW: single-cycle integer ALU,
+    3-cycle FP, 2-cycle load-use, 1-cycle branch resolution.
+    """
+    return {
+        OpClass.INT: 1,
+        OpClass.FLOAT: 3,
+        OpClass.MEMORY: 2,
+        OpClass.BRANCH: 1,
+    }
+
+
+@dataclass(frozen=True)
+class MachineDescription:
+    """Everything the compiler and assembler need to know about a machine."""
+
+    processor: VliwProcessor
+    latencies: dict[OpClass, int] = field(default_factory=default_latencies)
+
+    def __post_init__(self) -> None:
+        for cls, lat in self.latencies.items():
+            if lat < 1:
+                raise ConfigurationError(
+                    f"latency for {cls.value} must be >= 1 (got {lat})"
+                )
+        missing = [c for c in OpClass if c not in self.latencies]
+        if missing:
+            raise ConfigurationError(
+                f"mdes missing latencies for {[c.value for c in missing]}"
+            )
+
+    def latency(self, opclass: OpClass) -> int:
+        """Result latency in cycles of an ``opclass`` operation."""
+        return self.latencies[opclass]
+
+    def register_specifier_bits(self, opclass: OpClass) -> int:
+        """Bits needed to name one register operand of the given class."""
+        proc = self.processor
+        if opclass is OpClass.FLOAT:
+            return _bits_for(proc.fp_registers)
+        return _bits_for(proc.int_registers)
+
+    def operation_encoding_bits(self, opclass: OpClass) -> int:
+        """Bits to encode one operation of ``opclass`` in a long template.
+
+        opcode (7 bits) + up to three register specifiers + a predicate
+        specifier when the machine supports predication.  This is the
+        per-slot payload used by :mod:`repro.iformat.format_synth`.
+        """
+        proc = self.processor
+        reg_bits = self.register_specifier_bits(opclass)
+        opcode_bits = 7
+        operand_count = 3
+        bits = opcode_bits + operand_count * reg_bits
+        if proc.has_predication:
+            bits += _bits_for(proc.pred_registers)
+        if proc.has_speculation:
+            bits += 1  # speculation tag bit
+        return bits
+
+
+def _bits_for(size: int) -> int:
+    """ceil(log2(size)) for a power-of-two register-file size."""
+    return max(1, int(math.log2(size)))

@@ -1,0 +1,53 @@
+"""The processors used in the paper's evaluation (Section 6).
+
+The experiments use a narrow ``1111`` machine (one unit of each class,
+4-wide) as the reference processor and four wider targets: ``2111``
+(5-wide), ``3221`` (8-wide), ``4221`` (9-wide) and ``6332`` (14-wide).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ConfigurationError
+from repro.machine.processor import VliwProcessor, make_processor
+
+P1111: VliwProcessor = make_processor(1, 1, 1, 1)
+P2111: VliwProcessor = make_processor(2, 1, 1, 1)
+P3221: VliwProcessor = make_processor(3, 2, 2, 1)
+P4221: VliwProcessor = make_processor(4, 2, 2, 1)
+P6332: VliwProcessor = make_processor(6, 3, 3, 2)
+
+#: Reference processor for all paper experiments.
+REFERENCE_PROCESSOR: VliwProcessor = P1111
+
+#: The "arbitrary" (target) processors, in paper order.
+TARGET_PROCESSORS: tuple[VliwProcessor, ...] = (P2111, P3221, P4221, P6332)
+
+#: Reference followed by targets, matching the columns of Tables 2-4.
+PAPER_PROCESSORS: tuple[VliwProcessor, ...] = (
+    REFERENCE_PROCESSOR,
+    *TARGET_PROCESSORS,
+)
+
+_NAME_RE = re.compile(r"^(\d)(\d)(\d)(\d)$")
+
+
+def processor_from_name(name: str, **kwargs: object) -> VliwProcessor:
+    """Build a processor from a four-digit name like ``"4221"``.
+
+    Extra keyword arguments are forwarded to
+    :func:`repro.machine.processor.make_processor` (e.g. register-file
+    overrides or feature flags).
+    """
+    match = _NAME_RE.match(name)
+    if not match:
+        raise ConfigurationError(
+            f"processor name {name!r} is not four digits (e.g. '3221')"
+        )
+    counts = [int(g) for g in match.groups()]
+    if any(c == 0 for c in counts):
+        raise ConfigurationError(
+            f"processor name {name!r} has a zero unit count"
+        )
+    return make_processor(*counts, **kwargs)  # type: ignore[arg-type]

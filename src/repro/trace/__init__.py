@@ -1,0 +1,48 @@
+"""Emulation, event traces and address-trace generation (Section 3.3).
+
+The pipeline mirrors the paper's memory simulation system (Figure 3):
+
+* :mod:`repro.trace.emulator` plays the emulator + execution engine: it
+  executes a program's control flow and emits an *event trace* (blocks
+  entered, branch directions, load/store data addresses).  The event trace
+  depends on the scheduled code but not on the instruction format or
+  binary layout.
+* :mod:`repro.trace.generator` plays the trace generator: it maps the
+  event trace through a processor's linked binary to instruction, data or
+  joint (unified) *address traces*.
+* :mod:`repro.trace.ranges` defines the compact range-trace representation
+  consumed by the cache simulators and the AHH modeler.
+* :mod:`repro.trace.sampling` implements initial-segment trace sampling
+  (Section 5.2's "sampling an initial segment of the trace").
+"""
+
+from repro.trace.datamodel import DataAddressModel, StreamSpec
+from repro.trace.emulator import Emulator, emulate
+from repro.trace.events import EventKind, EventTrace
+from repro.trace.generator import TraceGenerator
+from repro.trace.io import (
+    load_events,
+    load_range_trace,
+    save_events,
+    save_range_trace,
+)
+from repro.trace.ranges import KIND_DATA, KIND_INSTR, RangeTrace
+from repro.trace.sampling import sample_events
+
+__all__ = [
+    "EventKind",
+    "EventTrace",
+    "Emulator",
+    "emulate",
+    "DataAddressModel",
+    "StreamSpec",
+    "TraceGenerator",
+    "RangeTrace",
+    "KIND_INSTR",
+    "KIND_DATA",
+    "sample_events",
+    "save_events",
+    "load_events",
+    "save_range_trace",
+    "load_range_trace",
+]

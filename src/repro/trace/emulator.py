@@ -1,0 +1,182 @@
+"""Emulator + execution engine: run a program, produce an event trace.
+
+This module plays the role of the paper's IMPACT-based emulation path
+(Figure 3): the program's control flow is executed with seeded branch
+outcomes, emitting block-enter events and load/store data addresses.
+
+Two properties the dilation model depends on are guaranteed by
+construction:
+
+* the *block visit sequence* and the *base data addresses* depend only on
+  (program, seed, budget) — never on the processor — matching the paper's
+  step-1 assumption;
+* processor-dependent perturbations (spill traffic, speculative loads)
+  are layered on afterwards from the compiled program's per-block
+  annotations, using only dedicated spill-stream state and re-reads of
+  recent addresses, so the base reference stream is untouched.  These
+  perturbations are exactly the step-1 error sources Table 2 measures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.isa.program import Program
+from repro.isa.validate import validate_program
+from repro.trace.datamodel import DataAddressModel, StreamSpec
+from repro.trace.events import EventTrace, EventTraceBuilder
+from repro.vliwcomp.compile import CompiledProgram
+from repro.vliwcomp.regalloc import SPILL_STREAM
+
+#: Visit states of an execution frame.
+_VISIT, _CALLS, _BRANCH = 0, 1, 2
+
+
+@dataclass
+class _Frame:
+    proc_name: str
+    block_id: int
+    state: int = _VISIT
+    call_index: int = 0
+    #: Successor chosen at visit time (consumed in the _BRANCH state);
+    #: None for return blocks.  Drawing the choice early lets trace
+    #: decoration resolve speculative loads against the actual branch
+    #: outcome without changing the visit sequence.
+    chosen_successor: int | None = None
+
+
+class Emulator:
+    """Seeded control-flow execution of a validated program."""
+
+    def __init__(
+        self,
+        program: Program,
+        streams: dict[int, StreamSpec],
+        seed: int = 1,
+    ):
+        validate_program(program)
+        self.program = program
+        self.streams = streams
+        self.seed = seed
+
+    def run(
+        self,
+        max_visits: int,
+        compiled: CompiledProgram | None = None,
+    ) -> EventTrace:
+        """Execute until the entry procedure returns or the visit budget.
+
+        ``compiled`` enables trace decoration: spill and speculative data
+        references recorded in the compiled blocks are appended to each
+        visit's base references.
+        """
+        if max_visits < 1:
+            raise TraceError(f"max_visits must be >= 1, got {max_visits}")
+        rng = random.Random(self.seed)
+        data = DataAddressModel(self.streams, seed=self.seed)
+        builder = EventTraceBuilder()
+        program = self.program
+
+        stack = [_Frame(program.entry, program.entry_procedure.entry.block_id)]
+        while stack and builder.n_visits < max_visits:
+            frame = stack[-1]
+            proc = program.procedure(frame.proc_name)
+            block = proc.block(frame.block_id)
+            if frame.state == _VISIT:
+                edges = proc.successors(frame.block_id)
+                frame.chosen_successor = (
+                    _choose(edges, rng) if edges else None
+                )
+                builder.begin_visit(frame.proc_name, frame.block_id)
+                for op in block.operations:
+                    if op.is_memory:
+                        builder.add_data_ref(
+                            data.next_address(op.stream),
+                            op.stream,
+                            is_write=op.is_store,
+                        )
+                if compiled is not None:
+                    self._decorate(builder, data, compiled, frame)
+                builder.end_visit()
+                frame.state = _CALLS
+                frame.call_index = 0
+            elif frame.state == _CALLS:
+                if frame.call_index < len(block.calls):
+                    callee = block.calls[frame.call_index]
+                    frame.call_index += 1
+                    entry_block = program.procedure(callee).entry.block_id
+                    stack.append(_Frame(callee, entry_block))
+                else:
+                    frame.state = _BRANCH
+            else:  # _BRANCH
+                if frame.chosen_successor is None:
+                    stack.pop()
+                    continue
+                frame.block_id = frame.chosen_successor
+                frame.state = _VISIT
+        return builder.build()
+
+    def _decorate(
+        self,
+        builder: EventTraceBuilder,
+        data: DataAddressModel,
+        compiled: CompiledProgram,
+        frame: _Frame,
+    ) -> None:
+        """Append spill and speculative references for this visit."""
+        cblock = compiled.blocks.get((frame.proc_name, frame.block_id))
+        if cblock is None:
+            raise TraceError(
+                f"compiled program lacks block "
+                f"({frame.proc_name!r}, {frame.block_id})"
+            )
+        for index in range(cblock.spill_ops):
+            # Spill ops alternate store/load pairs (see _spill_ops).
+            builder.add_data_ref(
+                data.next_address(SPILL_STREAM),
+                SPILL_STREAM,
+                is_write=index % 2 == 0,
+            )
+        wrong_path = (
+            cblock.predicted_successor is not None
+            and frame.chosen_successor != cblock.predicted_successor
+        )
+        for index, stream in enumerate(cblock.speculative_streams):
+            # Speculative hoisted operations are always loads.  On the
+            # predicted path they pre-touch the address the successor
+            # will read (a prefetch).  Mispredicted, about half still
+            # read data the committed path shares (loop-carried values);
+            # the rest touch wrong-path data — Section 4.1's "spurious
+            # load addresses", which "is not expected to be large".
+            if wrong_path and index % 2 == 0:
+                builder.add_data_ref(
+                    data.wrong_path_address(stream), stream
+                )
+            else:
+                builder.add_data_ref(
+                    data.peek_next_address(stream), stream
+                )
+
+
+def _choose(edges, rng: random.Random) -> int:
+    """Pick a successor block id according to edge probabilities."""
+    point = rng.random()
+    acc = 0.0
+    for edge in edges:
+        acc += edge.probability
+        if point < acc:
+            return edge.dst
+    return edges[-1].dst
+
+
+def emulate(
+    program: Program,
+    streams: dict[int, StreamSpec],
+    seed: int = 1,
+    max_visits: int = 100_000,
+    compiled: CompiledProgram | None = None,
+) -> EventTrace:
+    """One-shot convenience wrapper around :class:`Emulator`."""
+    return Emulator(program, streams, seed).run(max_visits, compiled)

@@ -1,0 +1,104 @@
+"""Trace persistence: save/load event and range traces as ``.npz``.
+
+Trace generation (compile + emulate) is the expensive front of the
+pipeline; persisting traces lets separate processes (or later sessions)
+re-run cache studies without regenerating.  The format is a plain numpy
+``.npz`` archive plus a small JSON block table, versioned for forward
+compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.events import EventTrace
+from repro.trace.ranges import RangeTrace
+
+#: Format version written into every archive.
+FORMAT_VERSION = 1
+
+
+def save_events(events: EventTrace, path: str | Path) -> Path:
+    """Write an event trace to ``path`` (``.npz``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    blocks_json = json.dumps([list(key) for key in events.blocks])
+    np.savez_compressed(
+        path,
+        version=np.int64(FORMAT_VERSION),
+        kind=np.bytes_(b"events"),
+        blocks=np.bytes_(blocks_json.encode()),
+        visit_blocks=events.visit_blocks,
+        data_addrs=events.data_addrs,
+        data_streams=events.data_streams,
+        data_offsets=events.data_offsets,
+        data_writes=events.data_writes,
+    )
+    return path
+
+
+def load_events(path: str | Path) -> EventTrace:
+    """Read an event trace written by :func:`save_events`."""
+    with np.load(Path(path)) as archive:
+        _check(archive, b"events", path)
+        blocks_json = bytes(archive["blocks"]).decode()
+        blocks = tuple(
+            (str(name), int(block_id))
+            for name, block_id in json.loads(blocks_json)
+        )
+        return EventTrace(
+            blocks=blocks,
+            visit_blocks=archive["visit_blocks"],
+            data_addrs=archive["data_addrs"],
+            data_streams=archive["data_streams"],
+            data_offsets=archive["data_offsets"],
+            data_writes=archive["data_writes"],
+        )
+
+
+def save_range_trace(trace: RangeTrace, path: str | Path) -> Path:
+    """Write a range trace to ``path`` (``.npz``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        version=np.int64(FORMAT_VERSION),
+        kind=np.bytes_(b"ranges"),
+        starts=trace.starts,
+        sizes=trace.sizes,
+        kinds=trace.kinds,
+    )
+    return path
+
+
+def load_range_trace(path: str | Path) -> RangeTrace:
+    """Read a range trace written by :func:`save_range_trace`."""
+    with np.load(Path(path)) as archive:
+        _check(archive, b"ranges", path)
+        return RangeTrace(
+            starts=archive["starts"],
+            sizes=archive["sizes"],
+            kinds=archive["kinds"],
+        )
+
+
+def _check(archive, expected_kind: bytes, path) -> None:
+    try:
+        version = int(archive["version"])
+        kind = bytes(archive["kind"])
+    except KeyError as exc:
+        raise TraceError(f"{path} is not a repro trace archive") from exc
+    if version != FORMAT_VERSION:
+        raise TraceError(
+            f"{path}: unsupported trace format version {version} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    if kind != expected_kind:
+        raise TraceError(
+            f"{path}: archive holds {kind.decode()!r}, "
+            f"expected {expected_kind.decode()!r}"
+        )

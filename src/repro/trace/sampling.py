@@ -1,0 +1,35 @@
+"""Initial-segment trace sampling (Section 5.2).
+
+"In order to permit faster evaluation, we also allow sampling an initial
+segment of the trace to evaluate memory hierarchy performance."  Sampling
+operates on the event trace so that every derived address trace
+(instruction, data, unified, dilated) sees the same truncated execution.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TraceError
+from repro.trace.events import EventTrace
+
+
+def sample_events(events: EventTrace, max_visits: int) -> EventTrace:
+    """Truncate an event trace to its first ``max_visits`` block visits.
+
+    Returns the original trace unchanged when it is already short enough
+    (mirroring the paper's behaviour of simulating to completion when the
+    sampling limit is not reached, in which case result checking stays
+    enabled).
+    """
+    if max_visits < 1:
+        raise TraceError(f"max_visits must be >= 1, got {max_visits}")
+    if events.n_visits <= max_visits:
+        return events
+    cut = int(events.data_offsets[max_visits])
+    return EventTrace(
+        blocks=events.blocks,
+        visit_blocks=events.visit_blocks[:max_visits],
+        data_addrs=events.data_addrs[:cut],
+        data_streams=events.data_streams[:cut],
+        data_offsets=events.data_offsets[: max_visits + 1],
+        data_writes=events.data_writes[:cut],
+    )

@@ -1,0 +1,173 @@
+"""If-conversion: predicating control-flow diamonds.
+
+The design space includes machines with predication (Figure 1), and the
+paper's step-1 rule requires a *predicated reference processor* for them
+precisely because predication changes the trace: an if-converted diamond
+fetches both arms every time instead of branching around one.  This
+module supplies that transformation as an explicit, opt-in program
+rewrite (mirroring how hyperblock formation precedes scheduling in
+Trimaran):
+
+* a **diamond** is a block ``A`` branching to two single-entry,
+  single-exit, call-free arms ``B`` and ``C`` that rejoin at ``D``;
+* if-conversion merges both arms into ``A`` as predicated operations
+  (arm registers renamed apart so the arms stay independent) and
+  replaces the two-way branch with a fall-through to ``D``.
+
+Predicated memory operations are modeled as executing on both paths —
+the fetch-both-arms cost that makes predication a trade-off.  Use
+:func:`predicate_program` on a workload before building an
+:class:`~repro.experiments.pipeline.ExperimentPipeline` whose reference
+has ``has_predication=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.isa.operations import Operation
+from repro.isa.program import BasicBlock, ControlFlowEdge, Procedure, Program
+from repro.isa.validate import validate_program
+
+#: Register-id offsets applied to each merged arm so their values do not
+#: collide (kept far below the generator's fresh-input range).
+_ARM_REG_OFFSETS = (200_000, 300_000)
+
+
+@dataclass(frozen=True)
+class IfConversionStats:
+    """What the transformation did."""
+
+    diamonds_converted: int
+    blocks_removed: int
+    operations_predicated: int
+
+
+def _remap(op: Operation, offset: int) -> Operation:
+    """Rename an arm operation's registers into a private range."""
+    return replace(
+        op,
+        dests=tuple(d + offset for d in op.dests),
+        srcs=tuple(s + offset for s in op.srcs),
+    )
+
+
+def _find_diamond(proc: Procedure) -> tuple[int, int, int, int] | None:
+    """Find one convertible diamond (head, arm, arm, join) or None."""
+    in_degree: dict[int, int] = {}
+    for edge in proc.edges:
+        in_degree[edge.dst] = in_degree.get(edge.dst, 0) + 1
+    entry = proc.entry.block_id
+    for head in proc.blocks:
+        out = proc.successors(head.block_id)
+        if len(out) != 2:
+            continue
+        arm_b, arm_c = out[0].dst, out[1].dst
+        if arm_b == arm_c or head.block_id in (arm_b, arm_c):
+            continue
+        joins = []
+        ok = True
+        for arm_id in (arm_b, arm_c):
+            arm_out = proc.successors(arm_id)
+            arm = proc.block(arm_id)
+            if (
+                len(arm_out) != 1
+                or in_degree.get(arm_id, 0) != 1
+                or arm.calls
+                or arm_id == entry
+            ):
+                ok = False
+                break
+            joins.append(arm_out[0].dst)
+        if not ok or joins[0] != joins[1]:
+            continue
+        join = joins[0]
+        if join in (head.block_id, arm_b, arm_c):
+            continue
+        return head.block_id, arm_b, arm_c, join
+    return None
+
+
+def _convert_one(
+    proc: Procedure, head_id: int, arm_b: int, arm_c: int, join: int
+) -> int:
+    """Merge one diamond in place; returns operations predicated."""
+    head = proc.block(head_id)
+    predicated = 0
+    merged_ops = [op for op in head.operations if not op.is_branch]
+    for offset, arm_id in zip(_ARM_REG_OFFSETS, (arm_b, arm_c)):
+        arm = proc.block(arm_id)
+        for op in arm.operations:
+            if op.is_branch:
+                continue
+            merged_ops.append(_remap(op, offset))
+            predicated += 1
+    # Keep the head's trailing branch (now an unconditional fall-through).
+    merged_ops.extend(op for op in head.operations if op.is_branch)
+    head.operations = merged_ops
+
+    proc.blocks = [
+        blk for blk in proc.blocks if blk.block_id not in (arm_b, arm_c)
+    ]
+    new_edges = [
+        edge
+        for edge in proc.edges
+        if edge.src not in (head_id, arm_b, arm_c)
+        and edge.dst not in (arm_b, arm_c)
+    ]
+    new_edges.append(ControlFlowEdge(head_id, join, 1.0))
+    proc.edges = new_edges
+    proc.invalidate_cfg_cache()
+    return predicated
+
+
+def if_convert(
+    program: Program, max_arm_ops: int = 24
+) -> tuple[Program, IfConversionStats]:
+    """If-convert every eligible diamond of every procedure.
+
+    ``max_arm_ops`` bounds the operations an arm may contribute — merging
+    huge arms would bloat the predicated block beyond what real
+    hyperblock formation accepts.  Returns a *new* validated program
+    (the input is not mutated) and the conversion statistics.
+    """
+    converted = Program(name=program.name, entry=program.entry)
+    for proc in program.procedures.values():
+        converted.add(
+            Procedure(
+                name=proc.name,
+                blocks=[
+                    BasicBlock(
+                        block_id=blk.block_id,
+                        operations=list(blk.operations),
+                        calls=list(blk.calls),
+                    )
+                    for blk in proc.blocks
+                ],
+                edges=list(proc.edges),
+            )
+        )
+
+    diamonds = 0
+    removed = 0
+    predicated = 0
+    for proc in converted.procedures.values():
+        while True:
+            found = _find_diamond(proc)
+            if found is None:
+                break
+            head_id, arm_b, arm_c, join = found
+            arm_sizes = [
+                proc.block(arm).num_operations for arm in (arm_b, arm_c)
+            ]
+            if max(arm_sizes) > max_arm_ops:
+                break  # the first oversized diamond ends this procedure
+            predicated += _convert_one(proc, head_id, arm_b, arm_c, join)
+            diamonds += 1
+            removed += 2
+    validate_program(converted)
+    return converted, IfConversionStats(
+        diamonds_converted=diamonds,
+        blocks_removed=removed,
+        operations_predicated=predicated,
+    )

@@ -1,0 +1,28 @@
+"""Synthetic benchmark suite standing in for MediaBench and SPEC.
+
+The paper evaluates on seven MediaBench programs and three SPEC programs
+chosen for high instruction-cache miss rates (Section 6).  Those binaries,
+inputs and the IMPACT toolchain are unavailable, so this package generates
+seeded synthetic workloads — IR programs plus data-stream models — whose
+profiles (code footprint, operation mix, branchiness, data locality) are
+tuned per benchmark to produce the same qualitative cache behaviour.  See
+DESIGN.md's substitution table.
+"""
+
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    Workload,
+    load_benchmark,
+    tiny_workload,
+)
+from repro.workloads.synth import generate_workload
+
+__all__ = [
+    "WorkloadProfile",
+    "generate_workload",
+    "Workload",
+    "BENCHMARK_NAMES",
+    "load_benchmark",
+    "tiny_workload",
+]

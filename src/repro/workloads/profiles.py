@@ -1,0 +1,87 @@
+"""Workload characteristic profiles.
+
+A :class:`WorkloadProfile` is the recipe the synthetic generator follows.
+Every knob corresponds to a benchmark characteristic that influences the
+paper's experiments: code footprint drives instruction-cache miss rates,
+operation mix drives scheduling (and hence dilation), branchiness drives
+block size, stream patterns drive data/unified cache behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StreamProfile:
+    """Recipe for one family of data streams."""
+
+    pattern: str  # sequential | strided | random | stack
+    region_kb: int
+    stride_words: int = 1
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Recipe for one synthetic benchmark."""
+
+    name: str
+    seed: int
+    #: Worker procedures besides main (call-graph is an acyclic chain-free
+    #: DAG: procedure i may call only procedures j > i).
+    n_procedures: int
+    #: Basic blocks per worker procedure (uniform range, inclusive).
+    blocks_per_proc: tuple[int, int]
+    #: Mean non-branch operations per block (geometric-like spread).
+    mean_ops_per_block: float
+    #: Operation-class weights (int, float, memory); branches are implicit.
+    op_mix: tuple[float, float, float]
+    #: Probability an operation's sources chain to recent results.
+    dependence_density: float
+    #: Probability a non-final block is a loop head (gets a back edge).
+    loop_probability: float
+    #: Probability of staying in a loop at its back edge.
+    loop_continue: float
+    #: Probability a block has a two-way forward branch (diamond).
+    branch_probability: float
+    #: Probability a worker block calls a later procedure.
+    call_density: float
+    #: Fraction of memory operations that are loads.
+    load_fraction: float = 0.65
+    #: Data stream families.
+    streams: tuple[StreamProfile, ...] = field(default_factory=tuple)
+    #: Iterations of main's outer phase loop (continue probability is
+    #: derived from it); large values keep the emulator inside its visit
+    #: budget, re-touring the whole code footprint.
+    main_iterations: int = 200
+
+    def __post_init__(self) -> None:
+        if self.n_procedures < 1:
+            raise ConfigurationError("need at least one worker procedure")
+        lo, hi = self.blocks_per_proc
+        if lo < 2 or hi < lo:
+            raise ConfigurationError(
+                f"blocks_per_proc range invalid: {self.blocks_per_proc}"
+            )
+        if self.mean_ops_per_block < 1:
+            raise ConfigurationError("mean_ops_per_block must be >= 1")
+        if any(w < 0 for w in self.op_mix) or sum(self.op_mix) <= 0:
+            raise ConfigurationError(f"bad op mix {self.op_mix}")
+        for prob_name in (
+            "dependence_density",
+            "loop_probability",
+            "loop_continue",
+            "branch_probability",
+            "call_density",
+            "load_fraction",
+        ):
+            value = getattr(self, prob_name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{prob_name} must be a probability, got {value}"
+                )
+        if not self.streams:
+            raise ConfigurationError("profile needs at least one stream")

@@ -1,0 +1,307 @@
+"""The named benchmark suite (paper Section 6).
+
+Ten profiles mirror the paper's selection — seven MediaBench programs and
+three SPEC programs with high instruction-cache miss rates.  Profile knobs
+are chosen from each program's well-known character:
+
+* ``085.gcc`` / ``147.vortex`` / ``ghostscript`` — very large, branchy
+  integer code with big instruction working sets;
+* ``099.go`` — branch-dominated integer search, small data;
+* ``epic`` / ``unepic`` — image (de)compression: float/int mix over large
+  sequential pixel streams;
+* ``mipmap`` — float-heavy texture filtering with strided accesses;
+* ``pgpdecode`` / ``pgpencode`` — integer crypto over sequential buffers
+  plus random big-number tables;
+* ``rasta`` — DSP-style float filters over sequential frames.
+
+``load_benchmark(name, scale=...)`` lets tests shrink the code footprint
+while keeping the character intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.isa.program import Program
+from repro.trace.datamodel import StreamSpec
+from repro.workloads.profiles import StreamProfile, WorkloadProfile
+from repro.workloads.synth import generate_workload
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A ready-to-run benchmark: program, streams and provenance."""
+
+    name: str
+    program: Program
+    streams: dict[int, StreamSpec]
+    profile: WorkloadProfile
+
+
+def _profile(**kwargs) -> WorkloadProfile:
+    return WorkloadProfile(**kwargs)
+
+
+_PROFILES: dict[str, WorkloadProfile] = {
+    "085.gcc": _profile(
+        name="085.gcc",
+        seed=8501,
+        n_procedures=64,
+        blocks_per_proc=(14, 34),
+        mean_ops_per_block=9.0,
+        op_mix=(0.62, 0.05, 0.33),
+        dependence_density=0.55,
+        loop_probability=0.16,
+        loop_continue=0.82,
+        branch_probability=0.34,
+        call_density=0.06,
+        streams=(
+            StreamProfile("random", region_kb=96, count=2),
+            StreamProfile("sequential", region_kb=48, count=2),
+            StreamProfile("stack", region_kb=4, count=2),
+        ),
+    ),
+    "099.go": _profile(
+        name="099.go",
+        seed=9901,
+        n_procedures=48,
+        blocks_per_proc=(12, 30),
+        mean_ops_per_block=7.0,
+        op_mix=(0.72, 0.02, 0.26),
+        dependence_density=0.5,
+        loop_probability=0.14,
+        loop_continue=0.8,
+        branch_probability=0.42,
+        call_density=0.07,
+        streams=(
+            StreamProfile("random", region_kb=32, count=2),
+            StreamProfile("stack", region_kb=4, count=2),
+        ),
+    ),
+    "147.vortex": _profile(
+        name="147.vortex",
+        seed=14701,
+        n_procedures=56,
+        blocks_per_proc=(14, 32),
+        mean_ops_per_block=10.0,
+        op_mix=(0.58, 0.02, 0.40),
+        dependence_density=0.5,
+        loop_probability=0.15,
+        loop_continue=0.84,
+        branch_probability=0.3,
+        call_density=0.08,
+        streams=(
+            StreamProfile("random", region_kb=192, count=3),
+            StreamProfile("sequential", region_kb=32, count=1),
+            StreamProfile("stack", region_kb=4, count=1),
+        ),
+    ),
+    "epic": _profile(
+        name="epic",
+        seed=3001,
+        n_procedures=28,
+        blocks_per_proc=(10, 26),
+        mean_ops_per_block=12.0,
+        op_mix=(0.42, 0.25, 0.33),
+        dependence_density=0.6,
+        loop_probability=0.24,
+        loop_continue=0.9,
+        branch_probability=0.2,
+        call_density=0.05,
+        streams=(
+            StreamProfile("sequential", region_kb=256, count=2),
+            StreamProfile("strided", region_kb=128, stride_words=8, count=1),
+            StreamProfile("stack", region_kb=2, count=1),
+        ),
+    ),
+    "ghostscript": _profile(
+        name="ghostscript",
+        seed=4001,
+        n_procedures=80,
+        blocks_per_proc=(14, 34),
+        mean_ops_per_block=9.0,
+        op_mix=(0.58, 0.1, 0.32),
+        dependence_density=0.55,
+        loop_probability=0.18,
+        loop_continue=0.84,
+        branch_probability=0.32,
+        call_density=0.06,
+        streams=(
+            StreamProfile("sequential", region_kb=192, count=2),
+            StreamProfile("random", region_kb=96, count=2),
+            StreamProfile("stack", region_kb=4, count=2),
+        ),
+    ),
+    "mipmap": _profile(
+        name="mipmap",
+        seed=5001,
+        n_procedures=30,
+        blocks_per_proc=(10, 24),
+        mean_ops_per_block=12.0,
+        op_mix=(0.34, 0.33, 0.33),
+        dependence_density=0.62,
+        loop_probability=0.26,
+        loop_continue=0.9,
+        branch_probability=0.18,
+        call_density=0.05,
+        streams=(
+            StreamProfile("strided", region_kb=256, stride_words=16, count=2),
+            StreamProfile("sequential", region_kb=128, count=1),
+            StreamProfile("stack", region_kb=2, count=1),
+        ),
+    ),
+    "pgpdecode": _profile(
+        name="pgpdecode",
+        seed=6001,
+        n_procedures=40,
+        blocks_per_proc=(12, 28),
+        mean_ops_per_block=10.0,
+        op_mix=(0.66, 0.02, 0.32),
+        dependence_density=0.65,
+        loop_probability=0.2,
+        loop_continue=0.86,
+        branch_probability=0.26,
+        call_density=0.06,
+        streams=(
+            StreamProfile("sequential", region_kb=96, count=2),
+            StreamProfile("random", region_kb=64, count=2),
+            StreamProfile("stack", region_kb=2, count=1),
+        ),
+    ),
+    "pgpencode": _profile(
+        name="pgpencode",
+        seed=6002,
+        n_procedures=40,
+        blocks_per_proc=(12, 28),
+        mean_ops_per_block=10.0,
+        op_mix=(0.66, 0.02, 0.32),
+        dependence_density=0.65,
+        loop_probability=0.2,
+        loop_continue=0.88,
+        branch_probability=0.24,
+        call_density=0.06,
+        streams=(
+            StreamProfile("sequential", region_kb=128, count=2),
+            StreamProfile("random", region_kb=48, count=2),
+            StreamProfile("stack", region_kb=2, count=1),
+        ),
+    ),
+    "rasta": _profile(
+        name="rasta",
+        seed=7001,
+        n_procedures=26,
+        blocks_per_proc=(10, 24),
+        mean_ops_per_block=11.0,
+        op_mix=(0.38, 0.3, 0.32),
+        dependence_density=0.6,
+        loop_probability=0.26,
+        loop_continue=0.88,
+        branch_probability=0.18,
+        call_density=0.05,
+        streams=(
+            StreamProfile("sequential", region_kb=96, count=3),
+            StreamProfile("stack", region_kb=2, count=1),
+        ),
+    ),
+    "unepic": _profile(
+        name="unepic",
+        seed=3002,
+        n_procedures=20,
+        blocks_per_proc=(8, 22),
+        mean_ops_per_block=11.0,
+        op_mix=(0.44, 0.24, 0.32),
+        dependence_density=0.6,
+        loop_probability=0.24,
+        loop_continue=0.88,
+        branch_probability=0.2,
+        call_density=0.05,
+        streams=(
+            StreamProfile("sequential", region_kb=160, count=2),
+            StreamProfile("stack", region_kb=2, count=1),
+        ),
+    ),
+}
+
+#: Benchmark names in the paper's table order.
+BENCHMARK_NAMES: tuple[str, ...] = (
+    "085.gcc",
+    "099.go",
+    "147.vortex",
+    "epic",
+    "ghostscript",
+    "mipmap",
+    "pgpdecode",
+    "pgpencode",
+    "rasta",
+    "unepic",
+)
+
+
+def benchmark_profile(name: str) -> WorkloadProfile:
+    """The suite profile registered under ``name``."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+        ) from None
+
+
+def load_benchmark(name: str, scale: float = 1.0) -> Workload:
+    """Generate a suite benchmark, optionally scaled down for fast runs.
+
+    ``scale`` multiplies the procedure count and per-procedure block
+    range (floored at small minimums), shrinking the code footprint
+    roughly linearly while preserving the workload's character.
+    """
+    profile = benchmark_profile(name)
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    if scale != 1.0:
+        lo, hi = profile.blocks_per_proc
+        profile = replace(
+            profile,
+            n_procedures=max(3, int(profile.n_procedures * scale)),
+            blocks_per_proc=(
+                max(2, int(lo * scale)),
+                max(3, int(hi * scale)),
+            ),
+        )
+    generated = generate_workload(profile)
+    return Workload(
+        name=name,
+        program=generated.program,
+        streams=generated.streams,
+        profile=profile,
+    )
+
+
+def tiny_workload(seed: int = 42) -> Workload:
+    """A minimal fast workload for unit and integration tests."""
+    profile = _profile(
+        name="tiny",
+        seed=seed,
+        n_procedures=4,
+        blocks_per_proc=(3, 6),
+        mean_ops_per_block=6.0,
+        op_mix=(0.55, 0.1, 0.35),
+        dependence_density=0.5,
+        loop_probability=0.2,
+        loop_continue=0.7,
+        branch_probability=0.3,
+        call_density=0.1,
+        streams=(
+            StreamProfile("sequential", region_kb=8, count=1),
+            StreamProfile("random", region_kb=4, count=1),
+            StreamProfile("stack", region_kb=1, count=1),
+        ),
+        main_iterations=50,
+    )
+    generated = generate_workload(profile)
+    return Workload(
+        name="tiny",
+        program=generated.program,
+        streams=generated.streams,
+        profile=profile,
+    )

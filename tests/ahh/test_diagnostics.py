@@ -1,0 +1,75 @@
+"""Unit tests for repro.ahh.diagnostics."""
+
+import pytest
+
+from repro.ahh.diagnostics import (
+    FitPoint,
+    measured_unique_lines_per_granule,
+    u_of_l_fit,
+)
+from repro.ahh.modeler import ItraceModeler
+from repro.errors import ModelError
+from repro.trace.ranges import KIND_INSTR, RangeTrace
+
+
+def sequential_itrace(n_blocks=400, block_bytes=64):
+    starts = [i * block_bytes for i in range(n_blocks)]
+    return RangeTrace.build(starts, [block_bytes] * n_blocks, KIND_INSTR)
+
+
+class TestMeasurement:
+    def test_word_lines_equal_unique_words(self):
+        trace = sequential_itrace()
+        value = measured_unique_lines_per_granule(trace, 800, 4)
+        assert value == 800.0  # all addresses distinct
+
+    def test_lines_shrink_with_line_size(self):
+        trace = sequential_itrace()
+        values = [
+            measured_unique_lines_per_granule(trace, 800, line)
+            for line in (4, 8, 16, 32)
+        ]
+        assert values == sorted(values, reverse=True)
+        assert values[1] == pytest.approx(values[0] / 2, rel=0.01)
+
+    def test_short_trace_rejected(self):
+        with pytest.raises(ModelError, match="shorter"):
+            measured_unique_lines_per_granule(
+                sequential_itrace(n_blocks=4), 10_000, 16
+            )
+
+    def test_bad_line_size(self):
+        with pytest.raises(ModelError, match="multiple"):
+            measured_unique_lines_per_granule(sequential_itrace(), 800, 6)
+
+
+class TestFit:
+    def test_sequential_trace_fits_tightly(self):
+        """Pure runs: the derived u(L) is nearly exact."""
+        trace = sequential_itrace()
+        modeler = ItraceModeler(granule_size=800)
+        modeler.process_trace(trace)
+        params = modeler.finalize()
+        report = u_of_l_fit(trace, params)
+        assert report.max_relative_error < 0.1
+        assert report.mean_relative_error <= report.max_relative_error
+
+    def test_real_workload_fit_is_reasonable(self, tiny_pipeline):
+        itrace = tiny_pipeline.reference_artifacts().instruction_trace
+        params = tiny_pipeline.trace_parameters().icache
+        report = u_of_l_fit(itrace, params, line_sizes=(4, 8, 16, 32))
+        assert report.points[0].relative_error < 0.05  # u(1) anchors
+        assert report.max_relative_error < 0.5
+
+    def test_render(self, tiny_pipeline):
+        itrace = tiny_pipeline.reference_artifacts().instruction_trace
+        params = tiny_pipeline.trace_parameters().icache
+        text = u_of_l_fit(itrace, params).render()
+        assert "measured" in text and "modeled" in text
+
+
+class TestFitPoint:
+    def test_relative_error(self):
+        assert FitPoint(16, 100.0, 110.0).relative_error == pytest.approx(0.1)
+        assert FitPoint(16, 0.0, 0.0).relative_error == 0.0
+        assert FitPoint(16, 0.0, 5.0).relative_error == float("inf")

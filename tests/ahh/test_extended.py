@@ -1,0 +1,114 @@
+"""Unit tests for repro.ahh.extended."""
+
+import pytest
+
+from repro.ahh.extended import (
+    ExtendedItraceModeler,
+    MissBreakdown,
+    standalone_miss_estimate,
+)
+from repro.cache.config import CacheConfig
+from repro.errors import ConfigurationError, ModelError
+from repro.trace.ranges import KIND_INSTR, RangeTrace
+
+
+def loop_trace(n_blocks, repeats, block_bytes=64, base=0x1000):
+    starts = [
+        base + (i % n_blocks) * block_bytes
+        for i in range(n_blocks * repeats)
+    ]
+    return RangeTrace.build(starts, [block_bytes] * len(starts), KIND_INSTR)
+
+
+def phased_trace(n_phases, blocks_per_phase, repeats, block_bytes=64):
+    """Distinct code regions visited phase after phase (drifting set)."""
+    pieces = []
+    for phase in range(n_phases):
+        base = 0x1000 + phase * blocks_per_phase * block_bytes
+        pieces.append(
+            loop_trace(blocks_per_phase, repeats, block_bytes, base)
+        )
+    return RangeTrace.concatenate(pieces)
+
+
+class TestExtendedModeler:
+    def test_stationary_loop_has_no_drift(self):
+        trace = loop_trace(n_blocks=8, repeats=40)
+        words_per_iter = 8 * 16
+        modeler = ExtendedItraceModeler(granule_size=words_per_iter * 4)
+        modeler.process_trace(trace)
+        params = modeler.finalize()
+        assert params.first_granule_unique == words_per_iter
+        assert params.new_words_per_granule == 0.0
+        assert params.base.p1 == 0.0  # pure runs
+
+    def test_phased_trace_measures_drift(self):
+        trace = phased_trace(n_phases=5, blocks_per_phase=4, repeats=10)
+        words_per_phase = 4 * 16
+        modeler = ExtendedItraceModeler(
+            granule_size=words_per_phase * 10  # one granule per phase
+        )
+        modeler.process_trace(trace)
+        params = modeler.finalize()
+        assert params.first_granule_unique == words_per_phase
+        # Each later granule brings a whole new phase of words.
+        assert params.new_words_per_granule == pytest.approx(
+            words_per_phase
+        )
+
+    def test_short_trace_raises(self):
+        modeler = ExtendedItraceModeler(granule_size=100_000)
+        modeler.process_trace(loop_trace(2, 2))
+        with pytest.raises(ModelError, match="granule"):
+            modeler.finalize()
+
+    def test_bad_granule(self):
+        with pytest.raises(ConfigurationError):
+            ExtendedItraceModeler(1)
+
+
+class TestStandaloneEstimate:
+    def params_for(self, trace, granule_words):
+        modeler = ExtendedItraceModeler(granule_size=granule_words)
+        modeler.process_trace(trace)
+        return modeler.finalize()
+
+    def test_fitting_loop_predicts_only_startup(self):
+        # An 8-block loop fits a 16KB cache: no drift, ~no collisions.
+        trace = loop_trace(n_blocks=8, repeats=40)
+        params = self.params_for(trace, granule_words=8 * 16 * 4)
+        config = CacheConfig.from_size(16 * 1024, 2, 64)
+        breakdown = standalone_miss_estimate(params, config)
+        assert breakdown.non_stationary == 0.0
+        # Interference is negligible next to the cold fill (the binomial
+        # occupancy model leaves a small residual collision probability).
+        assert breakdown.intrinsic < 0.1 * breakdown.start_up
+        # Start-up ~ the loop's 8 lines of 64B.
+        assert breakdown.start_up == pytest.approx(8, rel=0.3)
+
+    def test_phase_drift_adds_non_stationary(self):
+        trace = phased_trace(n_phases=6, blocks_per_phase=4, repeats=10)
+        params = self.params_for(trace, granule_words=4 * 16 * 10)
+        config = CacheConfig.from_size(16 * 1024, 2, 64)
+        breakdown = standalone_miss_estimate(params, config)
+        assert breakdown.non_stationary > breakdown.start_up
+
+    def test_dilation_contracts_line(self):
+        trace = loop_trace(n_blocks=32, repeats=10)
+        params = self.params_for(trace, granule_words=512)
+        config = CacheConfig.from_size(1024, 1, 32)
+        plain = standalone_miss_estimate(params, config, dilation=1.0)
+        dilated = standalone_miss_estimate(params, config, dilation=2.0)
+        assert dilated.total > plain.total
+
+    def test_bad_dilation(self):
+        trace = loop_trace(4, 10)
+        params = self.params_for(trace, granule_words=128)
+        with pytest.raises(ModelError, match="dilation"):
+            standalone_miss_estimate(
+                params, CacheConfig(32, 1, 32), dilation=0
+            )
+
+    def test_breakdown_total(self):
+        breakdown = MissBreakdown(1.0, 2.0, 3.0)
+        assert breakdown.total == 6.0

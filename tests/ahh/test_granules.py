@@ -1,0 +1,95 @@
+"""Unit tests for repro.ahh.granules."""
+
+import pytest
+
+from repro.ahh.granules import GranuleAccumulator, granule_statistics
+from repro.errors import ConfigurationError, ModelError
+
+
+class TestGranuleStatistics:
+    def test_empty(self):
+        stats = granule_statistics([])
+        assert stats.unique == 0
+        assert stats.mean_run_length == 1.0
+
+    def test_single_address_is_isolated(self):
+        stats = granule_statistics([42, 42, 42])
+        assert stats.unique == 1
+        assert stats.isolated == 1
+        assert stats.runs == 0
+
+    def test_pure_run(self):
+        stats = granule_statistics([10, 11, 12, 13])
+        assert stats.unique == 4
+        assert stats.isolated == 0
+        assert stats.runs == 1
+        assert stats.mean_run_length == 4.0
+
+    def test_mixed_runs_and_isolated(self):
+        # Runs: {1,2,3}, {10,11}; isolated: {7}, {100}.
+        stats = granule_statistics([3, 1, 2, 7, 10, 11, 100])
+        assert stats.unique == 7
+        assert stats.isolated == 2
+        assert stats.runs == 2
+        assert stats.mean_run_length == pytest.approx(2.5)
+
+    def test_duplicates_do_not_inflate_unique(self):
+        stats = granule_statistics([1, 1, 2, 2, 3, 3])
+        assert stats.unique == 3
+        assert stats.runs == 1
+        assert stats.run_length_total == 3
+
+    def test_order_does_not_matter(self):
+        a = granule_statistics([5, 1, 9, 2, 8])
+        b = granule_statistics([1, 2, 5, 8, 9])
+        assert a == b
+
+
+class TestGranuleAccumulator:
+    def test_granule_boundary_processing(self):
+        acc = GranuleAccumulator(granule_size=4)
+        acc.feed([1, 2, 3, 50])  # one full granule
+        acc.feed([7])  # partial (1 < 4/2 -> dropped at finalize)
+        assert acc.complete_granules == 1
+        stats = acc.finalize()
+        assert stats.granules == 1
+        assert stats.u1 == 4.0
+        assert stats.p1 == pytest.approx(1 / 4)
+        assert stats.lav == pytest.approx(3.0)
+
+    def test_half_full_tail_granule_is_kept(self):
+        acc = GranuleAccumulator(granule_size=4)
+        acc.feed([1, 2, 3, 4])
+        acc.feed([10, 11])  # exactly half a granule
+        stats = acc.finalize()
+        assert stats.granules == 2
+
+    def test_averaging_across_granules(self):
+        acc = GranuleAccumulator(granule_size=3)
+        acc.feed([1, 2, 3])  # u=3, run of 3
+        acc.feed([10, 20, 30])  # u=3, all isolated
+        stats = acc.finalize()
+        assert stats.u1 == 3.0
+        assert stats.p1 == pytest.approx(0.5)
+
+    def test_empty_accumulator_raises(self):
+        acc = GranuleAccumulator(granule_size=100)
+        acc.feed([1, 2])
+        with pytest.raises(ModelError, match="no complete granule"):
+            acc.finalize()
+
+    def test_references_counter(self):
+        acc = GranuleAccumulator(granule_size=2)
+        acc.feed([1, 2, 3, 4, 5])
+        assert acc.references == 4  # two complete granules
+
+    def test_bad_granule_size(self):
+        with pytest.raises(ConfigurationError, match="granule size"):
+            GranuleAccumulator(1)
+
+    def test_numpy_input(self):
+        import numpy as np
+
+        acc = GranuleAccumulator(granule_size=3)
+        acc.feed(np.array([1, 2, 3]))
+        assert acc.complete_granules == 1

@@ -1,0 +1,139 @@
+"""Unit tests for repro.ahh.model."""
+
+import pytest
+
+from repro.ahh.model import (
+    collisions,
+    occupancy_pmf,
+    scale_misses,
+    transition_probability,
+    unique_lines,
+)
+from repro.errors import ModelError
+
+
+class TestTransitionProbability:
+    def test_eq_44(self):
+        # p2 = (lav - (1 + p1)) / (lav - 1)
+        assert transition_probability(5.0, 0.5) == pytest.approx(3.5 / 4.0)
+
+    def test_no_runs_convention(self):
+        assert transition_probability(1.0, 1.0) == 0.0
+
+    def test_invalid_lav(self):
+        with pytest.raises(ModelError, match=">= 1"):
+            transition_probability(0.5, 0.1)
+
+
+class TestUniqueLines:
+    def test_identity_at_one_word(self):
+        assert unique_lines(100.0, 0.3, 4.0, 1.0) == pytest.approx(100.0)
+
+    def test_monotone_decreasing_in_line_size(self):
+        values = [
+            unique_lines(100.0, 0.3, 4.0, line) for line in (1, 2, 4, 8, 16)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_large_line_limit_is_cluster_count(self):
+        u1, p1, lav = 100.0, 0.3, 4.0
+        clusters = u1 * (p1 + (1 - p1) / lav)
+        assert unique_lines(u1, p1, lav, 1e9) == pytest.approx(
+            clusters, rel=1e-6
+        )
+
+    def test_all_isolated_trace_is_line_size_insensitive(self):
+        # p1 = 1: every unique address is its own cluster.
+        assert unique_lines(50.0, 1.0, 4.0, 16.0) == pytest.approx(50.0)
+
+    def test_fractional_line_sizes_supported(self):
+        a = unique_lines(100.0, 0.2, 5.0, 3.0)
+        lower = unique_lines(100.0, 0.2, 5.0, 2.0)
+        upper = unique_lines(100.0, 0.2, 5.0, 4.0)
+        assert upper < a < lower
+
+    def test_paper_literal_variant_exists(self):
+        value = unique_lines(100.0, 0.3, 4.0, 4.0, variant="paper-literal")
+        assert value > 0
+
+    def test_unknown_variant(self):
+        with pytest.raises(ModelError, match="variant"):
+            unique_lines(1.0, 0.0, 1.0, 1.0, variant="bogus")
+
+    def test_domain_checks(self):
+        with pytest.raises(ModelError):
+            unique_lines(-1.0, 0.5, 2.0, 1.0)
+        with pytest.raises(ModelError):
+            unique_lines(1.0, 1.5, 2.0, 1.0)
+        with pytest.raises(ModelError):
+            unique_lines(1.0, 0.5, 0.5, 1.0)
+        with pytest.raises(ModelError):
+            unique_lines(1.0, 0.5, 2.0, 0.5)
+
+
+class TestOccupancyPmf:
+    def test_sums_to_one_for_integer_u(self):
+        pmf = occupancy_pmf(20.0, 8, max_a=40)
+        assert sum(pmf) == pytest.approx(1.0, abs=1e-9)
+
+    def test_mean_is_u_over_s(self):
+        u, sets = 24.0, 8
+        pmf = occupancy_pmf(u, sets, max_a=40)
+        mean = sum(a * p for a, p in enumerate(pmf))
+        assert mean == pytest.approx(u / sets, rel=1e-9)
+
+    def test_matches_binomial_formula(self):
+        from math import comb
+
+        u, sets = 10, 4
+        pmf = occupancy_pmf(float(u), sets, max_a=10)
+        for a in range(11):
+            expected = comb(u, a) * (1 / sets) ** a * (1 - 1 / sets) ** (u - a)
+            assert pmf[a] == pytest.approx(expected, rel=1e-9)
+
+    def test_single_set_point_mass(self):
+        pmf = occupancy_pmf(5.0, 1, max_a=8)
+        assert pmf[5] == 1.0
+        assert sum(pmf) == 1.0
+
+    def test_zero_u(self):
+        pmf = occupancy_pmf(0.0, 8, max_a=4)
+        assert pmf[0] == pytest.approx(1.0)
+        assert sum(pmf[1:]) == pytest.approx(0.0)
+
+
+class TestCollisions:
+    def test_zero_when_cache_holds_everything(self):
+        # u far below capacity -> essentially no collisions.
+        assert collisions(1.0, 1024, 8) == pytest.approx(0.0, abs=1e-6)
+
+    def test_everything_collides_in_tiny_cache(self):
+        # u lines into 1 set of assoc 0: everything collides.
+        assert collisions(10.0, 1, 0) == pytest.approx(10.0)
+
+    def test_monotone_increasing_in_u(self):
+        values = [collisions(u, 8, 1) for u in (4.0, 8.0, 16.0, 32.0)]
+        assert values == sorted(values)
+
+    def test_monotone_decreasing_in_assoc(self):
+        values = [collisions(32.0, 8, a) for a in (1, 2, 4, 8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_bounded_by_u(self):
+        assert collisions(32.0, 8, 1) <= 32.0
+
+
+class TestScaleMisses:
+    def test_eq_47(self):
+        assert scale_misses(100.0, 10.0, 25.0) == pytest.approx(250.0)
+
+    def test_zero_reference_and_zero_target(self):
+        assert scale_misses(7.0, 0.0, 0.0) == 7.0
+
+    def test_zero_reference_nonzero_target_raises(self):
+        with pytest.raises(ModelError, match="zero"):
+            scale_misses(7.0, 0.0, 5.0)
+
+    def test_negative_collisions_rejected(self):
+        with pytest.raises(ModelError):
+            scale_misses(1.0, -1.0, 1.0)

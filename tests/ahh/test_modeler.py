@@ -1,0 +1,104 @@
+"""Unit tests for repro.ahh.modeler (TraceModeler)."""
+
+import numpy as np
+import pytest
+
+from repro.ahh.modeler import (
+    ItraceModeler,
+    UtraceModeler,
+    derive_trace_parameters,
+)
+from repro.errors import ModelError
+from repro.trace.ranges import KIND_DATA, KIND_INSTR, RangeTrace
+
+
+def sequential_itrace(n_blocks=100, block_bytes=64):
+    """Blocks marching through memory: long runs, no isolated refs."""
+    starts = [i * block_bytes for i in range(n_blocks)]
+    return RangeTrace.build(starts, [block_bytes] * n_blocks, KIND_INSTR)
+
+
+def scattered_dtrace(n=400, seed=3):
+    rng = np.random.default_rng(seed)
+    starts = (rng.integers(0, 1 << 16, size=n) * 4).tolist()
+    return RangeTrace.build(starts, [4] * n, KIND_DATA)
+
+
+class TestItraceModeler:
+    def test_sequential_code_has_long_runs(self):
+        modeler = ItraceModeler(granule_size=160)
+        modeler.process_trace(sequential_itrace())
+        params = modeler.finalize()
+        assert params.p1 < 0.1  # almost nothing isolated
+        assert params.lav > 10  # long sequential runs
+        assert params.u1 == pytest.approx(160, rel=0.1)
+
+    def test_ignores_data_component(self):
+        modeler = ItraceModeler(granule_size=160)
+        mixed = RangeTrace.concatenate(
+            [sequential_itrace(), scattered_dtrace()]
+        )
+        modeler.process_trace(mixed)
+        pure = ItraceModeler(granule_size=160)
+        pure.process_trace(sequential_itrace())
+        assert modeler.finalize() == pure.finalize()
+
+    def test_too_short_trace_raises(self):
+        modeler = ItraceModeler(granule_size=100_000)
+        modeler.process_trace(sequential_itrace(n_blocks=5))
+        with pytest.raises(ModelError, match="granule"):
+            modeler.finalize()
+
+
+class TestUtraceModeler:
+    def test_components_separated(self):
+        # Interleave sequential instruction ranges with scattered data.
+        itrace = sequential_itrace(n_blocks=200)
+        dtrace = scattered_dtrace(n=200)
+        interleaved = RangeTrace(
+            starts=np.stack([itrace.starts, dtrace.starts], axis=1).ravel(),
+            sizes=np.stack([itrace.sizes, dtrace.sizes], axis=1).ravel(),
+            kinds=np.stack([itrace.kinds, dtrace.kinds], axis=1).ravel(),
+        )
+        modeler = UtraceModeler(granule_size=800)
+        modeler.process_trace(interleaved)
+        instr, data = modeler.finalize()
+        assert instr.lav > data.lav  # code runs, data scatters
+        assert data.p1 > instr.p1
+
+    def test_empty_trace_raises(self):
+        modeler = UtraceModeler(granule_size=1000)
+        with pytest.raises(ModelError, match="granule"):
+            modeler.finalize()
+
+    def test_granule_boundary_is_shared(self):
+        # 10 instruction words then 10 data words per "visit"; granule of
+        # 40 closes after two visits regardless of component balance.
+        starts_i = [i * 40 for i in range(8)]
+        trace = RangeTrace.build(
+            [v for s in starts_i for v in (s, 1 << 20)],
+            [40, 40] * 8,
+            [KIND_INSTR, KIND_DATA] * 8,
+        )
+        modeler = UtraceModeler(granule_size=40)
+        modeler.process_trace(trace)
+        instr, data = modeler.finalize()
+        assert instr.granules == data.granules >= 2
+
+
+class TestDeriveTraceParameters:
+    def test_returns_all_nine_parameters(self):
+        itrace = sequential_itrace(n_blocks=300)
+        dtrace = scattered_dtrace(n=300)
+        unified = RangeTrace.concatenate([itrace, dtrace])
+        params = derive_trace_parameters(
+            itrace, unified, i_granule=200, u_granule=500
+        )
+        for component in (
+            params.icache,
+            params.unified_instr,
+            params.unified_data,
+        ):
+            assert component.u1 > 0
+            assert 0.0 <= component.p1 <= 1.0
+            assert component.lav >= 1.0

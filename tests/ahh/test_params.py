@@ -1,0 +1,72 @@
+"""Unit tests for repro.ahh.params."""
+
+import pytest
+
+from repro.ahh.params import ComponentParameters, TraceParameters
+from repro.errors import ModelError
+
+
+def component(u1=100.0, p1=0.3, lav=4.0, granule=1000):
+    return ComponentParameters(u1=u1, p1=p1, lav=lav, granule_size=granule)
+
+
+class TestComponentParameters:
+    def test_p2_property(self):
+        params = component(p1=0.5, lav=5.0)
+        assert params.p2 == pytest.approx((5.0 - 1.5) / 4.0)
+
+    def test_unique_lines_in_words_and_bytes_agree(self):
+        params = component()
+        assert params.unique_lines_bytes(32.0) == pytest.approx(
+            params.unique_lines_words(8.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            component(u1=-1.0)
+        with pytest.raises(ModelError):
+            component(p1=1.5)
+        with pytest.raises(ModelError):
+            component(lav=0.9)
+
+
+class TestTraceParameters:
+    def make(self):
+        return TraceParameters(
+            icache=component(),
+            unified_instr=component(u1=300.0, p1=0.1, lav=6.0),
+            unified_data=component(u1=200.0, p1=0.5, lav=2.0),
+        )
+
+    def test_unified_unique_lines_no_dilation_is_component_sum(self):
+        params = self.make()
+        expected = params.unified_data.unique_lines_bytes(
+            64.0
+        ) + params.unified_instr.unique_lines_bytes(64.0)
+        assert params.unified_unique_lines(64.0, 1.0) == pytest.approx(
+            expected
+        )
+
+    def test_dilation_contracts_only_instruction_component(self):
+        params = self.make()
+        base = params.unified_unique_lines(64.0, 1.0)
+        dilated = params.unified_unique_lines(64.0, 2.0)
+        # Contracting the instruction line raises uI, so u(L,d) grows.
+        assert dilated > base
+        instr_only_delta = params.unified_instr.unique_lines_bytes(
+            32.0
+        ) - params.unified_instr.unique_lines_bytes(64.0)
+        assert dilated - base == pytest.approx(instr_only_delta)
+
+    def test_effective_line_clamped_at_one_word(self):
+        params = self.make()
+        # Dilation so large that L/d < 4 bytes: clamp, don't crash.
+        value = params.unified_unique_lines(64.0, 1000.0)
+        expected = params.unified_data.unique_lines_bytes(
+            64.0
+        ) + params.unified_instr.unique_lines_words(1.0)
+        assert value == pytest.approx(expected)
+
+    def test_non_positive_dilation_rejected(self):
+        with pytest.raises(ModelError, match="dilation"):
+            self.make().unified_unique_lines(64.0, 0.0)

@@ -1,0 +1,86 @@
+"""Property-based tests for the AHH model (hypothesis)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.ahh.model import collisions, occupancy_pmf, unique_lines
+from repro.ahh.stable import collisions_direct, collisions_stable
+
+u1s = st.floats(min_value=0.1, max_value=5000.0)
+p1s = st.floats(min_value=0.0, max_value=1.0)
+lavs = st.floats(min_value=1.0, max_value=64.0)
+lines = st.sampled_from([1.0, 1.5, 2.0, 3.7, 4.0, 8.0, 13.0, 16.0])
+sets = st.sampled_from([1, 2, 8, 64, 512])
+assocs = st.integers(min_value=1, max_value=8)
+
+
+@given(u1=u1s, p1=p1s, lav=lavs, line=lines)
+@settings(max_examples=200, deadline=None)
+def test_unique_lines_bounds(u1, p1, lav, line):
+    """1 <= words per line implies clusters <= u(L) <= u(1)."""
+    value = unique_lines(u1, p1, lav, line)
+    clusters = u1 * (p1 + (1 - p1) / lav)
+    assert clusters - 1e-9 <= value <= u1 + 1e-9
+
+
+@given(u1=u1s, p1=p1s, lav=lavs)
+@settings(max_examples=100, deadline=None)
+def test_unique_lines_monotone_in_line_size(u1, p1, lav):
+    values = [unique_lines(u1, p1, lav, line) for line in (1, 2, 4, 8, 16)]
+    for a, b in zip(values, values[1:]):
+        assert a >= b - 1e-9
+
+
+@given(u=st.integers(min_value=0, max_value=2000), s=sets)
+@settings(max_examples=100, deadline=None)
+def test_occupancy_pmf_is_distribution_for_integer_u(u, s):
+    pmf = occupancy_pmf(float(u), s, max_a=u + 2)
+    assert all(p >= -1e-12 for p in pmf)
+    assert sum(pmf) == pytest.approx(1.0, abs=1e-6)
+
+
+@given(u=st.floats(min_value=0.0, max_value=2000.0), s=sets)
+@settings(max_examples=100, deadline=None)
+def test_occupancy_pmf_near_distribution_for_fractional_u(u, s):
+    # The truncated generalized binomial over-counts slightly for
+    # fractional u (documented in occupancy_pmf); bounded near 1.
+    pmf = occupancy_pmf(u, s, max_a=int(u) + 2)
+    assert all(p >= -1e-12 for p in pmf)
+    assert 1.0 - 1e-6 <= sum(pmf) <= 1.07
+
+
+@given(u=st.integers(min_value=0, max_value=2000), s=sets, a=assocs)
+@settings(max_examples=150, deadline=None)
+def test_collision_methods_agree_for_integer_u(u, s, a):
+    # For integer u the occupancy mean identity sum(a P(a)) = u/S is
+    # exact, so the direct difference and the tail series coincide.
+    direct = collisions_direct(float(u), s, a)
+    stable = collisions_stable(float(u), s, a)
+    assert stable == pytest.approx(direct, rel=1e-5, abs=1e-7)
+
+
+@given(u=st.floats(min_value=0.0, max_value=2000.0), s=sets, a=assocs)
+@settings(max_examples=100, deadline=None)
+def test_collision_methods_close_for_fractional_u(u, s, a):
+    # Fractional u perturbs the truncated generalized binomial's mean by
+    # up to the overcount mass (worst ~6% near u = 0.5); the methods
+    # agree within that band, tightening as u grows.
+    direct = collisions_direct(u, s, a)
+    stable = collisions_stable(u, s, a)
+    assert stable == pytest.approx(direct, rel=0.25, abs=0.25)
+
+
+@given(u=st.floats(min_value=0.0, max_value=2000.0), s=sets, a=assocs)
+@settings(max_examples=150, deadline=None)
+def test_collisions_within_bounds(u, s, a):
+    value = collisions(u, s, a)
+    assert -1e-9 <= value <= u + 1e-9
+
+
+@given(u=st.floats(min_value=1.0, max_value=2000.0), s=sets)
+@settings(max_examples=80, deadline=None)
+def test_collisions_decrease_with_associativity(u, s):
+    values = [collisions(u, s, a) for a in range(1, 9)]
+    for a, b in zip(values, values[1:]):
+        assert a >= b - 1e-9

@@ -1,0 +1,75 @@
+"""Unit tests for repro.ahh.stable (numerically stable collisions)."""
+
+import pytest
+
+from repro.ahh.stable import (
+    collisions_auto,
+    collisions_direct,
+    collisions_stable,
+)
+from repro.errors import ModelError
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("u", [0.0, 1.0, 7.5, 32.0, 200.0, 1000.0])
+    @pytest.mark.parametrize("sets", [1, 8, 64, 1024])
+    @pytest.mark.parametrize("assoc", [1, 2, 4])
+    def test_direct_and_stable_agree(self, u, sets, assoc):
+        direct = collisions_direct(u, sets, assoc)
+        stable = collisions_stable(u, sets, assoc)
+        assert stable == pytest.approx(direct, rel=1e-6, abs=1e-9)
+
+    def test_stable_handles_tiny_collision_counts(self):
+        # u << S*A: the direct difference is cancellation-dominated; the
+        # tail series gives a clean positive value.
+        value = collisions_stable(8.0, 4096, 4)
+        assert 0.0 <= value < 1e-6
+        # It must still be the sum of genuinely positive terms.
+        assert value >= 0.0
+
+    def test_stable_exact_case(self):
+        # Everything beyond assoc collides: with u=2, S=1 and A=1, the
+        # set holds both lines -> both "occupy" slot 2 > A, colliding.
+        assert collisions_stable(2.0, 1, 1) == pytest.approx(2.0)
+
+
+class TestAuto:
+    def test_auto_matches_direct_in_normal_regime(self):
+        assert collisions_auto(100.0, 8, 1) == pytest.approx(
+            collisions_direct(100.0, 8, 1)
+        )
+
+    def test_auto_switches_in_cancellation_regime(self):
+        # Large u, huge cache: collisions ~ 0; auto must return the stable
+        # (non-negative, tiny) value rather than a clamped artifact.
+        value = collisions_auto(50.0, 1 << 16, 8)
+        assert value >= 0.0
+        assert value == pytest.approx(
+            collisions_stable(50.0, 1 << 16, 8), rel=1e-6, abs=1e-12
+        )
+
+    def test_explicit_methods(self):
+        assert collisions_auto(10.0, 2, 1, method="direct") == pytest.approx(
+            collisions_direct(10.0, 2, 1)
+        )
+        assert collisions_auto(10.0, 2, 1, method="stable") == pytest.approx(
+            collisions_stable(10.0, 2, 1)
+        )
+
+    def test_unknown_method(self):
+        with pytest.raises(ModelError, match="method"):
+            collisions_auto(1.0, 2, 1, method="bogus")
+
+
+class TestValidation:
+    def test_negative_u(self):
+        with pytest.raises(ModelError):
+            collisions_direct(-1.0, 2, 1)
+
+    def test_bad_sets(self):
+        with pytest.raises(ModelError):
+            collisions_stable(1.0, 0, 1)
+
+    def test_negative_assoc(self):
+        with pytest.raises(ModelError):
+            collisions_direct(1.0, 2, -1)

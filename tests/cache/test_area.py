@@ -1,0 +1,32 @@
+"""Unit tests for repro.cache.area."""
+
+from repro.cache.area import cache_cost
+from repro.cache.config import CacheConfig
+
+
+class TestCacheCost:
+    def test_bigger_caches_cost_more(self):
+        sizes = [1, 2, 4, 8, 16, 128]
+        costs = [
+            cache_cost(CacheConfig.from_size(kb * 1024, 1, 32))
+            for kb in sizes
+        ]
+        assert costs == sorted(costs)
+        assert costs[0] > 0
+
+    def test_associativity_costs(self):
+        direct = cache_cost(CacheConfig.from_size(16 * 1024, 1, 32))
+        two_way = cache_cost(CacheConfig.from_size(16 * 1024, 2, 32))
+        four_way = cache_cost(CacheConfig.from_size(16 * 1024, 4, 32))
+        assert direct < two_way < four_way
+
+    def test_ports_cost_superlinearly(self):
+        one = cache_cost(CacheConfig(128, 2, 32, ports=1))
+        two = cache_cost(CacheConfig(128, 2, 32, ports=2))
+        assert two > 2 * one
+
+    def test_small_lines_cost_more_tag_overhead(self):
+        # Same capacity, smaller lines -> more tag entries -> more cost.
+        fine = cache_cost(CacheConfig.from_size(16 * 1024, 1, 16))
+        coarse = cache_cost(CacheConfig.from_size(16 * 1024, 1, 64))
+        assert fine > coarse

@@ -1,0 +1,72 @@
+"""Unit tests for repro.cache.config."""
+
+import pytest
+
+from repro.cache.config import WORD_BYTES, CacheConfig
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_valid_config(self):
+        config = CacheConfig(32, 1, 32)
+        assert config.size_bytes == 1024
+
+    @pytest.mark.parametrize("sets", [0, 3, 12, -8])
+    def test_bad_set_counts(self, sets):
+        with pytest.raises(ConfigurationError, match="sets"):
+            CacheConfig(sets, 1, 32)
+
+    def test_bad_assoc(self):
+        with pytest.raises(ConfigurationError, match="assoc"):
+            CacheConfig(32, 0, 32)
+
+    @pytest.mark.parametrize("line", [0, 2, 3, 24])
+    def test_bad_line_sizes(self, line):
+        with pytest.raises(ConfigurationError, match="line_size"):
+            CacheConfig(32, 1, line)
+
+    def test_bad_ports(self):
+        with pytest.raises(ConfigurationError, match="ports"):
+            CacheConfig(32, 1, 32, ports=0)
+
+    def test_minimum_line_is_one_word(self):
+        assert CacheConfig(4, 1, WORD_BYTES).line_size == WORD_BYTES
+
+
+class TestGeometry:
+    def test_from_size_matches_paper_configs(self):
+        # 16KB 2-way with 64-byte lines -> 128 sets.
+        config = CacheConfig.from_size(16 * 1024, 2, 64)
+        assert config.sets == 128
+        assert config.size_kb == 16.0
+
+    def test_from_size_indivisible_rejected(self):
+        with pytest.raises(ConfigurationError, match="divisible"):
+            CacheConfig.from_size(1000, 1, 32)
+
+    def test_line_and_set_mapping(self):
+        config = CacheConfig(8, 2, 16)
+        assert config.line_of(0) == 0
+        assert config.line_of(15) == 0
+        assert config.line_of(16) == 1
+        assert config.set_of_line(9) == 1
+        assert config.set_of_line(8) == 0
+
+    def test_with_line_size(self):
+        config = CacheConfig(64, 2, 32, ports=2)
+        contracted = config.with_line_size(16)
+        assert contracted.sets == 64
+        assert contracted.assoc == 2
+        assert contracted.line_size == 16
+        assert contracted.ports == 2
+
+    def test_describe(self):
+        assert "direct-mapped" in CacheConfig(32, 1, 32).describe()
+        assert "2-way" in CacheConfig.from_size(16 * 1024, 2, 32).describe()
+        assert "16KB" in CacheConfig.from_size(16 * 1024, 2, 32).describe()
+
+    def test_ordering_and_hashing(self):
+        a = CacheConfig(32, 1, 32)
+        b = CacheConfig(64, 1, 32)
+        assert a < b
+        assert len({a, b, CacheConfig(32, 1, 32)}) == 2

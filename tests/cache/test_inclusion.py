@@ -1,0 +1,46 @@
+"""Unit tests for repro.cache.inclusion."""
+
+from repro.cache.config import CacheConfig
+from repro.cache.inclusion import check_hierarchy, satisfies_inclusion
+
+
+class TestInclusion:
+    def test_paper_small_hierarchy_is_legal(self):
+        icache = CacheConfig.from_size(1024, 1, 32)
+        dcache = CacheConfig.from_size(1024, 1, 32)
+        unified = CacheConfig.from_size(16 * 1024, 2, 64)
+        assert satisfies_inclusion(icache, unified)
+        assert check_hierarchy(icache, dcache, unified) == []
+
+    def test_paper_large_hierarchy_is_legal(self):
+        l1 = CacheConfig.from_size(16 * 1024, 2, 32)
+        unified = CacheConfig.from_size(128 * 1024, 4, 64)
+        assert satisfies_inclusion(l1, unified)
+
+    def test_smaller_l2_line_violates(self):
+        l1 = CacheConfig.from_size(1024, 1, 64)
+        l2 = CacheConfig.from_size(16 * 1024, 2, 32)
+        assert not satisfies_inclusion(l1, l2)
+
+    def test_smaller_l2_capacity_violates(self):
+        l1 = CacheConfig.from_size(16 * 1024, 2, 32)
+        l2 = CacheConfig.from_size(8 * 1024, 2, 64)
+        assert not satisfies_inclusion(l1, l2)
+
+    def test_aliasing_needs_associativity(self):
+        # L1 spans 8KB of address reach; L2 direct-mapped spanning 8KB of
+        # sets cannot hold 2-way L1 sets that alias.
+        l1 = CacheConfig(256, 2, 32)  # span 8KB, 16KB total
+        l2_weak = CacheConfig(256, 1, 64)  # span 16KB, 1-way
+        l2_ok = CacheConfig(256, 2, 64)
+        assert not satisfies_inclusion(l1, l2_weak)
+        assert satisfies_inclusion(l1, l2_ok)
+
+    def test_check_hierarchy_reports_each_violation(self):
+        icache = CacheConfig.from_size(16 * 1024, 2, 32)
+        dcache = CacheConfig.from_size(16 * 1024, 2, 32)
+        unified = CacheConfig.from_size(8 * 1024, 1, 32)
+        problems = check_hierarchy(icache, dcache, unified)
+        assert len(problems) == 2
+        assert "instruction" in problems[0]
+        assert "data" in problems[1]

@@ -1,0 +1,93 @@
+"""Property-based tests for the cache simulators (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cache.cheetah import CheetahSimulator
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import CacheSimulator, simulate_trace
+
+line_sizes = st.sampled_from([4, 8, 16, 32])
+set_counts = st.sampled_from([1, 2, 4, 8, 16])
+assocs = st.integers(min_value=1, max_value=4)
+
+
+@st.composite
+def range_traces(draw, max_len=200):
+    n = draw(st.integers(min_value=1, max_value=max_len))
+    starts = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=2048).map(lambda v: v * 4),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    sizes = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=16).map(lambda v: v * 4),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return starts, sizes
+
+
+@given(trace=range_traces(), sets=set_counts, assoc=assocs, line=line_sizes)
+@settings(max_examples=60, deadline=None)
+def test_cheetah_equals_direct_simulator(trace, sets, assoc, line):
+    """The single-pass simulator is exactly the direct LRU simulator."""
+    starts, sizes = trace
+    direct = simulate_trace(CacheConfig(sets, assoc, line), starts, sizes)
+    cheetah = CheetahSimulator(line, [sets], max_assoc=4)
+    cheetah.simulate(starts, sizes)
+    assert cheetah.misses(sets, assoc) == direct.misses
+    assert cheetah.accesses == direct.accesses
+
+
+@given(trace=range_traces(), sets=set_counts, line=line_sizes)
+@settings(max_examples=40, deadline=None)
+def test_misses_monotone_nonincreasing_in_associativity(trace, sets, line):
+    """LRU inclusion: adding ways never adds misses (fixed sets, line)."""
+    starts, sizes = trace
+    cheetah = CheetahSimulator(line, [sets], max_assoc=6)
+    cheetah.simulate(starts, sizes)
+    misses = [cheetah.misses(sets, a) for a in range(1, 7)]
+    assert all(a >= b for a, b in zip(misses, misses[1:]))
+
+
+@given(trace=range_traces(), sets=set_counts, assoc=assocs, line=line_sizes)
+@settings(max_examples=40, deadline=None)
+def test_miss_bounds(trace, sets, assoc, line):
+    """0 <= misses <= accesses, and at least the cold-unique lower bound."""
+    starts, sizes = trace
+    result = simulate_trace(CacheConfig(sets, assoc, line), starts, sizes)
+    unique_lines = {
+        line_index
+        for start, size in zip(starts, sizes)
+        for line_index in range(start // line, (start + size - 1) // line + 1)
+    }
+    capacity = sets * assoc
+    assert 0 <= result.misses <= result.accesses
+    # Every unique line must cold-miss at least once.
+    assert result.misses >= len(unique_lines)
+    # A cache big enough to hold everything only cold-misses.
+    if len(unique_lines) <= sets:  # each set holds >= 1 line
+        per_set: dict[int, int] = {}
+        for line_index in unique_lines:
+            per_set[line_index % sets] = per_set.get(line_index % sets, 0) + 1
+        if max(per_set.values(), default=0) <= assoc:
+            assert result.misses == len(unique_lines)
+    del capacity
+
+
+@given(trace=range_traces(max_len=100), line=line_sizes)
+@settings(max_examples=30, deadline=None)
+def test_stateful_simulator_agrees_with_batch(trace, line):
+    starts, sizes = trace
+    config = CacheConfig(8, 2, line)
+    stateful = CacheSimulator(config)
+    for start, size in zip(starts, sizes):
+        stateful.access_range(start, size)
+    batch = simulate_trace(config, starts, sizes)
+    assert stateful.misses == batch.misses
+    assert stateful.accesses == batch.accesses

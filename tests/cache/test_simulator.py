@@ -1,0 +1,117 @@
+"""Unit tests for repro.cache.simulator (the direct LRU simulator)."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import CacheSimulator, simulate_trace
+from repro.errors import TraceError
+
+
+class TestAccessLine:
+    def test_cold_miss_then_hit(self):
+        sim = CacheSimulator(CacheConfig(4, 1, 16))
+        assert sim.access_line(0) is False
+        assert sim.access_line(0) is True
+        assert sim.misses == 1
+        assert sim.accesses == 2
+
+    def test_direct_mapped_conflict(self):
+        sim = CacheSimulator(CacheConfig(4, 1, 16))
+        sim.access_line(0)
+        sim.access_line(4)  # same set (4 % 4 == 0), evicts line 0
+        assert sim.access_line(0) is False
+        assert sim.misses == 3
+
+    def test_two_way_avoids_that_conflict(self):
+        sim = CacheSimulator(CacheConfig(4, 2, 16))
+        sim.access_line(0)
+        sim.access_line(4)
+        assert sim.access_line(0) is True
+        assert sim.misses == 2
+
+    def test_lru_replacement_order(self):
+        # One set, 2 ways: touch 0, 1, re-touch 0, then 2 evicts 1 not 0.
+        sim = CacheSimulator(CacheConfig(1, 2, 16))
+        sim.access_line(0)
+        sim.access_line(1)
+        sim.access_line(0)
+        sim.access_line(2)
+        assert sim.contains_line(0)
+        assert not sim.contains_line(1)
+        assert sim.contains_line(2)
+
+    def test_resident_lines(self):
+        sim = CacheSimulator(CacheConfig(2, 1, 16))
+        sim.access_line(0)
+        sim.access_line(1)
+        assert sim.resident_lines() == {0, 1}
+
+    def test_reset(self):
+        sim = CacheSimulator(CacheConfig(2, 1, 16))
+        sim.access_line(0)
+        sim.reset()
+        assert sim.accesses == 0
+        assert sim.misses == 0
+        assert not sim.contains_line(0)
+
+
+class TestAccessRange:
+    def test_range_touches_each_overlapping_line_once(self):
+        sim = CacheSimulator(CacheConfig(16, 1, 16))
+        # Bytes [8, 40) overlap lines 0, 1, 2.
+        misses = sim.access_range(8, 32)
+        assert misses == 3
+        assert sim.accesses == 3
+
+    def test_range_within_one_line(self):
+        sim = CacheSimulator(CacheConfig(16, 1, 16))
+        assert sim.access_range(4, 4) == 1
+        assert sim.access_range(8, 4) == 0  # same line
+
+    def test_non_positive_size_rejected(self):
+        sim = CacheSimulator(CacheConfig(16, 1, 16))
+        with pytest.raises(TraceError, match="positive"):
+            sim.access_range(0, 0)
+
+
+class TestSimulateTrace:
+    def test_matches_stateful_simulator(self):
+        config = CacheConfig(8, 2, 32)
+        starts = [0, 64, 128, 0, 32, 64, 1024, 2048, 0]
+        sizes = [32, 64, 32, 96, 32, 32, 256, 32, 32]
+        stateful = CacheSimulator(config)
+        for start, size in zip(starts, sizes):
+            stateful.access_range(start, size)
+        result = simulate_trace(config, starts, sizes)
+        assert result.misses == stateful.misses
+        assert result.accesses == stateful.accesses
+
+    def test_word_sequential_trace_spatial_locality(self):
+        # 64 sequential words = 256 bytes = 8 lines of 32B: 8 misses.
+        config = CacheConfig(64, 1, 32)
+        starts = [i * 4 for i in range(64)]
+        sizes = [4] * 64
+        result = simulate_trace(config, starts, sizes)
+        assert result.misses == 8
+        assert result.accesses == 64
+        assert result.miss_rate == pytest.approx(8 / 64)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TraceError, match="equal length"):
+            simulate_trace(CacheConfig(4, 1, 16), [0, 16], [16])
+
+    def test_empty_trace(self):
+        result = simulate_trace(CacheConfig(4, 1, 16), [], [])
+        assert result.misses == 0
+        assert result.miss_rate == 0.0
+
+    def test_numpy_input_accepted(self):
+        import numpy as np
+
+        result = simulate_trace(
+            CacheConfig(4, 1, 16),
+            np.array([0, 16, 0]),
+            np.array([16, 16, 16]),
+        )
+        assert result.accesses == 3
+        assert result.misses == 2

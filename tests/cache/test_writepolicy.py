@@ -1,0 +1,139 @@
+"""Unit tests for repro.cache.writepolicy."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import simulate_trace
+from repro.cache.writepolicy import simulate_write_policy
+from repro.errors import ConfigurationError
+from repro.trace.ranges import KIND_DATA, KIND_INSTR, KIND_WRITE, RangeTrace
+
+
+def trace_of(entries):
+    """entries: list of (start, size, kind)."""
+    return RangeTrace.build(
+        [e[0] for e in entries],
+        [e[1] for e in entries],
+        [e[2] for e in entries],
+    )
+
+
+CONFIG = CacheConfig(2, 1, 16)  # 2 sets, direct-mapped, 16B lines
+
+
+class TestWriteBack:
+    def test_read_only_trace_has_no_write_traffic(self):
+        trace = trace_of([(0, 4, KIND_DATA), (64, 4, KIND_DATA)])
+        result = simulate_write_policy(CONFIG, trace)
+        assert result.writebacks == 0
+        assert result.memory_writes == 0
+
+    def test_miss_counts_match_write_oblivious_simulator(self):
+        entries = [
+            (0, 4, KIND_WRITE),
+            (32, 4, KIND_DATA),
+            (0, 4, KIND_DATA),
+            (64, 4, KIND_WRITE),
+            (0, 16, KIND_INSTR),
+        ]
+        trace = trace_of(entries)
+        with_writes = simulate_write_policy(CONFIG, trace, "write-back")
+        oblivious = simulate_trace(CONFIG, trace.starts, trace.sizes)
+        # Write-allocate fills on store misses, so miss counts agree.
+        assert with_writes.misses == oblivious.misses
+        assert with_writes.accesses == oblivious.accesses
+
+    def test_dirty_eviction_counts_writeback(self):
+        # Line 0 (set 0) written, then line 2 (set 0) evicts it.
+        trace = trace_of([(0, 4, KIND_WRITE), (32, 4, KIND_DATA)])
+        result = simulate_write_policy(CONFIG, trace)
+        assert result.writebacks == 1
+
+    def test_clean_eviction_is_free(self):
+        trace = trace_of([(0, 4, KIND_DATA), (32, 4, KIND_DATA)])
+        result = simulate_write_policy(CONFIG, trace)
+        assert result.writebacks == 0
+
+    def test_rewrite_same_line_one_writeback(self):
+        trace = trace_of(
+            [
+                (0, 4, KIND_WRITE),
+                (4, 4, KIND_WRITE),
+                (8, 4, KIND_WRITE),
+                (32, 4, KIND_DATA),  # evicts the one dirty line
+            ]
+        )
+        result = simulate_write_policy(CONFIG, trace)
+        assert result.writebacks == 1
+
+    def test_flush_at_end_counts_resident_dirty(self):
+        trace = trace_of([(0, 4, KIND_WRITE), (16, 4, KIND_WRITE)])
+        plain = simulate_write_policy(CONFIG, trace)
+        flushed = simulate_write_policy(CONFIG, trace, flush_at_end=True)
+        assert plain.writebacks == 0
+        assert flushed.writebacks == 2
+
+    def test_memory_traffic_accounting(self):
+        trace = trace_of([(0, 4, KIND_WRITE), (32, 4, KIND_DATA)])
+        result = simulate_write_policy(CONFIG, trace)
+        # 2 fills + 1 writeback, 16B lines.
+        assert result.memory_traffic_bytes == 3 * 16
+
+
+class TestWriteThrough:
+    def test_stores_always_write_memory(self):
+        trace = trace_of(
+            [(0, 4, KIND_WRITE), (0, 4, KIND_WRITE), (0, 4, KIND_DATA)]
+        )
+        result = simulate_write_policy(CONFIG, trace, "write-through")
+        assert result.memory_writes == 2
+        assert result.writebacks == 0
+
+    def test_store_misses_do_not_allocate(self):
+        # Store to line 0 (miss, no fill), then load line 0: still a miss.
+        trace = trace_of([(0, 4, KIND_WRITE), (0, 4, KIND_DATA)])
+        result = simulate_write_policy(CONFIG, trace, "write-through")
+        assert result.misses == 2
+
+    def test_store_hits_update_in_place(self):
+        trace = trace_of(
+            [(0, 4, KIND_DATA), (0, 4, KIND_WRITE), (0, 4, KIND_DATA)]
+        )
+        result = simulate_write_policy(CONFIG, trace, "write-through")
+        assert result.misses == 1
+        assert result.memory_writes == 1
+
+    def test_traffic_model(self):
+        trace = trace_of([(0, 4, KIND_DATA), (0, 4, KIND_WRITE)])
+        result = simulate_write_policy(CONFIG, trace, "write-through")
+        # One fill (16B) + one through-write (4B).
+        assert result.memory_traffic_bytes == 16 + 4
+
+
+class TestValidation:
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError, match="policy"):
+            simulate_write_policy(
+                CONFIG, trace_of([(0, 4, KIND_DATA)]), "copy-back"
+            )
+
+
+class TestPipelineTraces:
+    def test_real_data_trace_has_tagged_writes(self, tiny_pipeline):
+        art = tiny_pipeline.reference_artifacts()
+        dtrace = art.data_trace
+        writes = int((dtrace.kinds == KIND_WRITE).sum())
+        reads = int((dtrace.kinds == KIND_DATA).sum())
+        assert writes > 0 and reads > 0
+        assert reads > writes  # load_fraction > 0.5
+
+    def test_writeback_misses_match_oblivious_on_real_trace(
+        self, tiny_pipeline
+    ):
+        art = tiny_pipeline.reference_artifacts()
+        dtrace = art.data_trace
+        config = CacheConfig.from_size(1024, 1, 32)
+        with_writes = simulate_write_policy(config, dtrace, "write-back")
+        oblivious = simulate_trace(config, dtrace.starts, dtrace.sizes)
+        assert with_writes.misses == oblivious.misses
+        assert 0 < with_writes.writebacks <= with_writes.misses

@@ -1,0 +1,78 @@
+"""Unit tests for repro.core.dilated_trace."""
+
+import pytest
+
+from repro.cache.config import WORD_BYTES
+from repro.core.dilated_trace import dilate_binary
+from repro.errors import ModelError
+from repro.iformat.linker import Binary, BlockImage
+
+
+def make_binary(sizes, base=0x10000, gap=0):
+    binary = Binary(program_name="app", processor_name="ref", base=base)
+    cursor = base
+    for index, size in enumerate(sizes):
+        binary.add(BlockImage("m", index, cursor, size))
+        cursor += size + gap
+    return binary
+
+
+class TestDilateBinary:
+    def test_identity_at_dilation_one(self):
+        binary = make_binary([64, 32, 128])
+        dilated = dilate_binary(binary, 1.0)
+        for ref, dil in zip(binary.images, dilated.images):
+            assert (dil.start, dil.size) == (ref.start, ref.size)
+
+    def test_integer_dilation_scales_offsets_exactly(self):
+        binary = make_binary([64, 32, 128])
+        dilated = dilate_binary(binary, 2.0)
+        base = binary.base
+        for ref, dil in zip(binary.images, dilated.images):
+            assert dil.start - base == 2 * (ref.start - base)
+            assert dil.size == 2 * ref.size
+
+    def test_no_overlap_after_fractional_dilation(self):
+        binary = make_binary([20, 24, 36, 16, 100, 8])
+        for dilation in (1.1, 1.37, 2.6, 3.9):
+            dilated = dilate_binary(binary, dilation)
+            images = sorted(dilated.images, key=lambda im: im.start)
+            for a, b in zip(images, images[1:]):
+                assert a.end <= b.start
+
+    def test_word_rounding(self):
+        binary = make_binary([20, 24])
+        dilated = dilate_binary(binary, 1.3)
+        for image in dilated.images:
+            assert image.start % WORD_BYTES == 0
+            assert image.size % WORD_BYTES == 0
+
+    def test_contiguous_blocks_stay_contiguous(self):
+        # Adjacent blocks with no gaps: after dilation, gaps stay within
+        # one word of zero (paper: "contiguous basic blocks in the
+        # original trace remain contiguous but do not overlap").
+        binary = make_binary([16, 16, 16, 16], gap=0)
+        dilated = dilate_binary(binary, 1.7)
+        images = sorted(dilated.images, key=lambda im: im.start)
+        for a, b in zip(images, images[1:]):
+            assert 0 <= b.start - a.end <= WORD_BYTES
+
+    def test_text_size_scales_roughly_with_dilation(self):
+        binary = make_binary([64, 32, 128, 16, 48])
+        dilated = dilate_binary(binary, 2.5)
+        assert dilated.text_size == pytest.approx(
+            2.5 * binary.text_size, rel=0.05
+        )
+
+    def test_minimum_block_size_is_one_word(self):
+        binary = make_binary([4, 4])
+        dilated = dilate_binary(binary, 1.01)
+        assert all(im.size >= WORD_BYTES for im in dilated.images)
+
+    def test_non_positive_dilation_rejected(self):
+        with pytest.raises(ModelError, match="positive"):
+            dilate_binary(make_binary([16]), 0.0)
+
+    def test_processor_name_annotated(self):
+        dilated = dilate_binary(make_binary([16]), 2.0)
+        assert "d=2" in dilated.processor_name

@@ -1,0 +1,85 @@
+"""Unit tests for repro.core.dilation."""
+
+import numpy as np
+import pytest
+
+from repro.core.dilation import (
+    cumulative_distribution,
+    measure_dilation,
+)
+from repro.errors import ModelError
+from repro.iformat.linker import Binary, BlockImage
+
+
+def make_binary(name, proc_sizes, base=0x10000):
+    """proc_sizes: list of (proc, block_id, size)."""
+    binary = Binary(program_name=name, processor_name="x", base=base)
+    cursor = base
+    for proc, block_id, size in proc_sizes:
+        binary.add(BlockImage(proc, block_id, cursor, size))
+        cursor += size
+    return binary
+
+
+class TestMeasureDilation:
+    def test_text_and_block_ratios(self):
+        ref = make_binary("app", [("m", 0, 100), ("m", 1, 100)])
+        target = make_binary("app", [("m", 0, 150), ("m", 1, 250)])
+        info = measure_dilation(ref, target)
+        assert info.text_dilation == pytest.approx(2.0)
+        assert info.block_dilations.tolist() == [1.5, 2.5]
+        assert info.mean_block_dilation == pytest.approx(2.0)
+
+    def test_program_mismatch_rejected(self):
+        ref = make_binary("a", [("m", 0, 100)])
+        target = make_binary("b", [("m", 0, 100)])
+        with pytest.raises(ModelError, match="different programs"):
+            measure_dilation(ref, target)
+
+    def test_empty_reference_rejected(self):
+        ref = Binary(program_name="a", processor_name="x", base=0)
+        target = make_binary("a", [("m", 0, 100)])
+        with pytest.raises(ModelError, match="no text"):
+            measure_dilation(ref, target)
+
+    def test_uniform_dilation_gives_step_distribution(self):
+        ref = make_binary("app", [("m", i, 64) for i in range(10)])
+        target = make_binary("app", [("m", i, 128) for i in range(10)])
+        info = measure_dilation(ref, target)
+        thresholds = np.array([1.0, 1.99, 2.0, 3.0])
+        static = info.static_distribution(thresholds)
+        assert static.tolist() == [0.0, 0.0, 1.0, 1.0]
+
+
+class TestCumulativeDistribution:
+    def test_unweighted(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        cdf = cumulative_distribution(values, None, np.array([0.5, 2.5, 9.0]))
+        assert cdf.tolist() == [0.0, 0.5, 1.0]
+
+    def test_weighted(self):
+        values = np.array([1.0, 3.0])
+        weights = np.array([3.0, 1.0])
+        cdf = cumulative_distribution(values, weights, np.array([2.0]))
+        assert cdf.tolist() == [0.75]
+
+    def test_threshold_inclusive(self):
+        values = np.array([2.0])
+        cdf = cumulative_distribution(values, None, np.array([2.0]))
+        assert cdf.tolist() == [1.0]
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ModelError, match="zero"):
+            cumulative_distribution(
+                np.array([1.0]), np.array([0.0]), np.array([1.0])
+            )
+
+    def test_dynamic_distribution_with_mapping(self):
+        ref = make_binary("app", [("m", 0, 100), ("m", 1, 100)])
+        target = make_binary("app", [("m", 0, 100), ("m", 1, 300)])
+        info = measure_dilation(ref, target)
+        # Hot block 0 has dilation 1.0; cold block 1 has 3.0.
+        cdf = info.dynamic_distribution(
+            {("m", 0): 99, ("m", 1): 1}, np.array([2.0])
+        )
+        assert cdf.tolist() == [0.99]

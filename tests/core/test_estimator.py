@@ -1,0 +1,148 @@
+"""Unit tests for repro.core.estimator."""
+
+import pytest
+
+from repro.ahh.params import ComponentParameters, TraceParameters
+from repro.cache.config import CacheConfig
+from repro.core.estimator import DilationEstimator, _bracket_line_sizes
+from repro.errors import ModelError
+
+
+def make_params():
+    return TraceParameters(
+        icache=ComponentParameters(400.0, 0.05, 12.0, granule_size=2000),
+        unified_instr=ComponentParameters(900.0, 0.05, 12.0, granule_size=20000),
+        unified_data=ComponentParameters(600.0, 0.4, 2.5, granule_size=20000),
+    )
+
+
+@pytest.fixture
+def estimator():
+    return DilationEstimator(make_params())
+
+
+class TestBracketing:
+    def test_exact_power_of_two(self):
+        assert _bracket_line_sizes(16.0) == (16, 16)
+
+    def test_between_powers(self):
+        assert _bracket_line_sizes(10.7) == (8, 16)
+        assert _bracket_line_sizes(5.0) == (4, 8)
+
+    def test_clamped_at_word(self):
+        assert _bracket_line_sizes(2.0) == (4, 4)
+
+
+class TestDcache:
+    def test_identity(self, estimator):
+        assert estimator.estimate_dcache_misses(1234) == 1234.0
+
+
+class TestIcache:
+    def test_power_of_two_dilation_is_exact_lookup(self, estimator):
+        config = CacheConfig(64, 1, 32)
+        reference = {CacheConfig(64, 1, 16): 5000.0}
+        assert (
+            estimator.estimate_icache_misses(config, 2.0, reference) == 5000.0
+        )
+
+    def test_interpolation_lies_between_brackets(self, estimator):
+        config = CacheConfig(64, 1, 32)
+        reference = {
+            CacheConfig(64, 1, 8): 9000.0,
+            CacheConfig(64, 1, 16): 6000.0,
+        }
+        value = estimator.estimate_icache_misses(config, 3.0, reference)
+        assert 6000.0 <= value <= 9000.0
+
+    def test_interpolation_endpoint_continuity(self, estimator):
+        """As d -> L/Ll, the interpolated estimate approaches the exact
+        lookup at the bracketing line size."""
+        config = CacheConfig(64, 1, 32)
+        reference = {
+            CacheConfig(64, 1, 8): 9000.0,
+            CacheConfig(64, 1, 16): 6000.0,
+        }
+        near_two = estimator.estimate_icache_misses(
+            config, 2.0001, reference
+        )
+        assert near_two == pytest.approx(6000.0, rel=0.01)
+
+    def test_missing_reference_config_raises(self, estimator):
+        config = CacheConfig(64, 1, 32)
+        with pytest.raises(ModelError, match="lack"):
+            estimator.estimate_icache_misses(config, 3.0, {})
+
+    def test_required_configs_listed(self, estimator):
+        config = CacheConfig(64, 1, 32)
+        assert estimator.required_icache_configs(config, 2.0) == [
+            CacheConfig(64, 1, 16)
+        ]
+        assert estimator.required_icache_configs(config, 3.0) == [
+            CacheConfig(64, 1, 8),
+            CacheConfig(64, 1, 16),
+        ]
+
+    def test_ports_normalized_in_lookups(self, estimator):
+        config = CacheConfig(64, 1, 32, ports=2)
+        reference = {CacheConfig(64, 1, 16): 5000.0}  # ports=1 key
+        assert (
+            estimator.estimate_icache_misses(config, 2.0, reference) == 5000.0
+        )
+
+    def test_huge_dilation_clamps_to_word_line(self, estimator):
+        config = CacheConfig(64, 1, 32)
+        reference = {CacheConfig(64, 1, 4): 20000.0}
+        value = estimator.estimate_icache_misses(config, 100.0, reference)
+        assert value == 20000.0
+
+    def test_non_positive_dilation_rejected(self, estimator):
+        with pytest.raises(ModelError, match="dilation"):
+            estimator.estimate_icache_misses(CacheConfig(64, 1, 32), 0, {})
+
+    def test_estimate_never_negative(self, estimator):
+        config = CacheConfig(64, 1, 32)
+        # Pathological reference values that would extrapolate negative.
+        reference = {
+            CacheConfig(64, 1, 8): 1.0,
+            CacheConfig(64, 1, 16): 5000.0,
+        }
+        value = estimator.estimate_icache_misses(config, 3.0, reference)
+        assert value >= 0.0
+
+
+class TestUnified:
+    def test_dilation_one_is_identity(self, estimator):
+        config = CacheConfig.from_size(16 * 1024, 2, 64)
+        assert (
+            estimator.estimate_unified_misses(config, 1.0, 7777.0) == 7777.0
+        )
+
+    def test_dilation_scales_misses_up(self, estimator):
+        config = CacheConfig.from_size(16 * 1024, 2, 64)
+        base = estimator.estimate_unified_misses(config, 1.0, 10_000.0)
+        dilated = estimator.estimate_unified_misses(config, 2.0, 10_000.0)
+        assert dilated > base
+
+    def test_monotone_in_dilation(self, estimator):
+        config = CacheConfig.from_size(16 * 1024, 2, 64)
+        values = [
+            estimator.estimate_unified_misses(config, d, 10_000.0)
+            for d in (1.0, 1.5, 2.0, 3.0, 4.0)
+        ]
+        assert values == sorted(values)
+
+    def test_collision_ratio_formula(self, estimator):
+        config = CacheConfig.from_size(16 * 1024, 2, 64)
+        coll_1 = estimator.unified_collisions(config, 1.0)
+        coll_2 = estimator.unified_collisions(config, 2.0)
+        expected = 10_000.0 * coll_2 / coll_1
+        assert estimator.estimate_unified_misses(
+            config, 2.0, 10_000.0
+        ) == pytest.approx(expected)
+
+    def test_non_positive_dilation_rejected(self, estimator):
+        with pytest.raises(ModelError, match="dilation"):
+            estimator.estimate_unified_misses(
+                CacheConfig(64, 1, 32), -1.0, 1.0
+            )

@@ -1,0 +1,37 @@
+"""Unit tests for repro.core.interpolate (Lemma 2)."""
+
+import pytest
+
+from repro.core.interpolate import interpolate_linear_in
+from repro.errors import ModelError
+
+
+class TestInterpolateLinearIn:
+    def test_recovers_endpoints(self):
+        # Eq (4.12) note: "at the two end points ... the right hand side
+        # evaluates to M(IC(S,A,Ll)) and M(IC(S,A,Lu)) respectively."
+        f1, g1, f2, g2 = 10.0, 2.0, 30.0, 6.0
+        assert interpolate_linear_in(f1, g1, f2, g2, g1) == pytest.approx(f1)
+        assert interpolate_linear_in(f1, g1, f2, g2, g2) == pytest.approx(f2)
+
+    def test_recovers_exact_line(self):
+        # f(x) = 3 g(x) + 7.
+        def f_of(g):
+            return 3.0 * g + 7.0
+
+        for g in (0.0, 1.5, 10.0, -4.0):
+            assert interpolate_linear_in(
+                f_of(2.0), 2.0, f_of(5.0), 5.0, g
+            ) == pytest.approx(f_of(g))
+
+    def test_extrapolation_beyond_samples(self):
+        # The unified-cache path extrapolates; the line must extend.
+        value = interpolate_linear_in(10.0, 1.0, 20.0, 2.0, 4.0)
+        assert value == pytest.approx(40.0)
+
+    def test_degenerate_equal_points_same_value(self):
+        assert interpolate_linear_in(5.0, 3.0, 5.0, 3.0, 9.0) == 5.0
+
+    def test_degenerate_equal_abscissae_different_values(self):
+        with pytest.raises(ModelError, match="coincide"):
+            interpolate_linear_in(5.0, 3.0, 6.0, 3.0, 9.0)

@@ -1,0 +1,93 @@
+"""Lemma 1: dilating the trace by d == contracting the line size by d.
+
+The paper proves M(IC(S,A,L), Pref, d) = M(IC(S,A,L/d), Pref) when L/d is
+a feasible line size.  We verify it end-to-end: simulate the dilated
+instruction trace of a real workload on C(S,A,L) and the undilated trace
+on C(S,A,L/d) and require equal miss counts.
+
+Exactness requires the lemma's own preconditions: block starts stay at
+B + d*O without rounding (so integer d) and blocks map to sets
+identically.  For fractional d, rounding perturbs placements and the
+counts are only close; we check both regimes.
+"""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import simulate_trace
+from repro.core.dilated_trace import dilate_binary
+from repro.trace.generator import TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def reference(tiny_pipeline_module):
+    return tiny_pipeline_module.reference_artifacts()
+
+
+@pytest.fixture(scope="module")
+def tiny_pipeline_module():
+    from repro.experiments.pipeline import ExperimentPipeline
+    from repro.workloads.suite import tiny_workload
+
+    return ExperimentPipeline(
+        tiny_workload(), max_visits=3_000, i_granule=200, u_granule=800
+    )
+
+
+def dilated_itrace(reference, dilation):
+    dilated = dilate_binary(reference.binary, dilation)
+    return TraceGenerator(dilated, reference.events).instruction_trace()
+
+
+class TestLemma1Exact:
+    @pytest.mark.parametrize("dilation", [2, 4])
+    @pytest.mark.parametrize("sets,assoc", [(32, 1), (64, 2), (16, 4)])
+    def test_power_of_two_dilation_is_exact(
+        self, reference, dilation, sets, assoc
+    ):
+        line = 32
+        dilated = dilated_itrace(reference, float(dilation))
+        big = simulate_trace(
+            CacheConfig(sets, assoc, line), dilated.starts, dilated.sizes
+        )
+        ref_trace = reference.instruction_trace
+        contracted = simulate_trace(
+            CacheConfig(sets, assoc, line // dilation),
+            ref_trace.starts,
+            ref_trace.sizes,
+        )
+        assert big.misses == contracted.misses
+
+    def test_dilation_one_is_reference(self, reference):
+        dilated = dilated_itrace(reference, 1.0)
+        ref_trace = reference.instruction_trace
+        config = CacheConfig(32, 1, 32)
+        assert (
+            simulate_trace(config, dilated.starts, dilated.sizes).misses
+            == simulate_trace(
+                config, ref_trace.starts, ref_trace.sizes
+            ).misses
+        )
+
+
+class TestLemma1Approximate:
+    def test_fractional_dilation_is_close_to_interpolated_regime(
+        self, reference
+    ):
+        """For L/d between two feasible sizes, dilated misses land between
+        (or near) the bracketing contracted-line simulations."""
+        config = CacheConfig(128, 2, 32)
+        ref_trace = reference.instruction_trace
+        lower = simulate_trace(
+            CacheConfig(128, 2, 8), ref_trace.starts, ref_trace.sizes
+        ).misses
+        upper = simulate_trace(
+            CacheConfig(128, 2, 16), ref_trace.starts, ref_trace.sizes
+        ).misses
+        dilated = dilated_itrace(reference, 3.0)  # 32/3 ~ 10.7 in (8, 16)
+        observed = simulate_trace(
+            config, dilated.starts, dilated.sizes
+        ).misses
+        low, high = sorted((lower, upper))
+        slack = 0.25 * max(high, 1)
+        assert low - slack <= observed <= high + slack

@@ -1,0 +1,69 @@
+"""Unit tests for repro.core.ports."""
+
+import pytest
+
+from repro.core.ports import block_port_stalls, port_stall_cycles
+from repro.errors import ConfigurationError
+from repro.machine.mdes import MachineDescription
+from repro.machine.presets import P1111, P6332
+from repro.trace.emulator import emulate
+from repro.vliwcomp.compile import compile_program
+
+
+class TestBlockPortStalls:
+    def test_enough_ports_is_free(self):
+        assert block_port_stalls(6, 3, 3) == 0
+        assert block_port_stalls(6, 3, 8) == 0
+
+    def test_single_port_serializes(self):
+        # 6 mem ops, 3 units: schedule assumed 2 cycles; 1 port needs 6.
+        assert block_port_stalls(6, 3, 1) == 4
+
+    def test_two_ports(self):
+        assert block_port_stalls(6, 3, 2) == 1  # ceil(6/2)=3 vs 2
+
+    def test_no_memory_ops(self):
+        assert block_port_stalls(0, 3, 1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="ports"):
+            block_port_stalls(1, 1, 0)
+        with pytest.raises(ConfigurationError, match="memory_units"):
+            block_port_stalls(1, 0, 1)
+
+
+class TestPortStallCycles:
+    @pytest.fixture(scope="class")
+    def wide_run(self, tiny):
+        compiled = compile_program(tiny.program, MachineDescription(P6332))
+        events = emulate(
+            tiny.program, tiny.streams, seed=2, max_visits=1200,
+            compiled=compiled,
+        )
+        return compiled, events
+
+    def test_full_porting_is_free(self, wide_run):
+        compiled, events = wide_run
+        assert port_stall_cycles(compiled, events, ports=3) == 0
+
+    def test_single_port_costs(self, wide_run):
+        compiled, events = wide_run
+        stalls = port_stall_cycles(compiled, events, ports=1)
+        assert stalls > 0
+
+    def test_monotone_in_ports(self, wide_run):
+        compiled, events = wide_run
+        values = [
+            port_stall_cycles(compiled, events, ports=p) for p in (1, 2, 3)
+        ]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] == 0
+
+    def test_narrow_machine_single_port_free(self, tiny):
+        # One memory unit: a single-ported cache matches the schedule.
+        compiled = compile_program(tiny.program, MachineDescription(P1111))
+        events = emulate(
+            tiny.program, tiny.streams, seed=2, max_visits=800,
+            compiled=compiled,
+        )
+        assert port_stall_cycles(compiled, events, ports=1) == 0

@@ -1,0 +1,103 @@
+"""Unit tests for repro.experiments.export."""
+
+import csv
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.export import (
+    figure5_csv,
+    figure6_csv,
+    save_csv,
+    table2_csv,
+    table3_csv,
+    three_way_csv,
+    to_csv,
+)
+from repro.experiments.runner import (
+    Figure5Result,
+    Figure6Result,
+    Table2Result,
+    Table3Result,
+    ThreeWayResult,
+)
+
+
+def parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+@pytest.fixture
+def table2():
+    return Table2Result(
+        data={"1 KB": {"epic": {"1111": 1.0, "2111": 1.05}}},
+        processors=("1111", "2111"),
+    )
+
+
+@pytest.fixture
+def table3():
+    return Table3Result(
+        data={"epic": {"1111": 1.0, "6332": 2.7}},
+        processors=("1111", "6332"),
+    )
+
+
+@pytest.fixture
+def three_way():
+    return ThreeWayResult(
+        data={"1 KB Icache": {"epic": {"2111": (1.2, 1.3, 1.25)}}},
+        processors=("2111",),
+    )
+
+
+class TestExporters:
+    def test_table2(self, table2):
+        rows = parse(table2_csv(table2))
+        assert rows[0] == ["cache", "benchmark", "processor", "relative_misses"]
+        assert ["1 KB", "epic", "2111", "1.05"] in rows
+
+    def test_table3(self, table3):
+        rows = parse(table3_csv(table3))
+        assert ["epic", "6332", "2.7"] in rows
+
+    def test_three_way(self, three_way):
+        rows = parse(three_way_csv(three_way))
+        assert rows[1] == ["1 KB Icache", "epic", "2111", "1.2", "1.3", "1.25"]
+
+    def test_figure5(self):
+        result = Figure5Result(
+            thresholds=np.array([1.0, 2.0]),
+            curves={
+                "epic": {("static", "2111"): np.array([0.25, 1.0])}
+            },
+        )
+        rows = parse(figure5_csv(result))
+        assert ["epic", "static", "2111", "2", "1"] in rows
+
+    def test_figure6(self):
+        result = Figure6Result(
+            benchmark="epic",
+            dilations=(1.0, 2.0),
+            series={"1 KB Icache": {"dilated": [10.0, 20.0], "estimated": [10.0, 21.0]}},
+        )
+        rows = parse(figure6_csv(result))
+        assert ["1 KB Icache", "2", "20", "21"] in rows
+
+
+class TestDispatch:
+    def test_to_csv_dispatches(self, table2, table3, three_way):
+        assert "relative_misses" in to_csv(table2)
+        assert "text_dilation" in to_csv(table3)
+        assert "estimated" in to_csv(three_way)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="exporter"):
+            to_csv(object())
+
+    def test_save_csv(self, table3, tmp_path):
+        path = save_csv(table3, tmp_path / "sub" / "t3.csv")
+        assert path.exists()
+        assert "6332" in path.read_text()

@@ -1,0 +1,53 @@
+"""Unit tests for repro.experiments.report."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.report import SECTIONS, build_report, save_report
+
+
+@pytest.fixture
+def results(tmp_path):
+    (tmp_path / "table3.txt").write_text("Text Dilation\n...rows...\n")
+    (tmp_path / "costmodel.txt").write_text("466 days\n")
+    return tmp_path
+
+
+class TestBuildReport:
+    def test_includes_available_sections(self, results):
+        report = build_report(results)
+        assert "# Reproduction run report" in report
+        assert "Table 3 — text dilation" in report
+        assert "Text Dilation" in report
+        assert "466 days" in report
+
+    def test_lists_missing_sections(self, results):
+        report = build_report(results)
+        assert "Not regenerated in this run" in report
+        assert "`table4`" in report
+
+    def test_sections_in_presentation_order(self, results):
+        report = build_report(results)
+        assert report.index("Table 3") < report.index("Section 1")
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            build_report(tmp_path / "nope")
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no known result"):
+            build_report(tmp_path)
+
+    def test_custom_title(self, results):
+        assert build_report(results, title="Run 7").startswith("# Run 7")
+
+    def test_all_section_stems_unique(self):
+        stems = [stem for stem, _ in SECTIONS]
+        assert len(stems) == len(set(stems))
+
+
+class TestSaveReport:
+    def test_writes_file(self, results, tmp_path):
+        out = save_report(results, tmp_path / "out" / "report.md")
+        assert out.exists()
+        assert "Text Dilation" in out.read_text()

@@ -1,0 +1,103 @@
+"""Smoke tests for the experiment runners at tiny scale.
+
+Structural checks only — the bench suite regenerates the paper-scale
+numbers; here we verify every runner produces complete, well-formed,
+correctly-normalized results quickly.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.runner import (
+    RunnerSettings,
+    get_pipeline,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_table2,
+    run_table3,
+)
+
+SMALL = RunnerSettings(
+    scale=0.12, max_visits=2_500, i_granule=200, u_granule=1_000
+)
+BENCHES = ("epic", "099.go")
+
+
+class TestPipelineCache:
+    def test_same_settings_share_pipeline(self):
+        a = get_pipeline("epic", SMALL)
+        b = get_pipeline("epic", SMALL)
+        assert a is b
+
+
+class TestTable2:
+    def test_structure_and_normalization(self):
+        result = run_table2(benchmarks=BENCHES, settings=SMALL)
+        assert set(result.data) == {"1 KB", "16 KB"}
+        for per_bench in result.data.values():
+            assert set(per_bench) == set(BENCHES)
+            for ratios in per_bench.values():
+                assert ratios["1111"] == pytest.approx(1.0)
+                assert all(r > 0 for r in ratios.values())
+        assert "Relative Data Cache Miss Rates" in result.render()
+
+
+class TestTable3:
+    def test_dilations_increase_with_width(self):
+        result = run_table3(benchmarks=BENCHES, settings=SMALL)
+        for bench in BENCHES:
+            row = result.data[bench]
+            assert row["1111"] == 1.0
+            assert row["1111"] < row["2111"] < row["3221"]
+            assert row["3221"] < row["4221"] <= row["6332"] + 0.2
+        assert "Text Dilation" in result.render()
+
+
+class TestFigure5:
+    def test_cdfs_are_monotone_and_bounded(self):
+        result = run_figure5(benchmarks=("epic",), settings=SMALL)
+        series = result.curves["epic"]
+        assert len(series) == 6  # 3 processors x static/dynamic
+        for values in series.values():
+            assert all(0.0 <= v <= 1.0 for v in values)
+            assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+            assert values[-1] == pytest.approx(1.0)
+        assert "Dilation distribution" in result.render()
+
+
+class TestFigure6:
+    def test_series_complete(self):
+        result = run_figure6(
+            "epic", settings=SMALL, dilations=(1.0, 2.0, 4.0)
+        )
+        assert len(result.series) == 4  # 2 icaches + 2 ucaches
+        for pair in result.series.values():
+            assert len(pair["dilated"]) == 3
+            assert len(pair["estimated"]) == 3
+            assert all(v >= 0 for v in pair["dilated"])
+            assert all(
+                not math.isnan(v) for v in pair["estimated"]
+            )
+        assert "Estimated and dilated" in result.render()
+
+    def test_dilation_one_dilated_equals_estimated(self):
+        result = run_figure6("epic", settings=SMALL, dilations=(1.0,))
+        for pair in result.series.values():
+            assert pair["dilated"][0] == pytest.approx(pair["estimated"][0])
+
+
+class TestFigure7:
+    def test_three_way_structure(self):
+        result = run_figure7("epic", settings=SMALL)
+        assert len(result.data) == 4
+        for per_bench in result.data.values():
+            per_proc = per_bench["epic"]
+            assert set(per_proc) == {"2111", "3221", "4221", "6332"}
+            for act, dil, est in per_proc.values():
+                assert act > 0
+                assert dil > 0
+                assert est >= 0
+        rendered = result.render()
+        assert "Act" in rendered and "Dil" in rendered and "Est" in rendered

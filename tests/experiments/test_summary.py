@@ -1,0 +1,89 @@
+"""Unit tests for repro.experiments.summary."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import ThreeWayResult
+from repro.experiments.summary import (
+    ErrorStats,
+    error_summary,
+    relative_errors,
+    render_error_summary,
+)
+
+
+@pytest.fixture
+def result():
+    # act, dil, est triples crafted for known errors.
+    return ThreeWayResult(
+        data={
+            "1 KB Icache": {
+                "epic": {
+                    "2111": (1.0, 1.0, 1.1),  # est err 0.1, dil err 0.0
+                    "6332": (2.0, 2.2, 3.0),  # est err 0.5, dil err 0.1
+                },
+            },
+            "16 K Ucache": {
+                "epic": {
+                    "2111": (1.0, 1.0, 1.2),  # est err 0.2
+                    "6332": (1.0, 1.0, 2.0),  # est err 1.0
+                },
+            },
+        },
+        processors=("2111", "6332"),
+    )
+
+
+class TestRelativeErrors:
+    def test_all_cells(self, result):
+        errors = relative_errors(result)
+        assert len(errors) == 4
+        assert pytest.approx(sorted(errors)) == [0.1, 0.2, 0.5, 1.0]
+
+    def test_role_filter(self, result):
+        icache = relative_errors(result, role="icache")
+        assert pytest.approx(sorted(icache)) == [0.1, 0.5]
+
+    def test_processor_filter(self, result):
+        narrow = relative_errors(result, processor="2111")
+        assert pytest.approx(sorted(narrow)) == [0.1, 0.2]
+
+    def test_dilated_series(self, result):
+        dilated = relative_errors(result, series="dilated", role="icache")
+        assert pytest.approx(sorted(dilated)) == [0.0, 0.1]
+
+    def test_unknown_series(self, result):
+        with pytest.raises(ConfigurationError, match="series"):
+            relative_errors(result, series="wishful")
+
+
+class TestErrorStats:
+    def test_aggregation(self):
+        stats = ErrorStats.from_errors([0.1, 0.2, 0.3, 0.4])
+        assert stats.n == 4
+        assert stats.mean == pytest.approx(0.25)
+        assert stats.median == pytest.approx(0.25)
+        assert stats.worst == 0.4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="no errors"):
+            ErrorStats.from_errors([])
+
+
+class TestSummary:
+    def test_headline_slices_present(self, result):
+        summary = error_summary(result)
+        assert "estimated/icache" in summary
+        assert "dilated/unified" in summary
+        assert "estimated/6332" in summary
+
+    def test_narrow_beats_wide_in_fixture(self, result):
+        summary = error_summary(result)
+        assert (
+            summary["estimated/2111"].mean < summary["estimated/6332"].mean
+        )
+
+    def test_render(self, result):
+        text = render_error_summary(result)
+        assert "slice" in text and "median" in text
+        assert "estimated/icache" in text

@@ -1,0 +1,40 @@
+"""Unit tests for repro.experiments.tables."""
+
+from repro.experiments.tables import render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(
+            "Title", ["a", "bb"], [[1, 2.5], ["x", 3.25]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "---" in lines[2] or "-" in lines[2]
+        assert "2.50" in text  # default float format
+        assert "3.25" in text
+
+    def test_columns_aligned(self):
+        text = render_table("T", ["col"], [["short"], ["a-longer-cell"]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_custom_float_format(self):
+        text = render_table("T", ["x"], [[0.123456]], float_format="{:.4f}")
+        assert "0.1235" in text
+
+
+class TestRenderSeries:
+    def test_series_columns(self):
+        text = render_series(
+            "Fig",
+            "dilation",
+            [1.0, 2.0],
+            {"dilated": [10.0, 20.0], "estimated": [11.0, 19.0]},
+        )
+        assert "dilation" in text
+        assert "dilated" in text
+        assert "estimated" in text
+        assert "20" in text

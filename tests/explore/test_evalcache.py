@@ -1,0 +1,74 @@
+"""Unit tests for repro.explore.evalcache."""
+
+import pytest
+
+from repro.errors import EvaluationCacheError
+from repro.explore.evalcache import EvaluationCache
+
+
+class TestInMemory:
+    def test_get_put(self):
+        cache = EvaluationCache()
+        assert cache.get("k") is None
+        cache.put("k", 1.5)
+        assert cache.get("k") == 1.5
+        assert "k" in cache
+        assert len(cache) == 1
+
+    def test_get_or_compute_calls_once(self):
+        cache = EvaluationCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert cache.get_or_compute("k", compute) == 42
+        assert cache.get_or_compute("k", compute) == 42
+        assert len(calls) == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+
+class TestPersistent:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        cache = EvaluationCache(path)
+        cache.put("misses/gcc/ic32", 1234)
+        cache.put("dilation/6332", 2.79)
+        reloaded = EvaluationCache(path)
+        assert reloaded.get("misses/gcc/ic32") == 1234
+        assert reloaded.get("dilation/6332") == 2.79
+
+    def test_structured_values(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        cache = EvaluationCache(path)
+        cache.put("vector", [1, 2, 3])
+        cache.put("table", {"a": 1.0})
+        reloaded = EvaluationCache(path)
+        assert reloaded.get("vector") == [1, 2, 3]
+        assert reloaded.get("table") == {"a": 1.0}
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text("{not json")
+        with pytest.raises(EvaluationCacheError, match="unreadable"):
+            EvaluationCache(path)
+
+    def test_non_object_file_raises(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(EvaluationCacheError, match="not a JSON object"):
+            EvaluationCache(path)
+
+    def test_empty_file_ok(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text("")
+        cache = EvaluationCache(path)
+        assert len(cache) == 0
+
+    def test_parent_directory_created(self, tmp_path):
+        path = tmp_path / "deep" / "nest" / "metrics.json"
+        cache = EvaluationCache(path)
+        cache.put("k", 1)
+        assert path.exists()

@@ -1,0 +1,90 @@
+"""Unit tests for repro.explore.heuristics."""
+
+import pytest
+
+from repro.explore.heuristics import GreedyProcessorWalker, GuidedCacheWalker
+from repro.isa.operations import OpClass
+from repro.explore.spec import CacheDesignSpace, ProcessorDesignSpace
+from repro.explore.walkers import CacheWalker
+
+
+@pytest.fixture(scope="module")
+def evaluator(pipeline_module):
+    return pipeline_module.memory_evaluator()
+
+
+@pytest.fixture(scope="module")
+def pipeline_module():
+    from repro.experiments.pipeline import ExperimentPipeline
+    from repro.workloads.suite import tiny_workload
+
+    return ExperimentPipeline(
+        tiny_workload(), max_visits=3_000, i_granule=200, u_granule=800
+    )
+
+
+class TestGreedyProcessorWalker:
+    SPACE = ProcessorDesignSpace(
+        int_units=(1, 2, 4), float_units=(1, 2), memory_units=(1, 2),
+        branch_units=(1, 2),
+    )
+
+    @staticmethod
+    def synthetic_cycles(processor):
+        # Cycles improve with width but saturate: a clean hill to climb.
+        return 1000.0 / (1.0 + 0.3 * (processor.issue_width - 4))
+
+    def test_explores_fewer_designs_than_exhaustive(self):
+        walker = GreedyProcessorWalker(self.SPACE, self.synthetic_cycles)
+        pareto = walker.walk()
+        assert pareto.is_consistent()
+        assert len(walker.evaluated) <= len(self.SPACE)
+        # With monotone-improving cycles every neighbour move is taken,
+        # so the walk reaches the widest machine.
+        names = set(walker.evaluated)
+        assert "1111" in names
+        assert "4222" in names
+
+    def test_prunes_unprofitable_directions(self):
+        def cycles(processor):
+            # Only int units help; other growth is pure cost.
+            return 1000.0 / processor.units[OpClass.INT]
+
+        walker = GreedyProcessorWalker(self.SPACE, cycles)
+        walker.walk()
+        evaluated = set(walker.evaluated)
+        # The int chain is explored...
+        assert {"1111", "2111", "4111"} <= evaluated
+        # ...but deep non-int growth beyond one probing step is not.
+        assert "1222" not in evaluated
+
+    def test_real_pipeline_cycles(self, pipeline_module):
+        walker = GreedyProcessorWalker(
+            self.SPACE, pipeline_module.processor_cycles
+        )
+        pareto = walker.walk()
+        assert len(pareto) >= 1
+        assert pareto.cheapest().design == "1111"
+
+
+class TestGuidedCacheWalker:
+    SPACE = CacheDesignSpace(
+        sizes_kb=(0.5, 1, 2, 4, 8, 16, 32), assocs=(1, 2),
+        line_sizes=(16, 32),
+    )
+
+    def test_matches_exhaustive_frontier_quality(self, evaluator):
+        guided = GuidedCacheWalker("icache", self.SPACE, evaluator)
+        guided_pareto = guided.step(1.0)
+        exhaustive = CacheWalker("icache", self.SPACE, evaluator).step(1.0)
+        assert guided_pareto.is_consistent()
+        # The guided walker's best time matches the exhaustive best
+        # (capacity growth past the knee never wins).
+        assert guided_pareto.best_time().time == pytest.approx(
+            exhaustive.best_time().time, rel=0.01
+        )
+
+    def test_evaluates_fewer_configs(self, evaluator):
+        guided = GuidedCacheWalker("icache", self.SPACE, evaluator)
+        guided.step(1.0)
+        assert guided.evaluated < len(self.SPACE)

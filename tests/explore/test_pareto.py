@@ -1,0 +1,99 @@
+"""Unit and property tests for repro.explore.pareto."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.explore.pareto import ParetoPoint, ParetoSet
+
+
+class TestParetoPoint:
+    def test_dominates_strictly_better(self):
+        assert ParetoPoint("a", 1.0, 1.0).dominates(ParetoPoint("b", 2.0, 2.0))
+
+    def test_dominates_one_axis_tie(self):
+        assert ParetoPoint("a", 1.0, 1.0).dominates(ParetoPoint("b", 1.0, 2.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not ParetoPoint("a", 1.0, 1.0).dominates(
+            ParetoPoint("b", 1.0, 1.0)
+        )
+
+    def test_incomparable(self):
+        a = ParetoPoint("a", 1.0, 5.0)
+        b = ParetoPoint("b", 5.0, 1.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+
+class TestParetoSet:
+    def test_insert_and_reject(self):
+        pareto = ParetoSet()
+        assert pareto.insert_point("cheap-slow", cost=1.0, time=10.0)
+        assert pareto.insert_point("dear-fast", cost=10.0, time=1.0)
+        assert not pareto.insert_point("dominated", cost=10.0, time=10.0)
+        assert len(pareto) == 2
+        assert pareto.rejected == 1
+
+    def test_insertion_evicts_dominated(self):
+        pareto = ParetoSet()
+        pareto.insert_point("old", cost=5.0, time=5.0)
+        assert pareto.insert_point("better", cost=4.0, time=4.0)
+        assert len(pareto) == 1
+        assert pareto.points[0].design == "better"
+
+    def test_duplicate_coordinates_keep_first(self):
+        pareto = ParetoSet()
+        pareto.insert_point("first", cost=1.0, time=1.0)
+        assert not pareto.insert_point("second", cost=1.0, time=1.0)
+        assert pareto.points[0].design == "first"
+
+    def test_frontier_sorted_by_cost(self):
+        pareto = ParetoSet()
+        pareto.insert_point("c", cost=3.0, time=1.0)
+        pareto.insert_point("a", cost=1.0, time=3.0)
+        pareto.insert_point("b", cost=2.0, time=2.0)
+        frontier = pareto.frontier()
+        assert [p.design for p in frontier] == ["a", "b", "c"]
+        times = [p.time for p in frontier]
+        assert times == sorted(times, reverse=True)
+
+    def test_best_time_and_cheapest(self):
+        pareto = ParetoSet()
+        pareto.insert_point("a", cost=1.0, time=3.0)
+        pareto.insert_point("b", cost=3.0, time=1.0)
+        assert pareto.best_time().design == "b"
+        assert pareto.cheapest().design == "a"
+
+    def test_empty_accessors_raise(self):
+        with pytest.raises(ValueError):
+            ParetoSet().best_time()
+        with pytest.raises(ValueError):
+            ParetoSet().cheapest()
+
+
+@given(
+    points=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),
+            st.floats(min_value=0.0, max_value=100.0),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_pareto_invariants(points):
+    """After arbitrary insertions: no retained point dominates another,
+    and every rejected/evicted candidate is dominated-or-duplicated by a
+    retained one."""
+    pareto = ParetoSet()
+    for index, (cost, time) in enumerate(points):
+        pareto.insert_point(index, cost, time)
+    assert pareto.is_consistent()
+    retained = {(p.cost, p.time) for p in pareto.points}
+    for cost, time in points:
+        covered = any(
+            (rc <= cost and rt <= time) for rc, rt in retained
+        )
+        assert covered

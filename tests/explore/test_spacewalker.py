@@ -1,0 +1,68 @@
+"""End-to-end spacewalker test on the tiny workload."""
+
+import pytest
+
+from repro.explore.spec import (
+    CacheDesignSpace,
+    ProcessorDesignSpace,
+    SystemDesignSpace,
+)
+from repro.explore.spacewalker import Spacewalker
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    from repro.experiments.pipeline import ExperimentPipeline
+    from repro.workloads.suite import tiny_workload
+
+    return ExperimentPipeline(
+        tiny_workload(), max_visits=3_000, i_granule=200, u_granule=800
+    )
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    return SystemDesignSpace(
+        processors=ProcessorDesignSpace(
+            int_units=(1, 3), float_units=(1,), memory_units=(1, 2),
+            branch_units=(1,),
+        ),
+        icache=CacheDesignSpace(
+            sizes_kb=(0.5, 1, 2), assocs=(1, 2), line_sizes=(16, 32)
+        ),
+        dcache=CacheDesignSpace(
+            sizes_kb=(0.5, 1), assocs=(1,), line_sizes=(16, 32)
+        ),
+        unified=CacheDesignSpace(
+            sizes_kb=(8, 16), assocs=(2,), line_sizes=(32,)
+        ),
+    )
+
+
+class TestSpacewalker:
+    def test_walk_produces_system_pareto(self, pipeline, small_space):
+        walker = Spacewalker(small_space, pipeline)
+        pareto = walker.walk()
+        assert len(pareto) >= 2  # at least a cheap and a fast system
+        assert pareto.is_consistent()
+        names = {point.design.processor for point in pareto.points}
+        # The cheapest system should use the cheapest processor.
+        assert pareto.cheapest().design.processor == "1111"
+        assert names <= {p.name for p in small_space.processors}
+
+    def test_frontier_monotone(self, pipeline, small_space):
+        pareto = Spacewalker(small_space, pipeline).walk()
+        frontier = pareto.frontier()
+        costs = [p.cost for p in frontier]
+        times = [p.time for p in frontier]
+        assert costs == sorted(costs)
+        assert times == sorted(times, reverse=True)
+
+    def test_memory_designs_are_legal_hierarchies(self, pipeline, small_space):
+        from repro.cache.inclusion import satisfies_inclusion
+
+        pareto = Spacewalker(small_space, pipeline).walk()
+        for point in pareto.points:
+            memory = point.design.memory
+            assert satisfies_inclusion(memory.icache, memory.unified)
+            assert satisfies_inclusion(memory.dcache, memory.unified)

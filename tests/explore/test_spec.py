@@ -1,0 +1,95 @@
+"""Unit tests for repro.explore.spec."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.explore.spec import (
+    CacheDesignSpace,
+    ProcessorDesignSpace,
+    SystemDesignSpace,
+)
+
+
+class TestCacheDesignSpace:
+    def test_enumeration_filters_infeasible(self):
+        space = CacheDesignSpace(
+            sizes_kb=(1, 2), assocs=(1, 2), line_sizes=(16, 32)
+        )
+        configs = space.configurations()
+        assert all(c.sets & (c.sets - 1) == 0 for c in configs)
+        assert len(configs) == 8
+
+    def test_fractional_kb_supported(self):
+        space = CacheDesignSpace(
+            sizes_kb=(0.5,), assocs=(1,), line_sizes=(16,)
+        )
+        (config,) = space.configurations()
+        assert config.size_bytes == 512
+
+    def test_infeasible_combination_dropped(self):
+        # 1KB 4-way with 512-byte lines is impossible (sets < 1).
+        space = CacheDesignSpace(
+            sizes_kb=(1,), assocs=(4,), line_sizes=(128, 512)
+        )
+        configs = space.configurations()
+        assert all(c.line_size == 128 for c in configs)
+
+    def test_fully_empty_space_raises(self):
+        space = CacheDesignSpace(
+            sizes_kb=(0.0625,), assocs=(8,), line_sizes=(512,)
+        )
+        with pytest.raises(ConfigurationError, match="empty"):
+            space.configurations()
+
+    def test_empty_dimension_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            CacheDesignSpace(sizes_kb=(), assocs=(1,), line_sizes=(16,))
+
+    def test_line_size_groups(self):
+        space = CacheDesignSpace(
+            sizes_kb=(1, 2), assocs=(1,), line_sizes=(16, 32)
+        )
+        groups = space.line_size_groups()
+        assert set(groups) == {16, 32}
+        assert all(
+            c.line_size == line
+            for line, configs in groups.items()
+            for c in configs
+        )
+
+    def test_ports_expand_space(self):
+        space = CacheDesignSpace(
+            sizes_kb=(1,), assocs=(1,), line_sizes=(16,), ports=(1, 2)
+        )
+        assert len(space) == 2
+
+
+class TestProcessorDesignSpace:
+    def test_cartesian_product(self):
+        space = ProcessorDesignSpace(
+            int_units=(1, 2), float_units=(1,), memory_units=(1, 2),
+            branch_units=(1,),
+        )
+        assert len(space) == 4
+        names = {p.name for p in space}
+        assert names == {"1111", "1121", "2111", "2121"}
+
+    def test_feature_flags_propagate(self):
+        space = ProcessorDesignSpace(
+            int_units=(1,), float_units=(1,), memory_units=(1,),
+            branch_units=(1,), has_speculation=False,
+        )
+        (proc,) = space.processors()
+        assert not proc.has_speculation
+
+
+class TestSystemDesignSpace:
+    def test_total_designs_is_cross_product(self):
+        space = SystemDesignSpace()
+        assert space.total_designs() == (
+            len(space.processors)
+            * len(space.icache)
+            * len(space.dcache)
+            * len(space.unified)
+        )
+        assert space.total_designs() > 1000

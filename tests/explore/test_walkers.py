@@ -1,0 +1,95 @@
+"""Unit tests for repro.explore.walkers."""
+
+import pytest
+
+from repro.cache.area import cache_cost
+from repro.cache.inclusion import satisfies_inclusion
+from repro.errors import ConfigurationError
+from repro.explore.spec import CacheDesignSpace, ProcessorDesignSpace
+from repro.explore.walkers import CacheWalker, MemoryWalker, ProcessorWalker
+from repro.machine.presets import PAPER_PROCESSORS
+
+
+@pytest.fixture(scope="module")
+def evaluator(tiny_pipeline_module):
+    return tiny_pipeline_module.memory_evaluator()
+
+
+@pytest.fixture(scope="module")
+def tiny_pipeline_module():
+    from repro.experiments.pipeline import ExperimentPipeline
+    from repro.workloads.suite import tiny_workload
+
+    return ExperimentPipeline(
+        tiny_workload(), max_visits=3_000, i_granule=200, u_granule=800
+    )
+
+
+SMALL_SPACE = CacheDesignSpace(
+    sizes_kb=(0.5, 1, 2), assocs=(1, 2), line_sizes=(16, 32)
+)
+
+
+class TestCacheWalker:
+    def test_step_builds_consistent_pareto(self, evaluator):
+        walker = CacheWalker("icache", SMALL_SPACE, evaluator)
+        pareto = walker.step(1.0)
+        assert len(pareto) >= 1
+        assert pareto.is_consistent()
+        # Costs in the frontier are the area model's.
+        for point in pareto.frontier():
+            assert point.cost == pytest.approx(cache_cost(point.design))
+
+    def test_walk_parameterized_by_dilation(self, evaluator):
+        walker = CacheWalker("icache", SMALL_SPACE, evaluator)
+        paretos = walker.walk(dilations=(1.0, 2.0))
+        assert set(paretos) == {1.0, 2.0}
+        # Dilation 2 strictly increases instruction misses, so the best
+        # achievable time at fixed cost cannot improve.
+        best1 = paretos[1.0].best_time().time
+        best2 = paretos[2.0].best_time().time
+        assert best2 >= best1
+
+    def test_bad_role_rejected(self, evaluator):
+        with pytest.raises(ConfigurationError, match="role"):
+            CacheWalker("l3", SMALL_SPACE, evaluator)
+
+
+class TestProcessorWalker:
+    def test_walk_uses_cycles_callable(self):
+        space = ProcessorDesignSpace(
+            int_units=(1, 2, 4), float_units=(1,), memory_units=(1,),
+            branch_units=(1,),
+        )
+        cycles = {"1111": 100.0, "2111": 80.0, "4111": 79.0}
+        pareto = ProcessorWalker(space, lambda p: cycles[p.name]).walk()
+        assert pareto.is_consistent()
+        names = {p.design for p in pareto.points}
+        # 4111 is barely faster than 2111 but much more expensive: both
+        # survive (incomparable); 1111 survives as the cheapest.
+        assert "1111" in names
+
+
+class TestMemoryWalker:
+    def test_combined_designs_satisfy_inclusion(self, evaluator):
+        unified_space = CacheDesignSpace(
+            sizes_kb=(8, 16), assocs=(2,), line_sizes=(32,)
+        )
+        walker = MemoryWalker(
+            CacheWalker("icache", SMALL_SPACE, evaluator),
+            CacheWalker("dcache", SMALL_SPACE, evaluator),
+            CacheWalker("unified", unified_space, evaluator),
+        )
+        pareto = walker.walk(dilation=1.0)
+        assert len(pareto) >= 1
+        assert pareto.is_consistent()
+        for point in pareto.frontier():
+            memory = point.design
+            assert satisfies_inclusion(memory.icache, memory.unified)
+            assert satisfies_inclusion(memory.dcache, memory.unified)
+            expected_cost = (
+                cache_cost(memory.icache)
+                + cache_cost(memory.dcache)
+                + cache_cost(memory.unified)
+            )
+            assert point.cost == pytest.approx(expected_cost)

@@ -1,0 +1,51 @@
+"""Unit tests for repro.iformat.assembler."""
+
+from repro.iformat.assembler import assemble
+from repro.iformat.format_synth import synthesize_format
+from repro.machine.mdes import MachineDescription
+from repro.machine.presets import P1111, P6332
+from repro.vliwcomp.compile import compile_program
+
+
+class TestAssemble:
+    def test_every_block_assembled(self, tiny):
+        compiled = compile_program(tiny.program, MachineDescription(P1111))
+        assembled = assemble(compiled)
+        assert set(assembled.blocks) == set(compiled.blocks)
+        assert all(b.size_bytes > 0 for b in assembled.blocks.values())
+
+    def test_text_bytes_is_block_sum(self, tiny):
+        compiled = compile_program(tiny.program, MachineDescription(P1111))
+        assembled = assemble(compiled)
+        assert assembled.text_bytes == sum(
+            b.size_bytes for b in assembled.blocks.values()
+        )
+
+    def test_explicit_format_is_used(self, tiny):
+        mdes = MachineDescription(P1111)
+        compiled = compile_program(tiny.program, mdes)
+        fmt = synthesize_format(mdes)
+        assembled = assemble(compiled, fmt)
+        assert assembled.iformat is fmt
+
+    def test_wide_machine_text_is_larger(self, tiny):
+        narrow = assemble(
+            compile_program(tiny.program, MachineDescription(P1111))
+        )
+        wide = assemble(
+            compile_program(tiny.program, MachineDescription(P6332))
+        )
+        assert wide.text_bytes > narrow.text_bytes
+
+    def test_block_size_at_least_instruction_count_bytes(self, tiny):
+        compiled = compile_program(tiny.program, MachineDescription(P1111))
+        assembled = assemble(compiled)
+        for key, blk in assembled.blocks.items():
+            # Every instruction occupies at least one byte.
+            assert blk.size_bytes >= blk.instructions
+
+    def test_instruction_counts_match_schedule(self, tiny):
+        compiled = compile_program(tiny.program, MachineDescription(P1111))
+        assembled = assemble(compiled)
+        for key, ablock in assembled.blocks.items():
+            assert ablock.instructions == compiled.blocks[key].num_instructions

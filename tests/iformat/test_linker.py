@@ -1,0 +1,90 @@
+"""Unit tests for repro.iformat.linker."""
+
+import pytest
+
+from repro.cache.config import WORD_BYTES
+from repro.errors import TraceError
+from repro.iformat.assembler import assemble
+from repro.iformat.linker import TEXT_BASE, Binary, BlockImage, link
+from repro.machine.mdes import MachineDescription
+from repro.machine.presets import P1111
+from repro.vliwcomp.compile import compile_program
+
+
+@pytest.fixture(scope="module")
+def linked(tiny_module):
+    program = tiny_module.program
+    compiled = compile_program(program, MachineDescription(P1111))
+    assembled = assemble(compiled)
+    return program, link(
+        program, assembled, packet_bytes=16, processor_name="1111"
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_module():
+    from repro.workloads.suite import tiny_workload
+
+    return tiny_workload()
+
+
+class TestLayout:
+    def test_blocks_do_not_overlap(self, linked):
+        _, binary = linked
+        images = sorted(binary.images, key=lambda im: im.start)
+        for a, b in zip(images, images[1:]):
+            assert a.end <= b.start
+
+    def test_everything_word_aligned(self, linked):
+        _, binary = linked
+        for image in binary.images:
+            assert image.start % WORD_BYTES == 0
+            assert image.size % WORD_BYTES == 0
+
+    def test_procedure_entries_packet_aligned(self, linked):
+        program, binary = linked
+        for proc in program.procedures.values():
+            entry = binary.block_image(proc.name, proc.entry.block_id)
+            assert entry.start % 16 == 0
+
+    def test_branch_targets_packet_aligned(self, linked):
+        program, binary = linked
+        for proc in program.procedures.values():
+            order = {blk.block_id: i for i, blk in enumerate(proc.blocks)}
+            for edge in proc.edges:
+                if order[edge.dst] != order[edge.src] + 1:
+                    image = binary.block_image(proc.name, edge.dst)
+                    assert image.start % 16 == 0
+
+    def test_text_size_spans_all_blocks(self, linked):
+        _, binary = linked
+        last_end = max(im.end for im in binary.images)
+        assert binary.text_size == last_end - TEXT_BASE
+        assert binary.text_end == last_end
+
+    def test_block_range_lookup(self, linked):
+        program, binary = linked
+        proc = next(iter(program.procedures.values()))
+        start, size = binary.block_range(proc.name, proc.entry.block_id)
+        image = binary.block_image(proc.name, proc.entry.block_id)
+        assert (start, size) == (image.start, image.size)
+
+
+class TestErrors:
+    def test_bad_packet_size(self, tiny_module):
+        compiled = compile_program(
+            tiny_module.program, MachineDescription(P1111)
+        )
+        assembled = assemble(compiled)
+        with pytest.raises(TraceError, match="packet"):
+            link(tiny_module.program, assembled, packet_bytes=10)
+
+    def test_duplicate_image_rejected(self):
+        binary = Binary(program_name="p", processor_name="x", base=0)
+        binary.add(BlockImage("f", 0, 0, 16))
+        with pytest.raises(TraceError, match="duplicate"):
+            binary.add(BlockImage("f", 0, 16, 16))
+
+    def test_empty_binary_text_size(self):
+        binary = Binary(program_name="p", processor_name="x", base=64)
+        assert binary.text_size == 0

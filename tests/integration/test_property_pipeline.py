@@ -1,0 +1,133 @@
+"""Property-based integration tests (hypothesis) over generated programs.
+
+Randomized workload profiles drive the real pipeline stages, checking the
+cross-module invariants on arbitrary (not hand-picked) programs: linker
+layout legality, dilation positivity, Lemma-1 exactness, and the
+processor-independence of base event traces.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.cache.config import WORD_BYTES, CacheConfig
+from repro.cache.simulator import simulate_trace
+from repro.core.dilated_trace import dilate_binary
+from repro.core.dilation import measure_dilation
+from repro.iformat.assembler import assemble
+from repro.iformat.linker import link
+from repro.machine.mdes import MachineDescription
+from repro.machine.presets import P1111, P6332
+from repro.trace.emulator import emulate
+from repro.trace.generator import TraceGenerator
+from repro.vliwcomp.compile import compile_program
+from repro.workloads.profiles import StreamProfile, WorkloadProfile
+from repro.workloads.synth import generate_workload
+
+
+@st.composite
+def profiles(draw):
+    return WorkloadProfile(
+        name="prop",
+        seed=draw(st.integers(min_value=0, max_value=2**20)),
+        n_procedures=draw(st.integers(min_value=1, max_value=6)),
+        blocks_per_proc=(2, draw(st.integers(min_value=3, max_value=8))),
+        mean_ops_per_block=draw(
+            st.floats(min_value=2.0, max_value=14.0)
+        ),
+        op_mix=(
+            draw(st.floats(min_value=0.1, max_value=1.0)),
+            draw(st.floats(min_value=0.0, max_value=0.5)),
+            draw(st.floats(min_value=0.1, max_value=0.6)),
+        ),
+        dependence_density=draw(st.floats(min_value=0.0, max_value=0.9)),
+        loop_probability=draw(st.floats(min_value=0.0, max_value=0.4)),
+        loop_continue=draw(st.floats(min_value=0.5, max_value=0.95)),
+        branch_probability=draw(st.floats(min_value=0.0, max_value=0.5)),
+        call_density=draw(st.floats(min_value=0.0, max_value=0.3)),
+        streams=(
+            StreamProfile("sequential", region_kb=4),
+            StreamProfile("random", region_kb=2),
+        ),
+        main_iterations=20,
+    )
+
+
+def build(profile, processor):
+    generated = generate_workload(profile)
+    mdes = MachineDescription(processor)
+    compiled = compile_program(generated.program, mdes)
+    binary = link(
+        generated.program,
+        assemble(compiled),
+        packet_bytes=processor.issue_width * WORD_BYTES,
+        processor_name=processor.name,
+    )
+    return generated, compiled, binary
+
+
+@given(profile=profiles())
+@settings(max_examples=20, deadline=None)
+def test_linker_layout_legal_for_generated_programs(profile):
+    for processor in (P1111, P6332):
+        _, _, binary = build(profile, processor)
+        images = sorted(binary.images, key=lambda im: im.start)
+        for image in images:
+            assert image.start % WORD_BYTES == 0
+            assert image.size % WORD_BYTES == 0
+            assert image.size > 0
+        for a, b in zip(images, images[1:]):
+            assert a.end <= b.start
+
+
+@given(profile=profiles())
+@settings(max_examples=15, deadline=None)
+def test_wide_machine_always_dilates(profile):
+    generated, _, narrow_binary = build(profile, P1111)
+    _, _, wide_binary = build(profile, P6332)
+    info = measure_dilation(narrow_binary, wide_binary)
+    assert info.text_dilation > 1.0
+    assert (info.block_dilations > 0).all()
+
+
+@given(profile=profiles(), seed=st.integers(min_value=0, max_value=999))
+@settings(max_examples=10, deadline=None)
+def test_lemma1_on_generated_programs(profile, seed):
+    generated, compiled, binary = build(profile, P1111)
+    events = emulate(
+        generated.program, generated.streams, seed=seed, max_visits=400
+    )
+    itrace = TraceGenerator(binary, events).instruction_trace()
+    dilated_binary = dilate_binary(binary, 2.0)
+    dilated = TraceGenerator(dilated_binary, events).instruction_trace()
+    for sets, assoc in ((16, 1), (8, 2)):
+        big = simulate_trace(
+            CacheConfig(sets, assoc, 32), dilated.starts, dilated.sizes
+        )
+        contracted = simulate_trace(
+            CacheConfig(sets, assoc, 16), itrace.starts, itrace.sizes
+        )
+        assert big.misses == contracted.misses
+
+
+@given(profile=profiles(), seed=st.integers(min_value=0, max_value=999))
+@settings(max_examples=10, deadline=None)
+def test_base_event_trace_processor_independent(profile, seed):
+    generated, compiled_narrow, _ = build(profile, P1111)
+    _, compiled_wide, _ = build(profile, P6332)
+    narrow = emulate(
+        generated.program,
+        generated.streams,
+        seed=seed,
+        max_visits=300,
+        compiled=compiled_narrow,
+    )
+    wide = emulate(
+        generated.program,
+        generated.streams,
+        seed=seed,
+        max_visits=300,
+        compiled=compiled_wide,
+    )
+    assert narrow.blocks == wide.blocks
+    assert np.array_equal(narrow.visit_blocks, wide.visit_blocks)

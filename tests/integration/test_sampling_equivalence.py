@@ -1,0 +1,89 @@
+"""Section 5.2 sampling: truncated traces equal truncated executions.
+
+"we also allow sampling an initial segment of the trace to evaluate
+memory hierarchy performance."  For that to be sound, taking the first N
+visits of a long event trace must equal emulating with an N-visit budget
+— the emulator's determinism makes the two literally identical, and
+every derived address trace (and therefore every simulated miss count)
+follows.
+"""
+
+import numpy as np
+
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import simulate_trace
+from repro.iformat.assembler import assemble
+from repro.iformat.linker import link
+from repro.machine.mdes import MachineDescription
+from repro.machine.presets import P1111, P3221
+from repro.trace.emulator import emulate
+from repro.trace.generator import TraceGenerator
+from repro.trace.sampling import sample_events
+from repro.vliwcomp.compile import compile_program
+
+
+class TestSamplingEquivalence:
+    def test_sampled_trace_equals_budgeted_emulation(self, tiny):
+        compiled = compile_program(tiny.program, MachineDescription(P3221))
+        long = emulate(
+            tiny.program, tiny.streams, seed=9, max_visits=2400,
+            compiled=compiled,
+        )
+        short = emulate(
+            tiny.program, tiny.streams, seed=9, max_visits=800,
+            compiled=compiled,
+        )
+        sampled = sample_events(long, 800)
+        assert sampled.blocks == short.blocks
+        assert np.array_equal(sampled.visit_blocks, short.visit_blocks)
+        assert np.array_equal(sampled.data_addrs, short.data_addrs)
+        assert np.array_equal(sampled.data_writes, short.data_writes)
+        assert np.array_equal(sampled.data_offsets, short.data_offsets)
+
+    def test_sampled_misses_equal_budgeted_misses(self, tiny):
+        compiled = compile_program(tiny.program, MachineDescription(P1111))
+        binary = link(
+            tiny.program,
+            assemble(compiled),
+            packet_bytes=16,
+            processor_name="1111",
+        )
+        long = emulate(
+            tiny.program, tiny.streams, seed=4, max_visits=2400,
+            compiled=compiled,
+        )
+        sampled = sample_events(long, 600)
+        short = emulate(
+            tiny.program, tiny.streams, seed=4, max_visits=600,
+            compiled=compiled,
+        )
+        config = CacheConfig.from_size(1024, 1, 32)
+        for events in (sampled, short):
+            trace = TraceGenerator(binary, events).unified_trace()
+            misses = simulate_trace(config, trace.starts, trace.sizes).misses
+            if events is sampled:
+                expected = misses
+        assert misses == expected
+
+    def test_sampling_is_a_prefix(self, tiny):
+        """Sampled misses lower-bound the full trace's misses."""
+        compiled = compile_program(tiny.program, MachineDescription(P1111))
+        binary = link(
+            tiny.program, assemble(compiled), packet_bytes=16
+        )
+        long = emulate(
+            tiny.program, tiny.streams, seed=4, max_visits=2400,
+            compiled=compiled,
+        )
+        config = CacheConfig.from_size(1024, 1, 32)
+        full_trace = TraceGenerator(binary, long).instruction_trace()
+        full = simulate_trace(
+            config, full_trace.starts, full_trace.sizes
+        ).misses
+        part_trace = TraceGenerator(
+            binary, sample_events(long, 500)
+        ).instruction_trace()
+        part = simulate_trace(
+            config, part_trace.starts, part_trace.sizes
+        ).misses
+        assert part <= full

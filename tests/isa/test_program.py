@@ -1,0 +1,81 @@
+"""Unit tests for repro.isa.program."""
+
+import pytest
+
+from repro.errors import ProgramStructureError
+from repro.isa.operations import make_branch, make_int, make_load
+from repro.isa.program import BasicBlock, ControlFlowEdge, Procedure, Program
+
+
+def two_block_proc(name="p"):
+    return Procedure(
+        name=name,
+        blocks=[
+            BasicBlock(0, [make_int(0), make_branch()]),
+            BasicBlock(1, [make_branch()]),
+        ],
+        edges=[ControlFlowEdge(0, 1, 1.0)],
+    )
+
+
+class TestBasicBlock:
+    def test_counts_and_memory_filter(self):
+        blk = BasicBlock(0, [make_int(0), make_load(1), make_branch()])
+        assert blk.num_operations == 3
+        assert [op.is_load for op in blk.memory_operations()] == [True]
+
+
+class TestProcedure:
+    def test_entry_is_first_block(self):
+        proc = two_block_proc()
+        assert proc.entry.block_id == 0
+
+    def test_entry_of_empty_procedure_raises(self):
+        with pytest.raises(ProgramStructureError, match="no blocks"):
+            Procedure(name="empty").entry
+
+    def test_block_lookup(self):
+        proc = two_block_proc()
+        assert proc.block(1).block_id == 1
+        with pytest.raises(ProgramStructureError, match="no block 9"):
+            proc.block(9)
+
+    def test_successors_cached_and_invalidated(self):
+        proc = two_block_proc()
+        assert [e.dst for e in proc.successors(0)] == [1]
+        proc.edges.append(ControlFlowEdge(1, 0, 1.0))
+        # Stale without invalidation...
+        assert proc.successors(1) == []
+        proc.invalidate_cfg_cache()
+        assert [e.dst for e in proc.successors(1)] == [0]
+
+    def test_num_operations(self):
+        assert two_block_proc().num_operations == 3
+
+
+class TestProgram:
+    def test_add_and_lookup(self):
+        prog = Program(name="t", entry="p")
+        prog.add(two_block_proc())
+        assert prog.procedure("p").name == "p"
+        assert prog.entry_procedure.name == "p"
+
+    def test_duplicate_procedure_rejected(self):
+        prog = Program(name="t")
+        prog.add(two_block_proc())
+        with pytest.raises(ProgramStructureError, match="duplicate"):
+            prog.add(two_block_proc())
+
+    def test_missing_procedure_raises(self):
+        prog = Program(name="t")
+        with pytest.raises(ProgramStructureError, match="no procedure"):
+            prog.procedure("ghost")
+
+    def test_all_blocks_and_counts(self):
+        prog = Program(name="t", entry="a")
+        prog.add(two_block_proc("a"))
+        prog.add(two_block_proc("b"))
+        keys = [(name, blk.block_id) for name, blk in prog.all_blocks()]
+        assert keys == [("a", 0), ("a", 1), ("b", 0), ("b", 1)]
+        assert prog.num_blocks == 4
+        assert prog.num_operations == 6

@@ -1,0 +1,103 @@
+"""Unit tests for repro.machine.accelerator."""
+
+import pytest
+
+from repro.core.hierarchy_eval import processor_cycles
+from repro.errors import ConfigurationError
+from repro.isa.operations import OpClass
+from repro.machine.accelerator import (
+    SystolicArray,
+    accelerated_cycles,
+    accelerator_cost,
+)
+from repro.machine.mdes import MachineDescription
+from repro.machine.presets import P1111
+from repro.trace.emulator import emulate
+from repro.vliwcomp.compile import compile_program
+
+
+class TestSystolicArray:
+    def test_geometry(self):
+        array = SystolicArray("mac8x4", OpClass.FLOAT, rows=8, cols=4)
+        assert array.processing_elements == 32
+        assert array.pipeline_depth == 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="dimensions"):
+            SystolicArray("bad", OpClass.INT, rows=0)
+        with pytest.raises(ConfigurationError, match="interval"):
+            SystolicArray("bad", OpClass.INT, initiation_interval=0)
+        with pytest.raises(ConfigurationError, match="fraction"):
+            SystolicArray("bad", OpClass.INT, offload_fraction=1.5)
+
+
+class TestCost:
+    def test_scales_with_pe_count(self):
+        small = SystolicArray("s", OpClass.INT, rows=2, cols=2)
+        big = SystolicArray("b", OpClass.INT, rows=8, cols=8)
+        assert accelerator_cost(big) > accelerator_cost(small) > 0
+
+    def test_float_arrays_cost_more(self):
+        int_array = SystolicArray("i", OpClass.INT, rows=4, cols=4)
+        fp_array = SystolicArray("f", OpClass.FLOAT, rows=4, cols=4)
+        assert accelerator_cost(fp_array) > accelerator_cost(int_array)
+
+
+class TestAcceleratedCycles:
+    @pytest.fixture(scope="class")
+    def workload_run(self, tiny):
+        compiled = compile_program(tiny.program, MachineDescription(P1111))
+        events = emulate(
+            tiny.program, tiny.streams, seed=1, max_visits=1500,
+            compiled=compiled,
+        )
+        return compiled, events
+
+    def test_zero_offload_matches_plain_cycles(self, workload_run):
+        compiled, events = workload_run
+        array = SystolicArray(
+            "noop", OpClass.INT, offload_fraction=0.0
+        )
+        assert accelerated_cycles(compiled, events, array) == (
+            processor_cycles(compiled, events)
+        )
+
+    def test_offload_reduces_cycles(self, workload_run):
+        compiled, events = workload_run
+        array = SystolicArray(
+            "int16", OpClass.INT, rows=4, cols=4, offload_fraction=0.6
+        )
+        accelerated = accelerated_cycles(compiled, events, array)
+        plain = processor_cycles(compiled, events)
+        assert accelerated < plain
+
+    def test_never_slower_than_plain(self, workload_run):
+        """The mapper keeps losing blocks on the processor, so any array
+        configuration is at worst neutral."""
+        compiled, events = workload_run
+        plain = processor_cycles(compiled, events)
+        for fraction in (0.3, 0.6, 0.9):
+            for rows, cols, ii in ((1, 1, 8), (2, 2, 1), (8, 8, 1)):
+                array = SystolicArray(
+                    "a",
+                    OpClass.INT,
+                    rows=rows,
+                    cols=cols,
+                    initiation_interval=ii,
+                    offload_fraction=fraction,
+                )
+                assert accelerated_cycles(compiled, events, array) <= plain
+
+    def test_tiny_array_can_bottleneck(self, workload_run):
+        """A 1x1 array with a slow initiation interval caps the win."""
+        compiled, events = workload_run
+        tiny_array = SystolicArray(
+            "slow", OpClass.INT, rows=1, cols=1,
+            initiation_interval=8, offload_fraction=0.9,
+        )
+        big_array = SystolicArray(
+            "fast", OpClass.INT, rows=8, cols=8, offload_fraction=0.9
+        )
+        assert accelerated_cycles(
+            compiled, events, tiny_array
+        ) >= accelerated_cycles(compiled, events, big_array)

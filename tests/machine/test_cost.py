@@ -1,0 +1,40 @@
+"""Unit tests for repro.machine.cost."""
+
+from repro.machine.cost import processor_cost
+from repro.machine.processor import make_processor
+
+
+class TestProcessorCost:
+    def test_wider_machines_cost_more(self):
+        names = [
+            (1, 1, 1, 1),
+            (2, 1, 1, 1),
+            (3, 2, 2, 1),
+            (4, 2, 2, 1),
+            (6, 3, 3, 2),
+        ]
+        costs = [processor_cost(make_processor(*n)) for n in names]
+        assert costs == sorted(costs)
+        assert costs[0] > 0
+
+    def test_float_units_cost_more_than_int(self):
+        base = make_processor(1, 1, 1, 1)
+        more_int = make_processor(2, 1, 1, 1, int_registers=32, fp_registers=32)
+        more_fp = make_processor(1, 2, 1, 1, int_registers=32, fp_registers=32)
+        delta_int = processor_cost(more_int) - processor_cost(base)
+        delta_fp = processor_cost(more_fp) - processor_cost(base)
+        assert delta_fp > delta_int > 0
+
+    def test_bigger_register_files_cost_more(self):
+        small = make_processor(1, 1, 1, 1, int_registers=32)
+        big = make_processor(1, 1, 1, 1, int_registers=128)
+        assert processor_cost(big) > processor_cost(small)
+
+    def test_features_cost(self):
+        plain = make_processor(1, 1, 1, 1, has_speculation=False)
+        spec = make_processor(1, 1, 1, 1, has_speculation=True)
+        pred = make_processor(
+            1, 1, 1, 1, has_speculation=False, has_predication=True
+        )
+        assert processor_cost(spec) > processor_cost(plain)
+        assert processor_cost(pred) > processor_cost(plain)

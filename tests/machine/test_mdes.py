@@ -1,0 +1,62 @@
+"""Unit tests for repro.machine.mdes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.operations import OpClass
+from repro.machine.mdes import MachineDescription, default_latencies
+from repro.machine.processor import make_processor
+
+
+class TestLatencies:
+    def test_defaults_cover_all_classes(self):
+        lat = default_latencies()
+        assert set(lat) == set(OpClass)
+        assert all(v >= 1 for v in lat.values())
+
+    def test_float_slower_than_int(self):
+        lat = default_latencies()
+        assert lat[OpClass.FLOAT] > lat[OpClass.INT]
+
+    def test_zero_latency_rejected(self):
+        lat = default_latencies()
+        lat[OpClass.INT] = 0
+        with pytest.raises(ConfigurationError, match="latency"):
+            MachineDescription(make_processor(1, 1, 1, 1), lat)
+
+    def test_missing_class_rejected(self):
+        lat = default_latencies()
+        del lat[OpClass.BRANCH]
+        with pytest.raises(ConfigurationError, match="missing"):
+            MachineDescription(make_processor(1, 1, 1, 1), lat)
+
+
+class TestEncodingBits:
+    def test_register_specifier_grows_with_regfile(self):
+        narrow = MachineDescription(make_processor(1, 1, 1, 1))
+        wide = MachineDescription(make_processor(6, 3, 3, 2))
+        assert narrow.register_specifier_bits(OpClass.INT) == 5  # 32 regs
+        assert wide.register_specifier_bits(OpClass.INT) == 8  # 256 regs
+
+    def test_operation_bits_include_speculation_tag(self):
+        spec = MachineDescription(make_processor(1, 1, 1, 1))
+        nospec = MachineDescription(
+            make_processor(1, 1, 1, 1, has_speculation=False)
+        )
+        assert (
+            spec.operation_encoding_bits(OpClass.INT)
+            == nospec.operation_encoding_bits(OpClass.INT) + 1
+        )
+
+    def test_predication_adds_predicate_specifier(self):
+        pred = MachineDescription(
+            make_processor(1, 1, 1, 1, has_predication=True)
+        )
+        plain = MachineDescription(make_processor(1, 1, 1, 1))
+        assert pred.operation_encoding_bits(
+            OpClass.INT
+        ) > plain.operation_encoding_bits(OpClass.INT)
+
+    def test_latency_accessor(self):
+        mdes = MachineDescription(make_processor(1, 1, 1, 1))
+        assert mdes.latency(OpClass.MEMORY) == default_latencies()[OpClass.MEMORY]

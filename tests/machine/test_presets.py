@@ -1,0 +1,58 @@
+"""Unit tests for repro.machine.presets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.presets import (
+    P1111,
+    P6332,
+    PAPER_PROCESSORS,
+    REFERENCE_PROCESSOR,
+    TARGET_PROCESSORS,
+    processor_from_name,
+)
+
+
+class TestPresets:
+    def test_paper_roster(self):
+        assert [p.name for p in PAPER_PROCESSORS] == [
+            "1111",
+            "2111",
+            "3221",
+            "4221",
+            "6332",
+        ]
+
+    def test_reference_is_narrow(self):
+        assert REFERENCE_PROCESSOR is P1111
+        assert REFERENCE_PROCESSOR.issue_width == 4
+
+    def test_paper_issue_widths(self):
+        # Section 6: "up to 4, 5, 8, 9, and 14 operations per cycle".
+        assert [p.issue_width for p in PAPER_PROCESSORS] == [4, 5, 8, 9, 14]
+
+    def test_targets_exclude_reference(self):
+        assert REFERENCE_PROCESSOR not in TARGET_PROCESSORS
+
+    def test_all_targets_share_reference_features(self):
+        for target in TARGET_PROCESSORS:
+            assert target.compatible_reference(REFERENCE_PROCESSOR)
+
+
+class TestProcessorFromName:
+    def test_round_trip(self):
+        proc = processor_from_name("6332")
+        assert proc.units == P6332.units
+
+    def test_kwargs_forwarded(self):
+        proc = processor_from_name("1111", has_speculation=False)
+        assert not proc.has_speculation
+
+    @pytest.mark.parametrize("bad", ["abc", "12345", "111", "", "1x11"])
+    def test_malformed_names_rejected(self, bad):
+        with pytest.raises(ConfigurationError, match="four digits"):
+            processor_from_name(bad)
+
+    def test_zero_digit_rejected(self):
+        with pytest.raises(ConfigurationError, match="zero"):
+            processor_from_name("1011")

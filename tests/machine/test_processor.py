@@ -1,0 +1,68 @@
+"""Unit tests for repro.machine.processor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.operations import OpClass
+from repro.machine.processor import VliwProcessor, make_processor
+
+
+class TestVliwProcessor:
+    def test_issue_width_is_unit_sum(self):
+        proc = make_processor(3, 2, 2, 1)
+        assert proc.issue_width == 8
+
+    def test_digit_name(self):
+        assert make_processor(6, 3, 3, 2).digit_name == "6332"
+
+    def test_default_name_matches_digits(self):
+        assert make_processor(2, 1, 1, 1).name == "2111"
+
+    def test_zero_units_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            VliwProcessor(name="bad", units={
+                OpClass.INT: 1,
+                OpClass.FLOAT: 0,
+                OpClass.MEMORY: 1,
+                OpClass.BRANCH: 1,
+            })
+
+    def test_non_power_of_two_regfile_rejected(self):
+        with pytest.raises(ConfigurationError, match="power of"):
+            make_processor(1, 1, 1, 1, int_registers=33)
+
+    def test_unit_count_accessor(self):
+        proc = make_processor(4, 2, 2, 1)
+        assert proc.unit_count(OpClass.INT) == 4
+        assert proc.unit_count(OpClass.BRANCH) == 1
+
+    def test_compatible_reference_needs_matching_features(self):
+        ref = make_processor(1, 1, 1, 1)
+        same = make_processor(6, 3, 3, 2)
+        pred = make_processor(6, 3, 3, 2, has_predication=True)
+        nospec = make_processor(6, 3, 3, 2, has_speculation=False)
+        assert same.compatible_reference(ref)
+        assert not pred.compatible_reference(ref)
+        assert not nospec.compatible_reference(ref)
+
+
+class TestRegfileScaling:
+    def test_narrow_machine_keeps_32(self):
+        assert make_processor(1, 1, 1, 1).int_registers == 32
+
+    def test_scaling_is_monotone_in_width(self):
+        widths = [
+            make_processor(1, 1, 1, 1),
+            make_processor(2, 1, 1, 1),
+            make_processor(3, 2, 2, 1),
+            make_processor(4, 2, 2, 1),
+            make_processor(6, 3, 3, 2),
+        ]
+        sizes = [p.int_registers for p in widths]
+        assert sizes == sorted(sizes)
+        assert sizes[0] == 32
+        assert sizes[-1] == 256
+
+    def test_explicit_override_wins(self):
+        proc = make_processor(6, 3, 3, 2, int_registers=64)
+        assert proc.int_registers == 64

@@ -1,0 +1,85 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--scale", "0.12", "--visits", "2000", "--benchmarks", "epic"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for command in (
+            "table2",
+            "table3",
+            "table4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "dilation",
+            "explore",
+            "benchmarks",
+        ):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_common_options_per_subcommand(self):
+        args = build_parser().parse_args(
+            ["dilation", "--scale", "0.5", "--visits", "123"]
+        )
+        assert args.scale == 0.5
+        assert args.visits == 123
+
+
+class TestCommands:
+    def test_benchmarks_listing(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "085.gcc" in out and "unepic" in out
+
+    def test_dilation(self, capsys):
+        assert main(["dilation", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "epic" in out
+        assert "6332=" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "Text Dilation" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "Relative Data Cache Miss Rates" in out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit, match="unknown benchmarks"):
+            main(["dilation", "--benchmarks", "176.gcc"])
+
+    def test_report_from_results_dir(self, capsys, tmp_path):
+        (tmp_path / "table3.txt").write_text("Text Dilation\n")
+        assert main(["report", "--results", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Reproduction run report" in out
+        assert "Text Dilation" in out
+
+    def test_report_to_file(self, capsys, tmp_path):
+        (tmp_path / "table3.txt").write_text("Text Dilation\n")
+        output = tmp_path / "report.md"
+        assert main(
+            ["report", "--results", str(tmp_path), "--output", str(output)]
+        ) == 0
+        assert output.exists()
+        assert "written to" in capsys.readouterr().out
+
+    def test_errors_command(self, capsys):
+        assert main(["errors", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "estimated/icache" in out
+        assert "median" in out

@@ -1,0 +1,151 @@
+"""Unit tests for repro.trace.datamodel."""
+
+import pytest
+
+from repro.cache.config import WORD_BYTES
+from repro.errors import ConfigurationError
+from repro.trace.datamodel import DATA_BASE, DataAddressModel, StreamSpec
+from repro.vliwcomp.regalloc import SPILL_STREAM
+
+
+class TestStreamSpec:
+    def test_unknown_pattern(self):
+        with pytest.raises(ConfigurationError, match="pattern"):
+            StreamSpec("zigzag", 1024)
+
+    def test_tiny_region_rejected(self):
+        with pytest.raises(ConfigurationError, match="one word"):
+            StreamSpec("sequential", 2)
+
+    def test_unaligned_stride_rejected(self):
+        with pytest.raises(ConfigurationError, match="stride"):
+            StreamSpec("sequential", 1024, stride_bytes=6)
+
+
+class TestDataAddressModel:
+    def make(self):
+        return DataAddressModel(
+            {
+                0: StreamSpec("sequential", 256),
+                1: StreamSpec("strided", 512, stride_bytes=32),
+                2: StreamSpec("random", 1024),
+                3: StreamSpec("stack", 256),
+            },
+            seed=9,
+        )
+
+    def test_sequential_walk_and_wrap(self):
+        model = self.make()
+        base = model.region_base(0)
+        addrs = [model.next_address(0) for _ in range(66)]
+        assert addrs[0] == base
+        assert addrs[1] == base + 4
+        assert addrs[64] == base  # wrapped after 256/4 = 64 words
+        assert addrs[65] == base + 4
+
+    def test_strided_walk(self):
+        model = self.make()
+        base = model.region_base(1)
+        addrs = [model.next_address(1) for _ in range(3)]
+        assert addrs == [base, base + 32, base + 64]
+
+    def test_random_stays_in_region(self):
+        model = self.make()
+        base = model.region_base(2)
+        for _ in range(200):
+            addr = model.next_address(2)
+            assert base <= addr < base + 1024
+            assert addr % WORD_BYTES == 0
+
+    def test_stack_stays_in_region(self):
+        model = self.make()
+        base = model.region_base(3)
+        for _ in range(200):
+            addr = model.next_address(3)
+            assert base <= addr < base + 256
+
+    def test_regions_disjoint_and_above_data_base(self):
+        model = self.make()
+        spans = []
+        for stream in (SPILL_STREAM, 0, 1, 2, 3):
+            base = model.region_base(stream)
+            assert base >= DATA_BASE
+            spans.append((base, base + model.spec(stream).region_bytes))
+        spans.sort()
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            assert end_a <= start_b
+
+    def test_spill_stream_always_available(self):
+        model = DataAddressModel({}, seed=1)
+        addr = model.next_address(SPILL_STREAM)
+        assert addr >= DATA_BASE
+
+    def test_unknown_stream_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown stream"):
+            self.make().next_address(42)
+
+    def test_determinism(self):
+        a = self.make()
+        b = self.make()
+        for stream in (0, 1, 2, 3):
+            assert [a.next_address(stream) for _ in range(20)] == [
+                b.next_address(stream) for _ in range(20)
+            ]
+
+
+class TestPeek:
+    def test_peek_matches_next_without_advancing(self):
+        model = DataAddressModel(
+            {
+                0: StreamSpec("sequential", 256),
+                1: StreamSpec("random", 1024),
+                2: StreamSpec("stack", 256),
+            },
+            seed=4,
+        )
+        for stream in (0, 1, 2):
+            peeked = model.peek_next_address(stream)
+            peeked_again = model.peek_next_address(stream)
+            assert peeked == peeked_again  # no state advance
+            assert model.next_address(stream) == peeked
+
+    def test_last_address_tracks_next(self):
+        model = DataAddressModel({0: StreamSpec("sequential", 64)}, seed=1)
+        assert model.last_address(0) == model.region_base(0)
+        addr = model.next_address(0)
+        assert model.last_address(0) == addr
+
+
+class TestZipfPattern:
+    def make(self):
+        return DataAddressModel({0: StreamSpec("zipf", 64 * 1024)}, seed=11)
+
+    def test_stays_in_region_and_aligned(self):
+        model = self.make()
+        base = model.region_base(0)
+        for _ in range(300):
+            addr = model.next_address(0)
+            assert base <= addr < base + 64 * 1024
+            assert addr % WORD_BYTES == 0
+
+    def test_head_is_hot(self):
+        """The first 10% of the region absorbs well over 10% of accesses."""
+        model = self.make()
+        base = model.region_base(0)
+        hits_head = sum(
+            1
+            for _ in range(2000)
+            if model.next_address(0) - base < 64 * 1024 // 10
+        )
+        assert hits_head / 2000 > 0.25
+
+    def test_peek_matches_next(self):
+        model = self.make()
+        peeked = model.peek_next_address(0)
+        assert model.next_address(0) == peeked
+
+    def test_wrong_path_address_in_region(self):
+        model = self.make()
+        base = model.region_base(0)
+        addr = model.wrong_path_address(0)
+        assert base <= addr < base + 64 * 1024

@@ -1,0 +1,115 @@
+"""Unit tests for repro.trace.emulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.machine.mdes import MachineDescription
+from repro.machine.presets import P1111, P3221, P6332
+from repro.trace.emulator import Emulator, emulate
+from repro.vliwcomp.compile import compile_program
+from repro.vliwcomp.regalloc import SPILL_STREAM
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, tiny):
+        a = emulate(tiny.program, tiny.streams, seed=5, max_visits=500)
+        b = emulate(tiny.program, tiny.streams, seed=5, max_visits=500)
+        assert np.array_equal(a.visit_blocks, b.visit_blocks)
+        assert np.array_equal(a.data_addrs, b.data_addrs)
+
+    def test_different_seed_different_trace(self, tiny):
+        a = emulate(tiny.program, tiny.streams, seed=5, max_visits=500)
+        b = emulate(tiny.program, tiny.streams, seed=6, max_visits=500)
+        assert not np.array_equal(a.visit_blocks, b.visit_blocks)
+
+    def test_budget_respected(self, tiny):
+        events = emulate(tiny.program, tiny.streams, seed=1, max_visits=37)
+        assert events.n_visits <= 37
+
+    def test_bad_budget(self, tiny):
+        with pytest.raises(TraceError, match="max_visits"):
+            emulate(tiny.program, tiny.streams, max_visits=0)
+
+    def test_entry_block_is_first_visit(self, tiny):
+        events = emulate(tiny.program, tiny.streams, seed=1, max_visits=10)
+        proc_name, block_id = events.blocks[events.visit_blocks[0]]
+        assert proc_name == tiny.program.entry
+        assert block_id == tiny.program.entry_procedure.entry.block_id
+
+
+class TestProcessorIndependence:
+    """The paper's step-1 foundation: base traces match across machines."""
+
+    def test_block_sequence_identical_across_processors(self, tiny):
+        traces = []
+        for processor in (P1111, P3221, P6332):
+            compiled = compile_program(
+                tiny.program, MachineDescription(processor)
+            )
+            events = emulate(
+                tiny.program,
+                tiny.streams,
+                seed=3,
+                max_visits=800,
+                compiled=compiled,
+            )
+            traces.append(events)
+        ref = traces[0]
+        for other in traces[1:]:
+            assert ref.blocks == other.blocks
+            assert np.array_equal(ref.visit_blocks, other.visit_blocks)
+
+    def test_base_data_addresses_are_subset_preserved(self, tiny):
+        """Non-spill, non-speculative refs are identical across machines."""
+        base = emulate(tiny.program, tiny.streams, seed=3, max_visits=800)
+        compiled = compile_program(tiny.program, MachineDescription(P6332))
+        decorated = emulate(
+            tiny.program,
+            tiny.streams,
+            seed=3,
+            max_visits=800,
+            compiled=compiled,
+        )
+        # Per visit, the decorated ref list starts with the base refs.
+        for i in range(base.n_visits):
+            b0, b1 = base.data_offsets[i], base.data_offsets[i + 1]
+            d0 = decorated.data_offsets[i]
+            base_refs = base.data_addrs[b0:b1]
+            decorated_refs = decorated.data_addrs[d0 : d0 + (b1 - b0)]
+            assert np.array_equal(base_refs, decorated_refs)
+
+    def test_decoration_adds_spill_and_spec_refs(self, tiny):
+        base = emulate(tiny.program, tiny.streams, seed=3, max_visits=800)
+        compiled = compile_program(tiny.program, MachineDescription(P6332))
+        decorated = emulate(
+            tiny.program,
+            tiny.streams,
+            seed=3,
+            max_visits=800,
+            compiled=compiled,
+        )
+        assert decorated.n_data_refs > base.n_data_refs
+
+    def test_reference_machine_gets_no_decoration(self, tiny):
+        base = emulate(tiny.program, tiny.streams, seed=3, max_visits=800)
+        compiled = compile_program(tiny.program, MachineDescription(P1111))
+        decorated = emulate(
+            tiny.program,
+            tiny.streams,
+            seed=3,
+            max_visits=800,
+            compiled=compiled,
+        )
+        # 1111 has no speculation capacity and (with 32 regs) no spills
+        # on the tiny workload, so the traces are byte-identical.
+        assert np.array_equal(base.data_addrs, decorated.data_addrs)
+
+
+class TestValidationPath:
+    def test_emulator_validates_program(self, tiny):
+        from repro.isa.program import Program
+
+        broken = Program(name="broken", entry="ghost")
+        with pytest.raises(Exception, match="entry"):
+            Emulator(broken, tiny.streams)

@@ -1,0 +1,77 @@
+"""Unit tests for repro.trace.io."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.emulator import emulate
+from repro.trace.io import (
+    load_events,
+    load_range_trace,
+    save_events,
+    save_range_trace,
+)
+from repro.trace.ranges import KIND_DATA, KIND_INSTR, KIND_WRITE, RangeTrace
+
+
+class TestEventRoundTrip:
+    def test_round_trip_preserves_everything(self, tiny, tmp_path):
+        events = emulate(tiny.program, tiny.streams, seed=7, max_visits=600)
+        path = save_events(events, tmp_path / "trace.npz")
+        loaded = load_events(path)
+        assert loaded.blocks == events.blocks
+        assert np.array_equal(loaded.visit_blocks, events.visit_blocks)
+        assert np.array_equal(loaded.data_addrs, events.data_addrs)
+        assert np.array_equal(loaded.data_streams, events.data_streams)
+        assert np.array_equal(loaded.data_offsets, events.data_offsets)
+        assert np.array_equal(loaded.data_writes, events.data_writes)
+
+    def test_nested_directory_created(self, tiny, tmp_path):
+        events = emulate(tiny.program, tiny.streams, seed=7, max_visits=50)
+        path = save_events(events, tmp_path / "deep" / "dir" / "t.npz")
+        assert path.exists()
+
+
+class TestRangeRoundTrip:
+    def test_round_trip(self, tmp_path):
+        trace = RangeTrace.build(
+            [0, 64, 4096],
+            [32, 4, 4],
+            [KIND_INSTR, KIND_DATA, KIND_WRITE],
+        )
+        path = save_range_trace(trace, tmp_path / "ranges.npz")
+        loaded = load_range_trace(path)
+        assert np.array_equal(loaded.starts, trace.starts)
+        assert np.array_equal(loaded.sizes, trace.sizes)
+        assert np.array_equal(loaded.kinds, trace.kinds)
+
+    def test_empty_trace(self, tmp_path):
+        path = save_range_trace(RangeTrace.empty(), tmp_path / "e.npz")
+        assert len(load_range_trace(path)) == 0
+
+
+class TestFormatChecks:
+    def test_kind_mismatch_rejected(self, tiny, tmp_path):
+        events = emulate(tiny.program, tiny.streams, seed=1, max_visits=50)
+        path = save_events(events, tmp_path / "t.npz")
+        with pytest.raises(TraceError, match="expected 'ranges'"):
+            load_range_trace(path)
+
+    def test_non_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(TraceError, match="not a repro trace"):
+            load_events(path)
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "old.npz"
+        np.savez(
+            path,
+            version=np.int64(999),
+            kind=np.bytes_(b"ranges"),
+            starts=np.array([0]),
+            sizes=np.array([4]),
+            kinds=np.array([0], dtype=np.uint8),
+        )
+        with pytest.raises(TraceError, match="version"):
+            load_range_trace(path)

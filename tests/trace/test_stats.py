@@ -1,0 +1,83 @@
+"""Unit tests for repro.trace.stats."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.ranges import KIND_INSTR, RangeTrace
+from repro.trace.stats import (
+    measured_unique_lines,
+    miss_curve,
+    summarize,
+    working_set_curve,
+)
+
+
+def looping_trace(n_blocks=8, repeats=20, block_bytes=64):
+    """A loop over n_blocks contiguous blocks, visited repeatedly."""
+    starts = [
+        0x1000 + (i % n_blocks) * block_bytes
+        for i in range(n_blocks * repeats)
+    ]
+    return RangeTrace.build(
+        starts, [block_bytes] * len(starts), KIND_INSTR
+    )
+
+
+class TestSummarize:
+    def test_empty(self):
+        summary = summarize(RangeTrace.empty())
+        assert summary.total_words == 0
+        assert summary.reuse_factor == 0.0
+
+    def test_looping_trace_reuse(self):
+        summary = summarize(looping_trace(n_blocks=8, repeats=20))
+        assert summary.unique_words == 8 * 16  # 8 blocks x 16 words
+        assert summary.total_words == 8 * 16 * 20
+        assert summary.reuse_factor == pytest.approx(20.0)
+        assert summary.footprint_bytes == 8 * 64
+
+
+class TestMeasuredUniqueLines:
+    def test_decreases_with_line_size(self):
+        trace = looping_trace()
+        lines = measured_unique_lines(trace, [4, 8, 16, 32, 64])
+        values = [lines[k] for k in (4, 8, 16, 32, 64)]
+        assert values == sorted(values, reverse=True)
+        assert lines[4] == 8 * 16
+        assert lines[64] == 8
+
+    def test_bad_line_size(self):
+        with pytest.raises(TraceError, match="multiple"):
+            measured_unique_lines(looping_trace(), [6])
+
+
+class TestWorkingSetCurve:
+    def test_loop_working_set_is_flat(self):
+        trace = looping_trace(n_blocks=4, repeats=50, block_bytes=64)
+        curve = working_set_curve(trace, granule_words=4 * 16 * 5)
+        assert len(curve) >= 2
+        # Every granule sees the same 4-block working set.
+        assert all(v == 4 * 16 for v in curve)
+
+    def test_bad_granule(self):
+        with pytest.raises(TraceError, match="granule"):
+            working_set_curve(looping_trace(), 0)
+
+
+class TestMissCurve:
+    def test_monotone_in_capacity(self):
+        trace = looping_trace(n_blocks=64, repeats=10)
+        curve = miss_curve(trace, line_size=32, assoc=2, sizes_kb=[1, 2, 4, 8])
+        rates = [curve[k] for k in (1, 2, 4, 8)]
+        assert all(0.0 <= r <= 1.0 for r in rates)
+        assert rates == sorted(rates, reverse=True)
+
+    def test_fitting_cache_only_cold_misses(self):
+        trace = looping_trace(n_blocks=8, repeats=50)
+        curve = miss_curve(trace, line_size=64, assoc=1, sizes_kb=[16])
+        # 8 cold misses over 8*50 accesses.
+        assert curve[16] == pytest.approx(8 / (8 * 50))
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(TraceError, match="divisible"):
+            miss_curve(looping_trace(), 32, 2, sizes_kb=[0.05])

@@ -1,0 +1,87 @@
+"""Unit tests for repro.vliwcomp.compile."""
+
+from repro.machine.mdes import MachineDescription
+from repro.machine.presets import P1111, P3221, P6332
+from repro.machine.processor import make_processor
+from repro.vliwcomp.compile import compile_program, speculation_capacity
+from repro.vliwcomp.regalloc import SPILL_STREAM
+from repro.workloads.suite import tiny_workload
+
+
+class TestSpeculationCapacity:
+    def test_paper_widths(self):
+        assert speculation_capacity(4) == 0
+        assert speculation_capacity(5) == 1
+        assert speculation_capacity(8) == 2
+        assert speculation_capacity(9) == 3
+        assert speculation_capacity(14) == 5
+
+
+class TestCompileProgram:
+    def test_every_block_compiled(self, tiny):
+        compiled = compile_program(tiny.program, MachineDescription(P1111))
+        expected_keys = {
+            (name, blk.block_id) for name, blk in tiny.program.all_blocks()
+        }
+        assert set(compiled.blocks) == expected_keys
+
+    def test_reference_machine_does_not_speculate(self, tiny):
+        compiled = compile_program(tiny.program, MachineDescription(P1111))
+        assert all(
+            not cb.speculative_streams for cb in compiled.blocks.values()
+        )
+
+    def test_wide_machine_speculates_loads(self, tiny):
+        compiled = compile_program(tiny.program, MachineDescription(P6332))
+        spec_counts = [
+            len(cb.speculative_streams) for cb in compiled.blocks.values()
+        ]
+        assert sum(spec_counts) > 0
+        assert max(spec_counts) <= speculation_capacity(P6332.issue_width)
+
+    def test_speculation_disabled_by_feature_flag(self, tiny):
+        no_spec = make_processor(6, 3, 3, 2, has_speculation=False)
+        compiled = compile_program(tiny.program, MachineDescription(no_spec))
+        assert all(
+            not cb.speculative_streams for cb in compiled.blocks.values()
+        )
+
+    def test_speculative_ops_grow_code(self, tiny):
+        narrow = compile_program(tiny.program, MachineDescription(P1111))
+        wide = compile_program(tiny.program, MachineDescription(P3221))
+        assert wide.total_operations() >= narrow.total_operations()
+
+    def test_spill_ops_use_spill_stream(self, tiny):
+        tiny_regs = make_processor(6, 3, 3, 2, int_registers=8)
+        compiled = compile_program(tiny.program, MachineDescription(tiny_regs))
+        spilled = [cb for cb in compiled.blocks.values() if cb.spill_ops]
+        for cb in spilled:
+            spill_ops = [
+                op for op in cb.operations if op.stream == SPILL_STREAM
+            ]
+            assert len(spill_ops) == cb.spill_ops
+
+    def test_schedules_cover_all_operations(self, tiny):
+        compiled = compile_program(tiny.program, MachineDescription(P3221))
+        for cb in compiled.blocks.values():
+            issued = sorted(
+                i for instr in cb.schedule.instructions for i in instr
+            )
+            assert issued == list(range(len(cb.operations)))
+
+    def test_wider_machine_fewer_cycles_overall(self, tiny):
+        # Compare without speculation: hoisted loads add work per block,
+        # so the clean width effect is visible only feature-for-feature.
+        narrow = compile_program(
+            tiny.program,
+            MachineDescription(make_processor(1, 1, 1, 1, has_speculation=False)),
+        )
+        wide = compile_program(
+            tiny.program,
+            MachineDescription(make_processor(6, 3, 3, 2, has_speculation=False)),
+        )
+        narrow_cycles = sum(
+            cb.issue_cycles for cb in narrow.blocks.values()
+        )
+        wide_cycles = sum(cb.issue_cycles for cb in wide.blocks.values())
+        assert wide_cycles < narrow_cycles

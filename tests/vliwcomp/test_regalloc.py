@@ -1,0 +1,49 @@
+"""Unit tests for repro.vliwcomp.regalloc."""
+
+from repro.isa.operations import make_int
+from repro.machine.mdes import MachineDescription
+from repro.machine.presets import P1111
+from repro.machine.processor import make_processor
+from repro.vliwcomp.regalloc import SPILL_STREAM, estimate_spills
+from repro.vliwcomp.scheduler import schedule_block
+
+
+class TestEstimateSpills:
+    def test_small_block_needs_no_spills(self):
+        mdes = MachineDescription(P1111)
+        ops = [make_int(i, (100 + i,)) for i in range(4)]
+        schedule = schedule_block(ops, mdes)
+        estimate = estimate_spills(ops, schedule, mdes)
+        assert estimate.spill_loads == 0
+        assert estimate.spill_stores == 0
+
+    def test_pressure_beyond_regfile_spills(self):
+        # A machine with a tiny register file: 8 regs, 8 reserved -> 1
+        # usable; many overlapping live ranges must spill.
+        tiny = make_processor(4, 1, 1, 1, int_registers=8)
+        mdes = MachineDescription(tiny)
+        # 12 values defined early, all consumed by one final op chain.
+        ops = [make_int(i, (100 + i,)) for i in range(12)]
+        ops.append(make_int(50, tuple(range(2))))
+        # Keep all 12 live until the end by consuming them late.
+        for k in range(2, 12, 2):
+            ops.append(make_int(60 + k, (k, k + 1)))
+        schedule = schedule_block(ops, mdes)
+        estimate = estimate_spills(ops, schedule, mdes)
+        assert estimate.max_live > 1
+        assert estimate.spill_stores == estimate.spill_loads > 0
+        assert estimate.total_ops == estimate.spill_loads * 2
+
+    def test_wider_machine_has_equal_or_more_pressure(self):
+        # Packing the same ops into fewer cycles can only overlap live
+        # ranges more (or equally).
+        ops = [make_int(i, (100 + i,)) for i in range(16)]
+        ops.append(make_int(50, (0, 15)))
+        narrow = MachineDescription(P1111)
+        wide = MachineDescription(make_processor(6, 3, 3, 2))
+        narrow_est = estimate_spills(ops, schedule_block(ops, narrow), narrow)
+        wide_est = estimate_spills(ops, schedule_block(ops, wide), wide)
+        assert wide_est.max_live >= narrow_est.max_live
+
+    def test_spill_stream_constant_is_reserved(self):
+        assert SPILL_STREAM < 0

@@ -1,0 +1,111 @@
+"""Unit tests for repro.vliwcomp.scheduler."""
+
+import random
+
+from repro.isa.operations import (
+    OpClass,
+    make_branch,
+    make_float,
+    make_int,
+    make_load,
+)
+from repro.machine.mdes import MachineDescription
+from repro.machine.presets import P1111, P4221, P6332
+from repro.vliwcomp.scheduler import schedule_block, schedule_is_legal
+
+
+class TestBasicScheduling:
+    def test_empty_block(self):
+        schedule = schedule_block([], MachineDescription(P1111))
+        assert schedule.num_instructions == 0
+        assert schedule.cycles == 0
+
+    def test_single_op(self):
+        schedule = schedule_block([make_int(1)], MachineDescription(P1111))
+        assert schedule.instructions == ((0,),)
+        assert schedule.cycles == 1
+
+    def test_resource_limit_serializes_same_class(self):
+        # Four independent int ops on a 1-int-unit machine: 4 cycles.
+        ops = [make_int(i, (100 + i,)) for i in range(4)]
+        schedule = schedule_block(ops, MachineDescription(P1111))
+        assert schedule.num_instructions == 4
+        assert all(len(instr) == 1 for instr in schedule.instructions)
+
+    def test_mixed_classes_pack_into_one_instruction(self):
+        ops = [make_int(1, (101,)), make_float(2, (102,)), make_load(3, 103)]
+        schedule = schedule_block(ops, MachineDescription(P1111))
+        assert schedule.num_instructions == 1
+        assert schedule.instructions[0] == (0, 1, 2)
+
+    def test_latency_creates_stall_cycles(self):
+        # load (lat 2) feeding an int op: issue cycles 0 and 2.
+        ops = [make_load(1, 100), make_int(2, (1,))]
+        schedule = schedule_block(ops, MachineDescription(P1111))
+        assert schedule.num_instructions == 2
+        assert schedule.cycles == 3
+        assert schedule.stall_cycles == 1
+
+    def test_branch_issues_no_earlier_than_other_ops(self):
+        # Blocks end with their branch (the generator's invariant); the
+        # branch may share the final cycle but never precede other ops.
+        ops = [make_int(1, (100,)), make_int(2, (101,)), make_branch()]
+        schedule = schedule_block(ops, MachineDescription(P1111))
+        last_instr = schedule.instructions[-1]
+        assert 2 in last_instr  # the branch op index
+
+    def test_wide_machine_uses_fewer_cycles(self):
+        ops = [make_int(i, (100 + i,)) for i in range(12)]
+        narrow = schedule_block(ops, MachineDescription(P1111))
+        wide = schedule_block(ops, MachineDescription(P6332))
+        assert wide.num_instructions < narrow.num_instructions
+        assert wide.ops_per_instruction() > narrow.ops_per_instruction()
+
+
+class TestLegality:
+    def random_ops(self, rng, n=30):
+        ops = []
+        defined = []
+        for _ in range(n):
+            roll = rng.random()
+            srcs = tuple(
+                rng.choice(defined) if defined and rng.random() < 0.6
+                else 1000 + rng.randrange(100)
+                for _ in range(2)
+            )
+            dest = rng.randrange(40)
+            if roll < 0.5:
+                ops.append(make_int(dest, srcs))
+            elif roll < 0.7:
+                ops.append(make_float(dest, srcs))
+            else:
+                ops.append(make_load(dest, srcs[0], stream=rng.randrange(3)))
+            defined.append(dest)
+        ops.append(make_branch((defined[-1],)))
+        return ops
+
+    def test_random_blocks_schedule_legally_on_all_machines(self):
+        rng = random.Random(1234)
+        for trial in range(10):
+            ops = self.random_ops(rng)
+            for processor in (P1111, P4221, P6332):
+                mdes = MachineDescription(processor)
+                schedule = schedule_block(ops, mdes)
+                issued = [i for instr in schedule.instructions for i in instr]
+                assert sorted(issued) == list(range(len(ops)))
+                assert schedule_is_legal(ops, mdes, schedule), (
+                    f"illegal schedule on {processor.name} trial {trial}"
+                )
+
+    def test_resource_counts_never_exceeded(self):
+        rng = random.Random(7)
+        ops = self.random_ops(rng, n=50)
+        mdes = MachineDescription(P4221)
+        schedule = schedule_block(ops, mdes)
+        for instr in schedule.instructions:
+            counts = {}
+            for index in instr:
+                cls = ops[index].opclass
+                counts[cls] = counts.get(cls, 0) + 1
+            for cls, used in counts.items():
+                assert used <= P4221.units[cls]

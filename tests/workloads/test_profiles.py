@@ -1,0 +1,69 @@
+"""Unit tests for repro.workloads.profiles."""
+
+import pytest
+from dataclasses import replace
+
+from repro.errors import ConfigurationError
+from repro.workloads.profiles import StreamProfile, WorkloadProfile
+
+
+def valid_profile(**overrides):
+    base = WorkloadProfile(
+        name="t",
+        seed=1,
+        n_procedures=4,
+        blocks_per_proc=(3, 6),
+        mean_ops_per_block=6.0,
+        op_mix=(0.5, 0.2, 0.3),
+        dependence_density=0.5,
+        loop_probability=0.2,
+        loop_continue=0.8,
+        branch_probability=0.3,
+        call_density=0.1,
+        streams=(StreamProfile("sequential", region_kb=8),),
+    )
+    return replace(base, **overrides) if overrides else base
+
+
+class TestValidation:
+    def test_valid(self):
+        valid_profile()
+
+    def test_no_procedures(self):
+        with pytest.raises(ConfigurationError, match="procedure"):
+            valid_profile(n_procedures=0)
+
+    def test_bad_block_range(self):
+        with pytest.raises(ConfigurationError, match="blocks_per_proc"):
+            valid_profile(blocks_per_proc=(5, 3))
+        with pytest.raises(ConfigurationError, match="blocks_per_proc"):
+            valid_profile(blocks_per_proc=(1, 3))
+
+    def test_bad_mix(self):
+        with pytest.raises(ConfigurationError, match="mix"):
+            valid_profile(op_mix=(0.0, 0.0, 0.0))
+        with pytest.raises(ConfigurationError, match="mix"):
+            valid_profile(op_mix=(-0.1, 0.5, 0.6))
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "dependence_density",
+            "loop_probability",
+            "loop_continue",
+            "branch_probability",
+            "call_density",
+            "load_fraction",
+        ],
+    )
+    def test_probability_fields(self, field):
+        with pytest.raises(ConfigurationError, match=field):
+            valid_profile(**{field: 1.2})
+
+    def test_streams_required(self):
+        with pytest.raises(ConfigurationError, match="stream"):
+            valid_profile(streams=())
+
+    def test_tiny_ops_per_block(self):
+        with pytest.raises(ConfigurationError, match="mean_ops"):
+            valid_profile(mean_ops_per_block=0.5)

@@ -1,0 +1,63 @@
+"""Unit tests for repro.workloads.suite."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.validate import validate_program
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    benchmark_profile,
+    load_benchmark,
+    tiny_workload,
+)
+
+
+class TestSuite:
+    def test_ten_benchmarks_in_paper_order(self):
+        assert len(BENCHMARK_NAMES) == 10
+        assert BENCHMARK_NAMES[0] == "085.gcc"
+        assert BENCHMARK_NAMES[-1] == "unepic"
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_all_benchmarks_generate_and_validate(self, name):
+        workload = load_benchmark(name, scale=0.15)
+        validate_program(workload.program)
+        assert workload.name == name
+        assert workload.streams
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ConfigurationError, match="unknown benchmark"):
+            load_benchmark("176.gcc")
+
+    def test_scale_shrinks_code(self):
+        small = load_benchmark("epic", scale=0.2)
+        large = load_benchmark("epic", scale=0.6)
+        assert small.program.num_operations < large.program.num_operations
+
+    def test_bad_scale(self):
+        with pytest.raises(ConfigurationError, match="scale"):
+            load_benchmark("epic", scale=0)
+
+    def test_profiles_are_distinct(self):
+        profiles = [benchmark_profile(n) for n in BENCHMARK_NAMES]
+        seeds = {p.seed for p in profiles}
+        assert len(seeds) == len(profiles)
+
+    def test_character_knobs(self):
+        gcc = benchmark_profile("085.gcc")
+        mipmap = benchmark_profile("mipmap")
+        # gcc is branchier; mipmap is float-heavier.
+        assert gcc.branch_probability > mipmap.branch_probability
+        assert mipmap.op_mix[1] > gcc.op_mix[1]
+
+
+class TestTinyWorkload:
+    def test_generates_and_validates(self):
+        workload = tiny_workload()
+        validate_program(workload.program)
+        assert workload.program.num_blocks < 50
+
+    def test_seed_controls_generation(self):
+        a = tiny_workload(seed=1)
+        b = tiny_workload(seed=2)
+        assert a.program.num_operations != b.program.num_operations
