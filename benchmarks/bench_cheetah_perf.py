@@ -1,0 +1,241 @@
+"""Cheetah engine speedup: vectorized single-pass vs the seed `_touch` path.
+
+Times the vectorized :class:`repro.cache.cheetah.CheetahSimulator` against
+the preserved seed implementation (:mod:`repro.cache._legacy`) on the
+epic unified reference trace — the same workload ``bench_micro`` uses —
+across two paper-realistic sweep grids, and verifies that every miss
+count on the grid is bit-identical between the two engines, with
+spot-checks against the stateful :class:`CacheSimulator` ground truth.
+
+The primary grid (64 B lines, 3 set counts, 8-way histograms) is the
+configuration the memory evaluator runs during design-space exploration;
+the acceptance gate asserts a >= 5x speedup there.  Results are written
+to ``benchmarks/results/BENCH_cheetah.json``.
+
+Runs two ways:
+
+* ``PYTHONPATH=src python -m pytest benchmarks/bench_cheetah_perf.py``
+* ``python benchmarks/bench_cheetah_perf.py [--smoke] [--json PATH]``
+
+``--smoke`` does a single timing rep and skips the slow ground-truth
+oracle — used by CI to produce the JSON artifact without gating on
+runner timing noise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # script mode: python benchmarks/bench_...
+    _root = Path(__file__).resolve().parent.parent
+    for entry in (_root, _root / "src"):
+        if str(entry) not in sys.path:
+            sys.path.insert(0, str(entry))
+
+from benchmarks.conftest import BENCH_SETTINGS, RESULTS_DIR
+from repro.cache._legacy import LegacyCheetahSimulator
+from repro.cache.cheetah import CheetahSimulator
+from repro.cache.config import CacheConfig
+from repro.cache.linestream import clear_line_stream_cache
+from repro.cache.simulator import CacheSimulator
+from repro.experiments.runner import get_pipeline
+
+MIN_SPEEDUP = 5.0
+
+#: (line_size, set_counts, max_assoc, ground-truth spot checks, primary?)
+GRIDS = [
+    {
+        "line_size": 64,
+        "set_counts": [64, 256, 1024],
+        "max_assoc": 8,
+        "oracle_points": [(64, 1), (256, 2), (1024, 8)],
+        "primary": True,
+    },
+    {
+        "line_size": 16,
+        "set_counts": [256, 1024, 4096],
+        "max_assoc": 8,
+        "oracle_points": [(256, 1), (4096, 4)],
+        "primary": False,
+    },
+]
+
+
+def load_unified_trace():
+    pipeline = get_pipeline("epic", BENCH_SETTINGS)
+    return pipeline.reference_artifacts().unified_trace
+
+
+def _best_time(run, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _assoc_grid(max_assoc: int) -> list[int]:
+    return [assoc for assoc in (1, 2, 4, 8, 16) if assoc <= max_assoc]
+
+
+def run_grid(trace, grid: dict, *, reps: int, oracle: bool) -> dict:
+    starts, sizes = trace.starts, trace.sizes
+    line_size = grid["line_size"]
+    set_counts = grid["set_counts"]
+    max_assoc = grid["max_assoc"]
+
+    def run_legacy():
+        sim = LegacyCheetahSimulator(line_size, set_counts, max_assoc=max_assoc)
+        sim.simulate(starts, sizes)
+        return sim
+
+    def run_vectorized():
+        # Cold: drop the memoized expansion so every rep pays the full
+        # trace -> line-stream cost, like the legacy path does.
+        clear_line_stream_cache()
+        sim = CheetahSimulator(line_size, set_counts, max_assoc=max_assoc)
+        sim.simulate(starts, sizes)
+        return sim
+
+    legacy_seconds = _best_time(run_legacy, reps)
+    vectorized_seconds = _best_time(run_vectorized, reps)
+
+    legacy = run_legacy()
+    vectorized = run_vectorized()
+    assert vectorized.accesses == legacy.accesses
+    points = 0
+    for nsets in set_counts:
+        for assoc in _assoc_grid(max_assoc):
+            got = vectorized.misses(nsets, assoc)
+            want = legacy.misses(nsets, assoc)
+            assert got == want, (
+                f"miss mismatch at sets={nsets} assoc={assoc} "
+                f"line={line_size}: vectorized={got} legacy={want}"
+            )
+            points += 1
+
+    oracle_points = []
+    if oracle:
+        for nsets, assoc in grid["oracle_points"]:
+            direct = CacheSimulator(CacheConfig(nsets, assoc, line_size))
+            for start, size in zip(starts.tolist(), sizes.tolist()):
+                direct.access_range(start, size)
+            got = vectorized.misses(nsets, assoc)
+            assert got == direct.misses, (
+                f"ground-truth mismatch at sets={nsets} assoc={assoc} "
+                f"line={line_size}: vectorized={got} direct={direct.misses}"
+            )
+            assert vectorized.accesses == direct.accesses
+            oracle_points.append([nsets, assoc])
+
+    accesses = vectorized.accesses
+    return {
+        "line_size": line_size,
+        "set_counts": set_counts,
+        "max_assoc": max_assoc,
+        "primary": grid["primary"],
+        "line_accesses": accesses,
+        "legacy_seconds": round(legacy_seconds, 6),
+        "vectorized_seconds": round(vectorized_seconds, 6),
+        "speedup": round(legacy_seconds / vectorized_seconds, 2),
+        "accesses_per_second_before": round(accesses / legacy_seconds),
+        "accesses_per_second_after": round(accesses / vectorized_seconds),
+        "grid_points_checked": points,
+        "bit_identical": True,
+        "ground_truth_points": oracle_points,
+    }
+
+
+def run_benchmark(*, reps: int = 5, oracle: bool = True) -> dict:
+    trace = load_unified_trace()
+    grids = [run_grid(trace, grid, reps=reps, oracle=oracle) for grid in GRIDS]
+    primary = next(g for g in grids if g["primary"])
+    return {
+        "workload": "epic",
+        "trace_ranges": len(trace.starts),
+        "timing_reps": reps,
+        "min_required_speedup": MIN_SPEEDUP,
+        "primary_speedup": primary["speedup"],
+        "grids": grids,
+    }
+
+
+def write_report(report: dict, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"cheetah engine benchmark — workload={report['workload']} "
+        f"({report['trace_ranges']} trace ranges, "
+        f"best of {report['timing_reps']})"
+    ]
+    for grid in report["grids"]:
+        tag = "primary" if grid["primary"] else "secondary"
+        lines.append(
+            f"  [{tag}] line={grid['line_size']}B sets={grid['set_counts']} "
+            f"assoc<= {grid['max_assoc']}: "
+            f"{grid['legacy_seconds']:.3f}s -> "
+            f"{grid['vectorized_seconds']:.3f}s "
+            f"({grid['speedup']:.1f}x, "
+            f"{grid['accesses_per_second_before']:,} -> "
+            f"{grid['accesses_per_second_after']:,} accesses/s, "
+            f"{grid['grid_points_checked']} grid points bit-identical)"
+        )
+    return "\n".join(lines)
+
+
+def test_cheetah_engine_speedup(results_dir):
+    report = run_benchmark(reps=5, oracle=True)
+    write_report(report, results_dir / "BENCH_cheetah.json")
+    print("\n" + render(report))
+    assert report["primary_speedup"] >= MIN_SPEEDUP, (
+        f"primary-grid speedup {report['primary_speedup']}x "
+        f"below the {MIN_SPEEDUP}x acceptance floor"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=RESULTS_DIR / "BENCH_cheetah.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=5, help="timing repetitions (best-of)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single rep, skip ground-truth oracle, no speedup gate",
+    )
+    args = parser.parse_args(argv)
+    if args.reps < 1:
+        parser.error("--reps must be >= 1")
+
+    reps = 1 if args.smoke else args.reps
+    report = run_benchmark(reps=reps, oracle=not args.smoke)
+    write_report(report, args.json)
+    print(render(report))
+    print(f"report written to {args.json}")
+    if not args.smoke and report["primary_speedup"] < MIN_SPEEDUP:
+        print(
+            f"FAIL: primary-grid speedup {report['primary_speedup']}x "
+            f"below the {MIN_SPEEDUP}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

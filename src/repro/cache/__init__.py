@@ -20,6 +20,13 @@ from repro.cache.area import cache_cost
 from repro.cache.cheetah import CheetahSimulator, simulate_many
 from repro.cache.config import CacheConfig
 from repro.cache.inclusion import satisfies_inclusion
+from repro.cache.linestream import (
+    LineStream,
+    clear_line_stream_cache,
+    collapse_repeats,
+    expand_lines,
+    line_stream,
+)
 from repro.cache.simulator import CacheSimulator, MissResult, simulate_trace
 from repro.cache.sweep import sweep_design_space
 from repro.cache.writepolicy import WriteResult, simulate_write_policy
@@ -36,4 +43,9 @@ __all__ = [
     "cache_cost",
     "simulate_write_policy",
     "WriteResult",
+    "LineStream",
+    "line_stream",
+    "expand_lines",
+    "collapse_repeats",
+    "clear_line_stream_cache",
 ]

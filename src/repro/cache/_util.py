@@ -1,0 +1,29 @@
+"""Small helpers shared by the cache simulators.
+
+Historically :mod:`repro.cache.cheetah` imported the private ``_as_list``
+helper from :mod:`repro.cache.simulator`; both now import from here so
+neither module reaches into the other's internals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def as_int_list(values: Sequence[int] | Iterable[int]) -> list[int]:
+    """Coerce a sequence (possibly a numpy array) to a plain list of ints.
+
+    Plain-int list iteration is measurably faster than elementwise numpy
+    indexing in the simulator inner loops.
+    """
+    tolist = getattr(values, "tolist", None)
+    if callable(tolist):
+        return tolist()
+    return list(values)
+
+
+def as_int64_array(values: Sequence[int] | Iterable[int]) -> np.ndarray:
+    """Coerce a sequence to a contiguous int64 numpy array."""
+    return np.ascontiguousarray(np.asarray(values, dtype=np.int64))

@@ -11,37 +11,59 @@ requires only a single pass over the trace.
 
 The stacks are truncated at the maximum associativity of interest, so
 memory stays bounded regardless of trace length.
+
+Engine
+------
+The batch path (:meth:`CheetahSimulator.simulate`) is vectorized.  Per
+trace it runs one memoized numpy expansion of byte ranges into a line
+stream with immediate repeats removed (:mod:`repro.cache.linestream`),
+then per stack family:
+
+1. partitions the stream by set with one radix ``argsort`` of the
+   (small-dtype) set indices — per-set LRU state is independent of other
+   sets, so stack distances only depend on the within-set order, which a
+   stable sort preserves;
+2. removes *within-set* immediate repeats vectorially — each is a
+   depth-0 hit that leaves LRU state unchanged (``hist[0]`` credit);
+3. removes period-2 alternations (``x y x y ...``) pairwise — each
+   removed reference sits at stack depth exactly 1, and removing an
+   adjacent ``x, y`` pair swaps the set's top two stack entries twice,
+   leaving state unchanged (``hist[1]`` credit; for ``max_assoc == 1``
+   that bucket is the shared "deeper-or-absent" bucket the seed's miss
+   path used, so accounting still matches bit-for-bit);
+4. feeds only the surviving references (typically < 15% of the stream)
+   to a tight Python LRU-stack loop.
+
+``docs/PERFORMANCE.md`` documents the design and its invariants; the
+seed implementation is preserved in :mod:`repro.cache._legacy` as the
+benchmark baseline and property-test oracle.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
+from repro.cache._util import as_int64_array
 from repro.cache.config import CacheConfig
-from repro.cache.simulator import MissResult, _as_list
+from repro.cache.linestream import LineStream, line_stream
+from repro.cache.simulator import MissResult
 from repro.errors import ConfigurationError, TraceError
 
 
-@dataclass
-class _StackFamily:
-    """Per-set truncated LRU stacks for one set count."""
+class _Family:
+    """Per-set-count truncated LRU stacks plus the depth histogram."""
 
-    nsets: int
-    max_assoc: int
-    stacks: list[list[int]]
-    # hist[k] = number of references found at stack depth k (0 = MRU).
-    # hist[max_assoc] accumulates "deeper than we track, or absent".
-    hist: list[int]
+    __slots__ = ("nsets", "max_assoc", "stacks", "hist")
 
-    @classmethod
-    def create(cls, nsets: int, max_assoc: int) -> "_StackFamily":
-        return cls(
-            nsets=nsets,
-            max_assoc=max_assoc,
-            stacks=[[] for _ in range(nsets)],
-            hist=[0] * (max_assoc + 1),
-        )
+    def __init__(self, nsets: int, max_assoc: int):
+        self.nsets = nsets
+        self.max_assoc = max_assoc
+        self.stacks: list[list[int]] = [[] for _ in range(nsets)]
+        # hist[k] = number of references found at stack depth k (0 = MRU).
+        # hist[max_assoc] accumulates "deeper than we track, or absent".
+        self.hist: list[int] = [0] * (max_assoc + 1)
 
 
 class CheetahSimulator:
@@ -52,45 +74,93 @@ class CheetahSimulator:
     line_size:
         Common line size in bytes of every simulated configuration.
     set_counts:
-        The distinct set counts to track (each a power of two).
+        The distinct set counts to track (each a power of two).  Any
+        iterable is accepted, including one-shot iterators.
     max_assoc:
         Largest associativity of interest.  After a pass,
         :meth:`misses` answers for any ``A <= max_assoc``.
     """
 
     def __init__(
-        self, line_size: int, set_counts: Sequence[int], max_assoc: int = 8
+        self, line_size: int, set_counts: Sequence[int] | Iterable[int],
+        max_assoc: int = 8,
     ):
         if max_assoc < 1:
             raise ConfigurationError(f"max_assoc must be >= 1, got {max_assoc}")
+        # Materialize once so one-shot iterables are safe.
+        counts = [int(nsets) for nsets in set_counts]
         # CacheConfig validates line size / set count feasibility for us.
-        for nsets in set_counts:
+        for nsets in counts:
             CacheConfig(nsets, 1, line_size)
-        if len(set(set_counts)) != len(list(set_counts)):
+        if len(set(counts)) != len(counts):
             raise ConfigurationError("set_counts contains duplicates")
         self.line_size = line_size
         self.max_assoc = max_assoc
-        self._families = [
-            _StackFamily.create(nsets, max_assoc) for nsets in set_counts
-        ]
+        # Keyed by set count for O(1) lookup in :meth:`misses`.
+        self._families: dict[int, _Family] = {
+            nsets: _Family(nsets, max_assoc) for nsets in counts
+        }
         self.accesses = 0
+        self._sealed = False
+
+    @classmethod
+    def from_state(
+        cls,
+        line_size: int,
+        max_assoc: int,
+        accesses: int,
+        hists: Mapping[int, Sequence[int]],
+    ) -> "CheetahSimulator":
+        """Rebuild a query-only simulator from exported :meth:`state`.
+
+        Used to merge results simulated in worker processes back into
+        the parent's API objects.  The rebuilt simulator answers
+        :meth:`misses`/:meth:`result` queries but refuses further trace
+        feeding (its LRU stacks were not shipped along).
+        """
+        sim = cls(line_size, list(hists), max_assoc)
+        sim.accesses = accesses
+        for nsets, hist in hists.items():
+            if len(hist) != max_assoc + 1:
+                raise ConfigurationError(
+                    f"histogram for {nsets} sets has {len(hist)} buckets, "
+                    f"expected {max_assoc + 1}"
+                )
+            sim._families[nsets].hist = [int(h) for h in hist]
+        sim._sealed = True
+        return sim
+
+    def state(self) -> tuple[int, dict[int, list[int]]]:
+        """Exportable (accesses, {set count: depth histogram}) snapshot."""
+        return self.accesses, {
+            nsets: list(fam.hist) for nsets, fam in self._families.items()
+        }
 
     @property
     def set_counts(self) -> list[int]:
-        return [fam.nsets for fam in self._families]
+        return list(self._families)
 
     def reset(self) -> None:
         """Empty every stack family and zero the counters."""
-        self._families = [
-            _StackFamily.create(fam.nsets, fam.max_assoc)
-            for fam in self._families
-        ]
+        self._families = {
+            nsets: _Family(nsets, fam.max_assoc)
+            for nsets, fam in self._families.items()
+        }
         self.accesses = 0
+        self._sealed = False
+
+    def _check_unsealed(self) -> None:
+        if self._sealed:
+            raise ConfigurationError(
+                "this CheetahSimulator was rebuilt from exported state and "
+                "is query-only; it cannot consume further references"
+            )
 
     def access_line(self, line: int) -> None:
         """Feed one line reference to every stack family."""
+        self._check_unsealed()
         self.accesses += 1
-        for fam in self._families:
+        for fam in self._families.values():
             _touch(fam, line)
 
     def simulate(
@@ -99,23 +169,20 @@ class CheetahSimulator:
         sizes: Sequence[int] | Iterable[int],
     ) -> None:
         """Feed a whole range trace (may be called repeatedly to append)."""
-        starts_list = _as_list(starts)
-        sizes_list = _as_list(sizes)
-        if len(starts_list) != len(sizes_list):
+        self._check_unsealed()
+        starts_arr = as_int64_array(starts)
+        sizes_arr = as_int64_array(sizes)
+        if len(starts_arr) != len(sizes_arr):
             raise TraceError("starts and sizes must have equal length")
-        line_size = self.line_size
-        families = self._families
-        accesses = 0
-        for start, size in zip(starts_list, sizes_list):
-            if size <= 0:
-                raise TraceError(f"range size must be positive, got {size}")
-            first = start // line_size
-            last = (start + size - 1) // line_size
-            accesses += last - first + 1
-            for line in range(first, last + 1):
-                for fam in families:
-                    _touch(fam, line)
-        self.accesses += accesses
+        stream = line_stream(starts_arr, sizes_arr, self.line_size)
+        self.consume(stream)
+
+    def consume(self, stream: LineStream) -> None:
+        """Feed a pre-expanded line stream to every stack family."""
+        self._check_unsealed()
+        self.accesses += stream.accesses
+        for fam in self._families.values():
+            _process_family(fam, stream)
 
     def misses(self, sets: int, assoc: int) -> int:
         """Misses of cache C(sets, assoc, line_size) on the trace seen so far.
@@ -127,10 +194,10 @@ class CheetahSimulator:
             raise ConfigurationError(
                 f"assoc {assoc} outside tracked range 1..{self.max_assoc}"
             )
-        for fam in self._families:
-            if fam.nsets == sets:
-                return self.accesses - sum(fam.hist[:assoc])
-        raise ConfigurationError(f"set count {sets} was not tracked")
+        fam = self._families.get(sets)
+        if fam is None:
+            raise ConfigurationError(f"set count {sets} was not tracked")
+        return self.accesses - sum(fam.hist[:assoc])
 
     def result(self, config: CacheConfig) -> MissResult:
         """Miss result for one tracked configuration."""
@@ -146,15 +213,15 @@ class CheetahSimulator:
     def results(self) -> dict[CacheConfig, MissResult]:
         """Miss results for every tracked (sets, assoc) combination."""
         out: dict[CacheConfig, MissResult] = {}
-        for fam in self._families:
+        for nsets in self._families:
             for assoc in range(1, self.max_assoc + 1):
-                config = CacheConfig(fam.nsets, assoc, self.line_size)
+                config = CacheConfig(nsets, assoc, self.line_size)
                 out[config] = self.result(config)
         return out
 
 
-def _touch(fam: _StackFamily, line: int) -> None:
-    """Record one line touch in a stack family (inlined hot path)."""
+def _touch(fam: _Family, line: int) -> None:
+    """Record one line touch in a stack family (scalar path)."""
     stack = fam.stacks[line % fam.nsets]
     try:
         depth = stack.index(line)
@@ -168,6 +235,134 @@ def _touch(fam: _StackFamily, line: int) -> None:
     if depth:
         del stack[depth]
         stack.insert(0, line)
+
+
+def _process_family(fam: _Family, stream: LineStream) -> None:
+    """Batch-process one family: vectorized pre-passes + survivor loop."""
+    hist = fam.hist
+    hist[0] += stream.repeats
+    lines = stream.lines
+    n = len(lines)
+    if n == 0:
+        return
+    nsets = fam.nsets
+
+    if nsets == 1:
+        # Already "partitioned": one set, stream order, repeats removed.
+        part = lines
+        setkeys = None
+    else:
+        sidx = lines & (nsets - 1)
+        # Radix-sortable small dtype: integer stable argsort in numpy is
+        # ~8x faster on uint16 keys than on int64.
+        key = sidx.astype(np.uint16) if nsets <= (1 << 16) else sidx
+        order = np.argsort(key, kind="stable")
+        part = lines[order]
+        setkeys = key[order]
+        # Within-set immediate repeats are depth-0 hits with no state
+        # change (the line is its set's MRU); count and drop vectorially.
+        dup = (part[1:] == part[:-1]) & (setkeys[1:] == setkeys[:-1])
+        ndup = int(dup.sum())
+        if ndup:
+            hist[0] += ndup
+            keep = np.empty(n, dtype=bool)
+            keep[0] = True
+            np.logical_not(dup, out=keep[1:])
+            part = part[keep]
+            setkeys = setkeys[keep]
+
+    # Period-2 alternation pre-pass: in a consecutive-duplicate-free
+    # per-set sequence, a reference equal to the one two back sits at
+    # stack depth exactly 1 (one distinct line touched in between).
+    # Removing such references *in adjacent pairs* is state-neutral:
+    # the pair swaps the set's top two stack entries twice.  For runs of
+    # odd length the last alternating reference is kept for the loop.
+    m = len(part)
+    if m > 2:
+        if setkeys is None:
+            alt = part[2:] == part[:-2]
+        else:
+            alt = (part[2:] == part[:-2]) & (setkeys[2:] == setkeys[:-2])
+        if alt.any():
+            altf = np.zeros(m, dtype=bool)
+            altf[2:] = alt
+            idx = np.arange(m)
+            # 1-based position of each reference within its run of
+            # consecutive alternating references.
+            pos = idx - np.maximum.accumulate(np.where(~altf, idx, -1))
+            run_start = altf.copy()
+            run_start[1:] &= ~altf[:-1]
+            run_id = np.cumsum(run_start)
+            run_len = np.bincount(run_id[altf], minlength=int(run_id[-1]) + 1)[
+                run_id
+            ]
+            keep_last = altf & ((run_len & 1) == 1) & (pos == run_len)
+            remove = altf & ~keep_last
+            nremove = int(remove.sum())
+            if nremove:
+                hist[1] += nremove
+                keepm = ~remove
+                part = part[keepm]
+                if setkeys is not None:
+                    setkeys = setkeys[keepm]
+
+    seq = part.tolist()
+    m = len(seq)
+    if m == 0:
+        return
+
+    # Per-set segment boundaries in the partitioned survivor stream.
+    if setkeys is None:
+        bounds = [0, m]
+        segment_sets = [0]
+    else:
+        change = np.flatnonzero(setkeys[1:] != setkeys[:-1]) + 1
+        bounds = [0, *change.tolist(), m]
+        segment_sets = setkeys[
+            np.concatenate((np.zeros(1, dtype=np.int64), change))
+        ].tolist()
+
+    stacks = fam.stacks
+    max_assoc = fam.max_assoc
+    for seg in range(len(segment_sets)):
+        lo = bounds[seg]
+        hi = bounds[seg + 1]
+        stack = stacks[segment_sets[seg]]
+        if stack:
+            # Only the first reference of a segment can equal the MRU
+            # left by a previous simulate()/access_line() call; later
+            # ones differ from their predecessor by construction.
+            line = seq[lo]
+            if line == stack[0]:
+                hist[0] += 1
+            elif line in stack:
+                depth = stack.index(line, 1)
+                hist[depth] += 1
+                stack.insert(0, stack.pop(depth))
+            else:
+                hist[max_assoc] += 1
+                stack.insert(0, line)
+                if len(stack) > max_assoc:
+                    stack.pop()
+            lo += 1
+        index = stack.index
+        insert = stack.insert
+        pop = stack.pop
+        depth_here = len(stack)
+        for line in seq[lo:hi]:
+            if line in stack:
+                # Depth >= 1 always: the predecessor reference is the
+                # current MRU and differs from this line.
+                depth = index(line, 1)
+                hist[depth] += 1
+                insert(0, pop(depth))
+            else:
+                hist[max_assoc] += 1
+                insert(0, line)
+                depth_here += 1
+                if depth_here > max_assoc:
+                    pop()
+                    depth_here = max_assoc
 
 
 def simulate_many(

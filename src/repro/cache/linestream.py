@@ -1,0 +1,153 @@
+"""Vectorized range-trace -> line-stream expansion (the simulators' front end).
+
+The seed simulators expanded every byte range into its cache lines with a
+Python ``range()`` loop per range — the single hottest loop in the code
+base.  This module performs the same expansion as three numpy primitives
+(`cumsum`/`repeat`/`arange`), then applies an **MRU-collapse** pre-pass
+that drops *immediate repeats* (a line referenced twice in a row).
+
+The collapse is miss-equivalent for every cache sharing the line size:
+an immediate repeat touches the line that is most-recently-used in its
+set — for any set count and any associativity — so it hits at stack
+depth 0 and leaves all LRU state unchanged.  Consumers add the dropped
+count back into their access totals (and depth-0 histogram buckets).
+
+Expanded streams are memoized per ``(trace fingerprint, line_size)`` so
+one expansion is shared by every stack family, by repeated
+:class:`~repro.cache.cheetah.CheetahSimulator` passes over the same
+trace, and by :func:`~repro.cache.sweep.sweep_design_space`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache._util import as_int64_array
+from repro.errors import TraceError
+
+#: Maximum number of memoized (trace, line size) expansions held at once.
+_CACHE_ENTRIES = 32
+
+_cache: OrderedDict[tuple[bytes, int], "LineStream"] = OrderedDict()
+_cache_lock = threading.Lock()
+
+
+@dataclass(frozen=True)
+class LineStream:
+    """An expanded, MRU-collapsed line-reference stream.
+
+    Attributes
+    ----------
+    lines:
+        Line indices in reference order with immediate repeats removed.
+        Stored as int32 when the line indices fit (faster to sort,
+        gather and convert), int64 otherwise.
+    accesses:
+        Number of line touches the original trace performs, *including*
+        the collapsed repeats.
+    """
+
+    lines: np.ndarray
+    accesses: int
+
+    @property
+    def repeats(self) -> int:
+        """Immediate-repeat references removed by the MRU collapse."""
+        return self.accesses - len(self.lines)
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+
+def expand_lines(
+    starts: np.ndarray, sizes: np.ndarray, line_size: int
+) -> np.ndarray:
+    """Expand byte ranges to the full line-index stream, no Python loops.
+
+    Each range ``[start, start+size)`` contributes the ascending run of
+    line indices it overlaps, exactly as the seed simulators' nested
+    ``range()`` loops did.
+    """
+    starts = as_int64_array(starts)
+    sizes = as_int64_array(sizes)
+    if len(starts) == 0:
+        return np.empty(0, dtype=np.int64)
+    if int(sizes.min()) <= 0:
+        bad = int(sizes[sizes <= 0][0])
+        raise TraceError(f"range size must be positive, got {bad}")
+    first = starts // line_size
+    counts = (starts + sizes - 1) // line_size - first + 1
+    total = int(counts.sum())
+    # Offset of each output slot within its source range: a global
+    # arange minus each range's starting slot, broadcast via repeat.
+    slot_starts = np.cumsum(counts) - counts
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(slot_starts, counts)
+    return np.repeat(first, counts) + offsets
+
+
+def collapse_repeats(lines: np.ndarray) -> np.ndarray:
+    """Drop references identical to their immediate predecessor."""
+    if len(lines) < 2:
+        return lines
+    keep = np.empty(len(lines), dtype=bool)
+    keep[0] = True
+    np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+    if keep.all():
+        return lines
+    return lines[keep]
+
+
+def line_stream(
+    starts: np.ndarray,
+    sizes: np.ndarray,
+    line_size: int,
+    *,
+    memoize: bool = True,
+) -> LineStream:
+    """Expanded+collapsed stream for a range trace, memoized by content.
+
+    The memo key is a content fingerprint of the arrays, so distinct
+    array objects holding the same trace share one expansion.
+    """
+    starts = as_int64_array(starts)
+    sizes = as_int64_array(sizes)
+    if len(starts) != len(sizes):
+        raise TraceError("starts and sizes must have equal length")
+
+    key: tuple[bytes, int] | None = None
+    if memoize:
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(len(starts).to_bytes(8, "little"))
+        digest.update(starts.tobytes())
+        digest.update(sizes.tobytes())
+        key = (digest.digest(), line_size)
+        with _cache_lock:
+            cached = _cache.get(key)
+            if cached is not None:
+                _cache.move_to_end(key)
+                return cached
+
+    lines = expand_lines(starts, sizes, line_size)
+    accesses = len(lines)
+    lines = collapse_repeats(lines)
+    if len(lines) and int(lines.min()) >= -(2**31) and int(lines.max()) < 2**31:
+        lines = lines.astype(np.int32)
+    stream = LineStream(lines=lines, accesses=accesses)
+
+    if key is not None:
+        with _cache_lock:
+            _cache[key] = stream
+            while len(_cache) > _CACHE_ENTRIES:
+                _cache.popitem(last=False)
+    return stream
+
+
+def clear_line_stream_cache() -> None:
+    """Drop all memoized expansions (mainly for tests and benchmarks)."""
+    with _cache_lock:
+        _cache.clear()

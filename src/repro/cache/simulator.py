@@ -15,8 +15,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.cache._util import as_int64_array, as_int_list
 from repro.cache.config import CacheConfig
+from repro.cache.linestream import line_stream
 from repro.errors import TraceError
+
+#: Backwards-compatible alias; the helper now lives in repro.cache._util
+#: so repro.cache.cheetah no longer imports simulator internals.
+_as_list = as_int_list
 
 
 @dataclass(frozen=True)
@@ -112,53 +118,36 @@ def simulate_trace(
 ) -> MissResult:
     """Simulate a full range trace on a single cache configuration.
 
-    This is the hot path for "actual" and "dilated" miss measurement, so
-    the LRU logic is inlined rather than dispatching through
-    :meth:`CacheSimulator.access_line` per reference.
+    This is the hot path for "actual" and "dilated" miss measurement.
+    The byte ranges are expanded to a line stream by the vectorized
+    :func:`repro.cache.linestream.line_stream` kernel (which also drops
+    immediate repeats — guaranteed depth-0 hits with no LRU effect), so
+    the Python loop below only sees distinct consecutive lines.
     """
-    starts_list = _as_list(starts)
-    sizes_list = _as_list(sizes)
-    if len(starts_list) != len(sizes_list):
+    starts_arr = as_int64_array(starts)
+    sizes_arr = as_int64_array(sizes)
+    if len(starts_arr) != len(sizes_arr):
         raise TraceError(
-            f"starts ({len(starts_list)}) and sizes ({len(sizes_list)}) "
+            f"starts ({len(starts_arr)}) and sizes ({len(sizes_arr)}) "
             "must have equal length"
         )
+    stream = line_stream(starts_arr, sizes_arr, config.line_size)
 
-    line_size = config.line_size
     nsets = config.sets
     assoc = config.assoc
     sets: list[list[int]] = [[] for _ in range(nsets)]
-    accesses = 0
     misses = 0
 
-    for start, size in zip(starts_list, sizes_list):
-        if size <= 0:
-            raise TraceError(f"range size must be positive, got {size}")
-        first = start // line_size
-        last = (start + size - 1) // line_size
-        accesses += last - first + 1
-        for line in range(first, last + 1):
-            lru = sets[line % nsets]
-            if line in lru:
-                if lru[-1] != line:
-                    lru.remove(line)
-                    lru.append(line)
-            else:
-                misses += 1
-                if len(lru) >= assoc:
-                    del lru[0]
+    for line in stream.lines.tolist():
+        lru = sets[line % nsets]
+        if line in lru:
+            if lru[-1] != line:
+                lru.remove(line)
                 lru.append(line)
+        else:
+            misses += 1
+            if len(lru) >= assoc:
+                del lru[0]
+            lru.append(line)
 
-    return MissResult(config, accesses, misses)
-
-
-def _as_list(values: Sequence[int] | Iterable[int]) -> list[int]:
-    """Coerce a sequence (possibly a numpy array) to a plain list of ints.
-
-    Plain-int list iteration is measurably faster than elementwise numpy
-    indexing in the simulator inner loop.
-    """
-    tolist = getattr(values, "tolist", None)
-    if callable(tolist):
-        return tolist()
-    return list(values)
+    return MissResult(config, stream.accesses, misses)

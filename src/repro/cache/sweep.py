@@ -3,13 +3,24 @@
 Implements the paper's first efficiency technique (Section 1): group the
 cache design space by line size and run one single-pass Cheetah simulation
 per distinct line size, rather than one simulation per configuration.
+
+Distinct line-size groups are independent single-pass simulations, so the
+driver can optionally fan them out over worker processes
+(``max_workers``): each worker simulates one group and ships back the
+stack-depth histograms, which the parent folds into the ordinary
+:class:`~repro.cache.simulator.MissResult` mapping — callers see the same
+API either way.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence
 
-from repro.cache.cheetah import simulate_many
+import numpy as np
+
+from repro.cache._util import as_int64_array
+from repro.cache.cheetah import CheetahSimulator, simulate_many
 from repro.cache.config import CacheConfig
 from repro.cache.simulator import MissResult
 
@@ -19,23 +30,88 @@ from repro.cache.simulator import MissResult
 TraceFactory = Callable[[], tuple[Sequence[int], Sequence[int]]]
 
 
+def simulate_group_state(
+    line_size: int,
+    set_counts: Sequence[int],
+    max_assoc: int,
+    starts: np.ndarray,
+    sizes: np.ndarray,
+) -> tuple[int, dict[int, list[int]]]:
+    """Run one single-pass simulation and export its histogram state.
+
+    Module-level (picklable) so it can serve as a process-pool work unit;
+    also used by :meth:`repro.explore.evaluators.MemoryEvaluator.prime`.
+    """
+    sim = CheetahSimulator(line_size, set_counts, max_assoc)
+    sim.simulate(starts, sizes)
+    return sim.state()
+
+
 def sweep_design_space(
     configs: Iterable[CacheConfig],
     trace: tuple[Sequence[int], Sequence[int]] | TraceFactory,
+    max_workers: int | None = None,
 ) -> dict[CacheConfig, MissResult]:
     """Simulate every configuration, one pass per distinct line size.
 
     ``trace`` is either a ``(starts, sizes)`` pair or a zero-argument
     callable producing one (called once per line-size group).
+
+    With ``max_workers`` > 1 and more than one line-size group, the
+    groups run concurrently in worker processes.  Traces are always
+    materialized in the parent (the factory need not be picklable); only
+    the plain ``(starts, sizes)`` arrays cross the process boundary.
     """
     groups: dict[int, list[CacheConfig]] = {}
     for config in configs:
         groups.setdefault(config.line_size, []).append(config)
 
+    if max_workers is not None and max_workers > 1 and len(groups) > 1:
+        return _sweep_parallel(groups, trace, max_workers)
+
     results: dict[CacheConfig, MissResult] = {}
     for line_size in sorted(groups):
         starts, sizes = trace() if callable(trace) else trace
         results.update(simulate_many(groups[line_size], starts, sizes))
+    return results
+
+
+def _sweep_parallel(
+    groups: dict[int, list[CacheConfig]],
+    trace: tuple[Sequence[int], Sequence[int]] | TraceFactory,
+    max_workers: int,
+) -> dict[CacheConfig, MissResult]:
+    jobs: list[tuple[int, list[CacheConfig], tuple]] = []
+    for line_size in sorted(groups):
+        starts, sizes = trace() if callable(trace) else trace
+        group = groups[line_size]
+        set_counts = sorted({c.sets for c in group})
+        max_assoc = max(c.assoc for c in group)
+        jobs.append(
+            (
+                line_size,
+                group,
+                (
+                    line_size,
+                    set_counts,
+                    max_assoc,
+                    as_int64_array(starts),
+                    as_int64_array(sizes),
+                ),
+            )
+        )
+
+    results: dict[CacheConfig, MissResult] = {}
+    workers = min(max_workers, len(jobs))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(simulate_group_state, *args) for _, _, args in jobs]
+        for (line_size, group, args), future in zip(jobs, futures):
+            accesses, hists = future.result()
+            sim = CheetahSimulator.from_state(
+                line_size, args[2], accesses, hists
+            )
+            for config in group:
+                results[config] = sim.result(config)
     return results
 
 

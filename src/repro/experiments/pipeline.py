@@ -19,8 +19,9 @@ spacewalker can drive it directly.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from repro.ahh.modeler import (
     DEFAULT_I_GRANULE,
@@ -29,6 +30,7 @@ from repro.ahh.modeler import (
 )
 from repro.ahh.params import TraceParameters
 from repro.cache.config import WORD_BYTES, CacheConfig
+from repro.cache.sweep import simulate_group_state
 from repro.core.dilated_trace import dilate_binary
 from repro.core.dilation import DilationInfo, measure_dilation
 from repro.core.hierarchy_eval import processor_cycles
@@ -209,6 +211,64 @@ class ExperimentPipeline:
         configs = list(configs)
         bank.register(role, configs)
         return {c: bank.simulated_misses(role, c) for c in configs}
+
+    def prime_actual(
+        self,
+        processors: Iterable[VliwProcessor],
+        role_configs: Mapping[str, Iterable[CacheConfig]],
+        max_workers: int | None = None,
+    ) -> int:
+        """Pre-run the simulations :meth:`actual_misses` will need.
+
+        One work unit per (processor, role, line size); with
+        ``max_workers`` > 1 the units run concurrently in worker
+        processes sharing one pool, and their single-pass histogram
+        states are merged back into the per-processor simulation banks.
+        Subsequent :meth:`actual_misses` calls are pure lookups either
+        way, so results are identical to the serial path.
+
+        Artifact construction (compile/assemble/emulate/trace) stays in
+        the parent process — it is memoized and shared across roles.
+
+        Returns the number of simulation passes run.
+        """
+        role_configs = {
+            role: list(configs) for role, configs in role_configs.items()
+        }
+        banks = []
+        for processor in processors:
+            art = self.artifacts(processor)
+            bank = self._bank(
+                f"actual:{processor.name}",
+                art.instruction_trace,
+                art.data_trace,
+                art.unified_trace,
+            )
+            if bank not in banks:
+                banks.append(bank)
+            for role, configs in role_configs.items():
+                bank.register(role, configs)
+
+        units = [
+            (bank, key) for bank in banks for key in bank.pending_units()
+        ]
+        if not units:
+            return 0
+        if max_workers is None or max_workers <= 1 or len(units) == 1:
+            for bank in banks:
+                bank.prime()
+            return len(units)
+        with ProcessPoolExecutor(
+            max_workers=min(max_workers, len(units))
+        ) as pool:
+            futures = [
+                (bank, key, pool.submit(simulate_group_state, *bank.unit_job(*key)))
+                for bank, key in units
+            ]
+            for bank, key, future in futures:
+                accesses, hists = future.result()
+                bank.install_unit(*key, accesses, hists)
+        return len(units)
 
     def dilated_misses(
         self,

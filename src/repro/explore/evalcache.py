@@ -12,8 +12,9 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Iterator, Mapping
 
 from repro.errors import EvaluationCacheError
 
@@ -29,6 +30,8 @@ class EvaluationCache:
         self._data: dict[str, Metric] = {}
         self.hits = 0
         self.misses = 0
+        self._deferring = False
+        self._dirty = False
         if self.path is not None and self.path.exists():
             self._load()
 
@@ -47,6 +50,9 @@ class EvaluationCache:
 
     def _flush(self) -> None:
         if self.path is None:
+            return
+        if self._deferring:
+            self._dirty = True
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -79,6 +85,37 @@ class EvaluationCache:
         """Store a metric and flush to disk (when persistent)."""
         self._data[key] = value
         self._flush()
+
+    def put_many(self, items: Mapping[str, Metric]) -> None:
+        """Store a batch of metrics with a single flush.
+
+        Per-:meth:`put` flushing rewrites the whole JSON file each call
+        — O(n^2) when a parallel sweep lands hundreds of results at
+        once.  Batching is one rewrite.
+        """
+        self._data.update(items)
+        if items:
+            self._flush()
+
+    @contextmanager
+    def bulk(self) -> Iterator["EvaluationCache"]:
+        """Defer disk flushes inside the block; flush once on exit.
+
+        Use around loops of :meth:`put`/:meth:`get_or_compute` (e.g.
+        when merging a parallel sweep's results) so the store is written
+        once instead of once per metric.
+        """
+        if self._deferring:  # already inside a bulk block: no-op nesting
+            yield self
+            return
+        self._deferring = True
+        try:
+            yield self
+        finally:
+            self._deferring = False
+            if self._dirty:
+                self._dirty = False
+                self._flush()
 
     def get_or_compute(self, key: str, compute: Callable[[], Metric]) -> Metric:
         """The canonical access pattern: lookup, else evaluate and store."""

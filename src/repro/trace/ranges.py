@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cache.config import WORD_BYTES
+from repro.cache.linestream import LineStream, expand_lines, line_stream
 from repro.errors import TraceError
 
 #: Kind tags.  Data reads and writes are distinct kinds so write-policy
@@ -129,15 +130,21 @@ class RangeTrace:
         """Expand to the full word-address stream (AHH parameter input).
 
         Memory-proportional to the expanded length; intended for granule
-        processing, not for cache simulation.
+        processing, not for cache simulation.  Delegates to the
+        vectorized expansion kernel shared with the cache simulators.
         """
         if not len(self):
             return np.empty(0, dtype=np.int64)
-        pieces = [
-            np.arange(start // WORD_BYTES, (start + size - 1) // WORD_BYTES + 1)
-            for start, size in zip(self.starts.tolist(), self.sizes.tolist())
-        ]
-        return np.concatenate(pieces).astype(np.int64)
+        return expand_lines(self.starts, self.sizes, WORD_BYTES)
+
+    def line_stream(self, line_size: int) -> LineStream:
+        """Memoized expanded + MRU-collapsed line stream for this trace.
+
+        One expansion per (trace, line size) is shared by every consumer
+        (all stack families of a single-pass simulation, repeated sweep
+        passes, the direct simulator).
+        """
+        return line_stream(self.starts, self.sizes, line_size)
 
     @staticmethod
     def concatenate(traces: list["RangeTrace"]) -> "RangeTrace":

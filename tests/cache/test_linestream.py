@@ -1,0 +1,93 @@
+"""Unit tests for repro.cache.linestream (vectorized expansion kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.linestream import (
+    clear_line_stream_cache,
+    collapse_repeats,
+    expand_lines,
+    line_stream,
+)
+from repro.errors import TraceError
+
+
+def reference_expansion(starts, sizes, line_size):
+    """The seed simulators' nested range() expansion, kept as oracle."""
+    out = []
+    for start, size in zip(starts, sizes):
+        first = start // line_size
+        last = (start + size - 1) // line_size
+        out.extend(range(first, last + 1))
+    return out
+
+
+class TestExpandLines:
+    def test_matches_range_loop_oracle(self):
+        starts = [0, 5, 63, 64, 100, 4, 1000]
+        sizes = [1, 60, 2, 64, 7, 4, 129]
+        for line_size in (4, 16, 64):
+            expected = reference_expansion(starts, sizes, line_size)
+            got = expand_lines(starts, sizes, line_size)
+            assert got.tolist() == expected
+
+    def test_empty_trace(self):
+        assert expand_lines([], [], 16).size == 0
+
+    def test_single_word_ranges(self):
+        got = expand_lines([0, 4, 8], [4, 4, 4], 4)
+        assert got.tolist() == [0, 1, 2]
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(TraceError, match="must be positive"):
+            expand_lines([0, 4], [4, 0], 4)
+
+    def test_negative_starts_floor_divide(self):
+        # numpy floor division matches Python's for negative addresses.
+        starts = [-100, -3]
+        sizes = [8, 2]
+        expected = reference_expansion(starts, sizes, 16)
+        assert expand_lines(starts, sizes, 16).tolist() == expected
+
+
+class TestCollapseRepeats:
+    def test_drops_immediate_repeats_only(self):
+        lines = np.array([1, 1, 2, 2, 2, 1, 3, 3, 1])
+        assert collapse_repeats(lines).tolist() == [1, 2, 1, 3, 1]
+
+    def test_no_repeats_returns_same_array(self):
+        lines = np.array([1, 2, 3])
+        assert collapse_repeats(lines) is lines
+
+    def test_short_inputs(self):
+        assert collapse_repeats(np.array([], dtype=np.int64)).size == 0
+        assert collapse_repeats(np.array([7])).tolist() == [7]
+
+
+class TestLineStream:
+    def test_accesses_count_includes_repeats(self):
+        # Two 8-byte ranges over the same 16-byte line: 2 touches, 1 kept.
+        stream = line_stream([0, 8], [8, 8], 16, memoize=False)
+        assert stream.accesses == 2
+        assert stream.lines.tolist() == [0]
+        assert stream.repeats == 1
+
+    def test_memoized_by_content_not_identity(self):
+        clear_line_stream_cache()
+        a = line_stream(np.array([0, 32]), np.array([16, 16]), 16)
+        b = line_stream([0, 32], [16, 16], 16)  # distinct objects, same trace
+        assert a is b
+        c = line_stream([0, 32], [16, 16], 32)  # different line size
+        assert c is not a
+        clear_line_stream_cache()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TraceError, match="equal length"):
+            line_stream([0, 4], [4], 16)
+
+    def test_narrow_dtype_when_lines_fit(self):
+        small = line_stream([0], [4], 4, memoize=False)
+        assert small.lines.dtype == np.int32
+        huge = line_stream([2**40], [4], 4, memoize=False)
+        assert huge.lines.dtype == np.int64
+        assert huge.lines.tolist() == [2**38]
