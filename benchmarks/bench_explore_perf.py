@@ -1,0 +1,271 @@
+"""Exploration-layer speedup: batched vs scalar spacewalker walk.
+
+Times the vectorized exploration path (batched dilation-model grids,
+array collision kernel, skyline Pareto accumulation) against the
+preserved scalar path on the ``bench_spacewalker`` design space over the
+epic workload, with all shared simulation passes pre-primed so the
+timing isolates the exploration layer itself.  The acceptance gate
+asserts a >= 5x end-to-end speedup on ``Spacewalker.walk`` *and* that
+both paths produce identical Pareto frontiers (same designs, costs and
+times within 1e-9).  A skyline-vs-sequential Pareto micro-benchmark is
+reported alongside (no gate).  Results are written to
+``benchmarks/results/BENCH_explore.json``.
+
+Runs two ways:
+
+* ``PYTHONPATH=src python -m pytest benchmarks/bench_explore_perf.py``
+* ``python benchmarks/bench_explore_perf.py [--smoke] [--json PATH]``
+
+``--smoke`` does a single timing rep and drops the speedup gate (the
+frontier-identity check always runs) — used by CI to produce the JSON
+artifact without gating on runner timing noise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # script mode: python benchmarks/bench_...
+    _root = Path(__file__).resolve().parent.parent
+    for entry in (_root, _root / "src"):
+        if str(entry) not in sys.path:
+            sys.path.insert(0, str(entry))
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SETTINGS, RESULTS_DIR
+from repro.ahh.batch import clear_collisions_batch_cache
+from repro.experiments.runner import get_pipeline
+from repro.explore.pareto import ParetoSet
+from repro.explore.spacewalker import Spacewalker
+from repro.explore.spec import (
+    CacheDesignSpace,
+    ProcessorDesignSpace,
+    SystemDesignSpace,
+)
+
+MIN_SPEEDUP = 5.0
+TIME_RTOL = 1e-9
+TIME_ATOL = 1e-6
+
+#: Points in the skyline micro-benchmark.
+SKYLINE_POINTS = 20_000
+
+
+def build_space() -> SystemDesignSpace:
+    """A larger space than ``bench_spacewalker``'s: 45 processors (many
+    distinct dilations, so the dilation model dominates the walk) and
+    84 + 84 + 72 cache configurations."""
+    return SystemDesignSpace(
+        processors=ProcessorDesignSpace(
+            int_units=(1, 2, 3, 4, 6),
+            float_units=(1, 2, 3),
+            memory_units=(1, 2, 3),
+            branch_units=(1,),
+        ),
+        icache=CacheDesignSpace(
+            sizes_kb=(0.5, 1, 2, 4, 8, 16, 32),
+            assocs=(1, 2, 4),
+            line_sizes=(8, 16, 32, 64),
+        ),
+        dcache=CacheDesignSpace(
+            sizes_kb=(0.5, 1, 2, 4, 8, 16, 32),
+            assocs=(1, 2, 4),
+            line_sizes=(8, 16, 32, 64),
+        ),
+        unified=CacheDesignSpace(
+            sizes_kb=(8, 16, 32, 64, 128, 256),
+            assocs=(1, 2, 4, 8),
+            line_sizes=(32, 64, 128),
+        ),
+    )
+
+
+def _best_time(run, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _frontier(pareto) -> list[tuple]:
+    return [(p.design, p.cost, p.time) for p in pareto.frontier()]
+
+
+def check_frontier_identity(scalar, batched) -> int:
+    """Assert both walks retained the same frontier; returns its size."""
+    fs, fb = _frontier(scalar), _frontier(batched)
+    assert len(fs) == len(fb), (
+        f"frontier sizes differ: scalar {len(fs)} vs batched {len(fb)}"
+    )
+    for (d_s, c_s, t_s), (d_b, c_b, t_b) in zip(fs, fb):
+        assert d_s == d_b, f"frontier designs differ: {d_s} vs {d_b}"
+        for name, a, b in (("cost", c_s, c_b), ("time", t_s, t_b)):
+            assert abs(a - b) <= max(TIME_RTOL * max(abs(a), abs(b)),
+                                     TIME_ATOL), (
+                f"{name} differs for {d_s}: scalar {a} vs batched {b}"
+            )
+    return len(fs)
+
+
+def bench_spacewalk(pipeline, space, *, reps: int) -> dict:
+    scalar_walker = Spacewalker(space, pipeline, batched=False)
+    batched_walker = Spacewalker(space, pipeline, batched=True)
+
+    # Prime all shared simulation passes once: both paths register the
+    # same configurations, so afterwards the walks are pure exploration.
+    batched_walker.walk()
+
+    def run_scalar():
+        return scalar_walker.walk()
+
+    def run_batched():
+        # Cold model cache each rep: memoized collision grids would
+        # otherwise make later reps unrepresentative.
+        clear_collisions_batch_cache()
+        return batched_walker.walk()
+
+    scalar_seconds = _best_time(run_scalar, reps)
+    batched_seconds = _best_time(run_batched, reps)
+    frontier_size = check_frontier_identity(run_scalar(), run_batched())
+
+    return {
+        "designs": space.total_designs(),
+        "processors": len(space.processors),
+        "frontier_size": frontier_size,
+        "scalar_seconds": round(scalar_seconds, 6),
+        "batched_seconds": round(batched_seconds, 6),
+        "speedup": round(scalar_seconds / batched_seconds, 2),
+        "frontier_identical": True,
+    }
+
+
+def bench_skyline(*, reps: int) -> dict:
+    rng = np.random.default_rng(7)
+    costs = rng.uniform(0.0, 100.0, SKYLINE_POINTS)
+    times = rng.uniform(0.0, 100.0, SKYLINE_POINTS)
+    designs = list(range(SKYLINE_POINTS))
+
+    def run_sequential():
+        pareto = ParetoSet()
+        for design, cost, time_ in zip(designs, costs, times):
+            pareto.insert_point(design, float(cost), float(time_))
+        return pareto
+
+    def run_skyline():
+        return ParetoSet.from_arrays(designs, costs, times)
+
+    sequential_seconds = _best_time(run_sequential, reps)
+    skyline_seconds = _best_time(run_skyline, reps)
+    sequential = run_sequential()
+    skyline = run_skyline()
+    assert (
+        {(p.design, p.cost, p.time) for p in sequential.points}
+        == {(p.design, p.cost, p.time) for p in skyline.points}
+    ), "skyline and sequential Pareto sets differ"
+
+    return {
+        "points": SKYLINE_POINTS,
+        "frontier_size": len(skyline),
+        "sequential_seconds": round(sequential_seconds, 6),
+        "skyline_seconds": round(skyline_seconds, 6),
+        "speedup": round(sequential_seconds / skyline_seconds, 2),
+        "identical": True,
+    }
+
+
+def run_benchmark(*, reps: int = 5) -> dict:
+    pipeline = get_pipeline("epic", BENCH_SETTINGS)
+    space = build_space()
+    spacewalk = bench_spacewalk(pipeline, space, reps=reps)
+    skyline = bench_skyline(reps=reps)
+    return {
+        "workload": "epic",
+        "timing_reps": reps,
+        "min_required_speedup": MIN_SPEEDUP,
+        "primary_speedup": spacewalk["speedup"],
+        "spacewalker_walk": spacewalk,
+        "skyline_pareto": skyline,
+    }
+
+
+def write_report(report: dict, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def render(report: dict) -> str:
+    walk = report["spacewalker_walk"]
+    sky = report["skyline_pareto"]
+    return "\n".join(
+        [
+            f"exploration-layer benchmark — workload={report['workload']} "
+            f"(best of {report['timing_reps']})",
+            f"  [primary] spacewalker walk over {walk['designs']} designs "
+            f"({walk['processors']} processors): "
+            f"{walk['scalar_seconds']:.3f}s -> "
+            f"{walk['batched_seconds']:.3f}s "
+            f"({walk['speedup']:.1f}x, frontier of {walk['frontier_size']} "
+            f"identical)",
+            f"  [secondary] skyline Pareto over {sky['points']:,} points: "
+            f"{sky['sequential_seconds']:.3f}s -> "
+            f"{sky['skyline_seconds']:.3f}s ({sky['speedup']:.1f}x, "
+            f"{sky['frontier_size']} retained, identical)",
+        ]
+    )
+
+
+def test_exploration_layer_speedup(results_dir):
+    report = run_benchmark(reps=5)
+    write_report(report, results_dir / "BENCH_explore.json")
+    print("\n" + render(report))
+    assert report["primary_speedup"] >= MIN_SPEEDUP, (
+        f"spacewalker-walk speedup {report['primary_speedup']}x "
+        f"below the {MIN_SPEEDUP}x acceptance floor"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=RESULTS_DIR / "BENCH_explore.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=5, help="timing repetitions (best-of)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single rep, no speedup gate (frontier check still runs)",
+    )
+    args = parser.parse_args(argv)
+    if args.reps < 1:
+        parser.error("--reps must be >= 1")
+
+    reps = 1 if args.smoke else args.reps
+    report = run_benchmark(reps=reps)
+    write_report(report, args.json)
+    print(render(report))
+    print(f"report written to {args.json}")
+    if not args.smoke and report["primary_speedup"] < MIN_SPEEDUP:
+        print(
+            f"FAIL: spacewalker-walk speedup {report['primary_speedup']}x "
+            f"below the {MIN_SPEEDUP}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

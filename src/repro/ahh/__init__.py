@@ -13,10 +13,17 @@ extrapolate from reference-trace simulations to dilated-trace behaviour
   P(L,a), collisions Coll(S,A,L), and miss-ratio scaling (Eq 4.7);
 * :mod:`repro.ahh.stable` — the numerically stable tail-series collision
   computation the paper describes in Section 5.3;
+* :mod:`repro.ahh.batch` — the vectorized/memoized collision kernel the
+  batched exploration layer queries over whole (config x dilation) grids;
 * :mod:`repro.ahh.modeler` — the TraceModeler driver (ItraceModeler /
   UtraceModeler of Section 5.2) operating on range traces.
 """
 
+from repro.ahh.batch import (
+    clear_collisions_batch_cache,
+    collisions_batch,
+    collisions_batch_cache_size,
+)
 from repro.ahh.diagnostics import FitReport, u_of_l_fit
 from repro.ahh.extended import (
     ExtendedItraceModeler,
@@ -30,6 +37,7 @@ from repro.ahh.model import (
     scale_misses,
     transition_probability,
     unique_lines,
+    unique_lines_array,
 )
 from repro.ahh.modeler import (
     ItraceModeler,
@@ -46,8 +54,12 @@ __all__ = [
     "TraceParameters",
     "transition_probability",
     "unique_lines",
+    "unique_lines_array",
     "occupancy_pmf",
     "collisions",
+    "collisions_batch",
+    "collisions_batch_cache_size",
+    "clear_collisions_batch_cache",
     "collisions_direct",
     "collisions_stable",
     "scale_misses",

@@ -1,0 +1,211 @@
+"""Batched collision computation: the array kernel behind exploration.
+
+:func:`collisions_batch` evaluates Coll(S, A, L) of Eq (4.8) for whole
+grids of ``(u, sets, assoc)`` triples at once.  It mirrors the scalar
+kernels of :mod:`repro.ahh.stable` element for element — the same
+log-space occupancy recurrence, the same direct / tail-series forms, and
+the same ``method="auto"`` cancellation switch, applied elementwise — so
+batched results track the scalar oracle to floating-point rounding of
+the underlying ``log``/``exp`` library calls.
+
+The module also memoizes every ``(u, S, A, method)`` triple it has
+computed: a spacewalker evaluating many dilation intervals re-queries
+identical collision series constantly (every unified-cache estimate
+needs the undilated reference series, every icache interpolation shares
+its bracket series across dilations), and the memo turns those repeats
+into dictionary lookups.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ahh.stable import _STABLE_SWITCH, _TAIL_RTOL
+from repro.errors import ModelError
+
+#: Memoized collision values keyed by (u, sets, assoc, method).
+_MEMO: dict[tuple[float, int, int, str], float] = {}
+
+#: Safety valve: drop the memo wholesale if it ever grows this large.
+_MEMO_LIMIT = 1 << 20
+
+#: log-probability floor below which exp() underflows to exactly 0.0
+#: (same constant as :func:`repro.ahh.stable._occupancy_terms`).
+_LOG_FLOOR = -745.0
+
+
+def clear_collisions_batch_cache() -> None:
+    """Empty the (u, S, A) memo (used by benchmarks for cold timings)."""
+    _MEMO.clear()
+
+
+def collisions_batch_cache_size() -> int:
+    """Number of memoized (u, S, A, method) triples."""
+    return len(_MEMO)
+
+
+def _single_set_grid(u: np.ndarray, assoc: np.ndarray) -> np.ndarray:
+    """S == 1 degenerate caches: point mass at u, every method agrees."""
+    return np.where(u > assoc, u, 0.0)
+
+
+def _direct_grid(
+    u: np.ndarray, sets: np.ndarray, assoc: np.ndarray
+) -> np.ndarray:
+    """Vectorized Eq (4.8): u - S * sum_{a<=A} a P(a), clamped at zero.
+
+    Elementwise identical to :func:`repro.ahh.stable.collisions_direct`:
+    the log-space recurrence advances one ``a`` per iteration across the
+    whole grid, each element contributing terms while ``a`` is within
+    both its associativity and the occupancy support.
+    """
+    n = u.shape[0]
+    acc = np.zeros(n)
+    log_p = u * np.log1p(-1.0 / sets)
+    log_s1 = np.log(sets - 1.0)
+    amax = int(assoc.max())
+    for a in range(amax + 1):
+        # Term a exists while the previous recurrence step had u - a > 0.
+        exists = np.ones(n, dtype=bool) if a == 0 else (u > a - 1)
+        if a > 0:
+            contrib = exists & (assoc >= a)
+            if contrib.any():
+                p = np.where(log_p > _LOG_FLOOR, np.exp(log_p), 0.0)
+                acc[contrib] += a * p[contrib]
+        if a == amax:
+            break
+        upd = exists & (u > a)
+        if not upd.any():
+            break
+        step = np.log(np.where(upd, u - a, 1.0)) - math.log(a + 1.0) - log_s1
+        log_p = np.where(upd, log_p + step, log_p)
+    return np.maximum(0.0, u - sets * acc)
+
+
+def _stable_grid(
+    u: np.ndarray, sets: np.ndarray, assoc: np.ndarray
+) -> np.ndarray:
+    """Vectorized tail series: Coll = S * sum_{a>A} a P(a).
+
+    Elementwise identical to :func:`repro.ahh.stable.collisions_stable`:
+    every element keeps accumulating tail terms until its own relative
+    convergence criterion fires past the occupancy mean (or its support
+    is exhausted); converged elements drop out of the active mask while
+    the rest continue.
+    """
+    n = u.shape[0]
+    acc = np.zeros(n)
+    log_p = u * np.log1p(-1.0 / sets)
+    log_s1 = np.log(sets - 1.0)
+    mean = u / sets
+    alive = np.ones(n, dtype=bool)
+    a = 0
+    while alive.any():
+        tail = alive & (assoc < a)
+        if tail.any():
+            p = np.where(log_p > _LOG_FLOOR, np.exp(log_p), 0.0)
+            term = a * p
+            acc[tail] += term[tail]
+            conv = tail & (acc > 0) & (term < _TAIL_RTOL * acc) & (a > mean)
+        else:
+            conv = np.zeros(n, dtype=bool)
+        support_end = alive & (u - a <= 0.0)
+        alive &= ~(conv | support_end)
+        if not alive.any():
+            break
+        step = (
+            np.log(np.where(alive, u - a, 1.0)) - math.log(a + 1.0) - log_s1
+        )
+        log_p = np.where(alive, log_p + step, log_p)
+        a += 1
+    return sets * acc
+
+
+def _auto_grid(
+    u: np.ndarray, sets: np.ndarray, assoc: np.ndarray
+) -> np.ndarray:
+    """Direct computation with the elementwise cancellation fallback."""
+    out = _direct_grid(u, sets, assoc)
+    redo = (u > 0) & (out < _STABLE_SWITCH * u)
+    if redo.any():
+        out[redo] = _stable_grid(u[redo], sets[redo], assoc[redo])
+    return out
+
+
+def _compute_grid(
+    u: np.ndarray, sets: np.ndarray, assoc: np.ndarray, method: str
+) -> np.ndarray:
+    out = np.empty(u.shape[0])
+    one = sets == 1
+    if one.any():
+        out[one] = _single_set_grid(u[one], assoc[one])
+    many = ~one
+    if many.any():
+        um, sm, am = u[many], sets[many], assoc[many]
+        if method == "direct":
+            vals = _direct_grid(um, sm, am)
+        elif method == "stable":
+            vals = _stable_grid(um, sm, am)
+        else:
+            vals = _auto_grid(um, sm, am)
+        out[many] = vals
+    return out
+
+
+def collisions_batch(
+    u, sets, assoc, method: str = "auto"
+) -> np.ndarray:
+    """Coll(S, A, L) over a whole grid of (u, sets, assoc) triples.
+
+    Parameters broadcast against each other like any numpy operation:
+    ``collisions_batch(u_grid, sets_column, assoc_column)`` evaluates a
+    full (config x dilation) grid in one call.  Returns an array of the
+    broadcast shape.  Repeated triples are answered from the module memo.
+    """
+    if method not in ("auto", "direct", "stable"):
+        raise ModelError(f"unknown collision method {method!r}")
+    u_arr, sets_arr, assoc_arr = np.broadcast_arrays(
+        np.asarray(u, dtype=np.float64),
+        np.asarray(sets, dtype=np.int64),
+        np.asarray(assoc, dtype=np.int64),
+    )
+    shape = u_arr.shape
+    uf = np.ascontiguousarray(u_arr).ravel()
+    sf = np.ascontiguousarray(sets_arr).ravel()
+    af = np.ascontiguousarray(assoc_arr).ravel()
+    if uf.size == 0:
+        return np.zeros(shape)
+    if not np.isfinite(uf).all() or (uf < 0).any():
+        raise ModelError("u must be finite and non-negative")
+    if (sf < 1).any():
+        raise ModelError("sets must be >= 1")
+    if (af < 0).any():
+        raise ModelError("assoc must be >= 0")
+
+    if len(_MEMO) > _MEMO_LIMIT:
+        _MEMO.clear()
+
+    out = np.empty(uf.shape)
+    keys = list(zip(uf.tolist(), sf.tolist(), af.tolist()))
+    missing: dict[tuple[float, int, int], int] = {}
+    for i, (uk, sk, ak) in enumerate(keys):
+        cached = _MEMO.get((uk, sk, ak, method))
+        if cached is None:
+            missing.setdefault((uk, sk, ak), i)
+            out[i] = np.nan
+        else:
+            out[i] = cached
+    if missing:
+        triples = list(missing)
+        mu = np.array([t[0] for t in triples])
+        ms = np.array([t[1] for t in triples], dtype=np.int64)
+        ma = np.array([t[2] for t in triples], dtype=np.int64)
+        vals = _compute_grid(mu, ms, ma, method)
+        for triple, val in zip(triples, vals.tolist()):
+            _MEMO[(*triple, method)] = val
+        for i, key in enumerate(keys):
+            if np.isnan(out[i]):
+                out[i] = _MEMO[(*key, method)]
+    return out.reshape(shape)

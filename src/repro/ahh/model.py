@@ -25,6 +25,8 @@ word addresses); callers convert byte line sizes with
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.ahh.stable import _occupancy_terms, collisions_auto
 from repro.errors import ModelError
 
@@ -80,6 +82,41 @@ def unique_lines(
             )
         return u1 * (1.0 + p1 * line_words - p2) / denom
     raise ModelError(f"unknown u(L) variant {variant!r}")
+
+
+def unique_lines_array(
+    u1: float,
+    p1: float,
+    lav: float,
+    line_words,
+    variant: str = "derived",
+) -> np.ndarray:
+    """u(L) evaluated over an array of line sizes (in words).
+
+    The batched exploration path's counterpart of :func:`unique_lines`:
+    the same arithmetic applied elementwise, so each element equals the
+    scalar call bit for bit.  Only the default ``"derived"`` variant is
+    supported (the paper-literal form exists for the ablation bench
+    only, which is scalar).
+    """
+    if variant != "derived":
+        raise ModelError(
+            f"unique_lines_array supports only the derived variant, "
+            f"got {variant!r}"
+        )
+    if u1 < 0:
+        raise ModelError(f"u(1) must be non-negative, got {u1}")
+    if not 0.0 <= p1 <= 1.0:
+        raise ModelError(f"p1 must be in [0, 1], got {p1}")
+    if lav < 1.0:
+        raise ModelError(f"lav must be >= 1, got {lav}")
+    words = np.asarray(line_words, dtype=np.float64)
+    if (words < 1.0).any():
+        raise ModelError("line sizes must be >= 1 word")
+    if lav == 1.0:
+        return np.full(words.shape, float(u1))
+    run_term = ((lav - 1.0) / words + 1.0) / lav
+    return u1 * (p1 + (1.0 - p1) * run_term)
 
 
 def occupancy_pmf(u: float, sets: int, max_a: int) -> list[float]:

@@ -12,7 +12,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.ahh.model import transition_probability, unique_lines
+import numpy as np
+
+from repro.ahh.model import (
+    transition_probability,
+    unique_lines,
+    unique_lines_array,
+)
 from repro.cache.config import WORD_BYTES
 from repro.errors import ModelError
 
@@ -55,6 +61,10 @@ class ComponentParameters:
         line_words = line_bytes / WORD_BYTES
         return self.unique_lines_words(line_words)
 
+    def unique_lines_words_array(self, line_words) -> np.ndarray:
+        """u(L) over an array of line sizes in words (batched path)."""
+        return unique_lines_array(self.u1, self.p1, self.lav, line_words)
+
 
 @dataclass(frozen=True)
 class TraceParameters:
@@ -86,3 +96,22 @@ class TraceParameters:
         line_words = max(1.0, effective / WORD_BYTES)
         u_instr = self.unified_instr.unique_lines_words(line_words)
         return u_data + u_instr
+
+    def unified_unique_lines_grid(self, line_bytes, dilations) -> np.ndarray:
+        """u(L, d) over a (line size x dilation) grid (batched path).
+
+        Elementwise identical to :meth:`unified_unique_lines`: the data
+        component depends on the line size only, the instruction
+        component on the dilation-contracted effective line size.
+        """
+        lines = np.asarray(line_bytes, dtype=np.float64)
+        dils = np.asarray(dilations, dtype=np.float64)
+        if (dils <= 0).any():
+            raise ModelError("dilations must be positive")
+        u_data = self.unified_data.unique_lines_words_array(
+            lines / WORD_BYTES
+        )
+        effective = lines[:, None] / dils[None, :]
+        line_words = np.maximum(1.0, effective / WORD_BYTES)
+        u_instr = self.unified_instr.unique_lines_words_array(line_words)
+        return u_data[:, None] + u_instr

@@ -58,6 +58,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help=f"benchmark subset (default: all of {', '.join(BENCHMARK_NAMES)})",
     )
+    common.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for batched simulation priming "
+            "(default: serial)"
+        ),
+    )
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -96,7 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _settings(args: argparse.Namespace) -> RunnerSettings:
-    return RunnerSettings(scale=args.scale, max_visits=args.visits)
+    return RunnerSettings(
+        scale=args.scale,
+        max_visits=args.visits,
+        max_workers=args.max_workers,
+    )
 
 
 def _benchmarks(args: argparse.Namespace) -> tuple[str, ...]:
@@ -111,13 +125,21 @@ def _benchmarks(args: argparse.Namespace) -> tuple[str, ...]:
     return tuple(args.benchmarks)
 
 
+def _explore_space():
+    """Design space the ``explore`` command walks (patchable in tests)."""
+    from repro.explore.spec import SystemDesignSpace
+
+    return SystemDesignSpace()
+
+
 def _cmd_explore(args: argparse.Namespace) -> str:
     from repro.explore.spacewalker import Spacewalker
-    from repro.explore.spec import SystemDesignSpace
 
     bench = _benchmarks(args)[0]
     pipeline = get_pipeline(bench, _settings(args))
-    pareto = Spacewalker(SystemDesignSpace(), pipeline).walk()
+    pareto = Spacewalker(
+        _explore_space(), pipeline, max_workers=args.max_workers
+    ).walk()
     lines = [f"Pareto frontier for {bench} ({len(pareto)} designs):"]
     for point in pareto.frontier():
         memory = point.design.memory

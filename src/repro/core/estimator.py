@@ -18,16 +18,30 @@ simulation results and (b) the nine AHH trace parameters:
 
 from __future__ import annotations
 
-from typing import Mapping
+import math
+from typing import Mapping, Sequence
 
+import numpy as np
+
+from repro.ahh.batch import collisions_batch
 from repro.ahh.model import collisions, scale_misses
 from repro.ahh.params import TraceParameters
 from repro.cache.config import WORD_BYTES, CacheConfig
-from repro.core.interpolate import interpolate_linear_in
+from repro.core.interpolate import (
+    interpolate_linear_in,
+    interpolate_linear_in_array,
+)
 from repro.errors import ModelError
 
 #: Smallest feasible line size (one word).
 _MIN_LINE = WORD_BYTES
+
+#: Relative tolerance when deciding that an effective line size L/d *is* a
+#: power of two: float division can land a few ulps off (e.g. dilation
+#: 2.0000000000000004 gives 32/d = 15.999999999999996), and exact equality
+#: would misbracket such points into an interpolation between the wrong
+#: line sizes instead of the exact Lemma 1 lookup.
+_BRACKET_RTOL = 1e-9
 
 
 class DilationEstimator:
@@ -136,21 +150,250 @@ class DilationEstimator:
         coll_dil = self.unified_collisions(config, dilation)
         return scale_misses(float(reference_misses), coll_ref, coll_dil)
 
+    # ------------------------------------------------------------------
+    # Batched grid evaluation (the vectorized exploration path).
+    # ------------------------------------------------------------------
+
+    def required_icache_configs_batch(
+        self, configs: Sequence[CacheConfig], dilations: Sequence[float]
+    ) -> list[CacheConfig]:
+        """Union of reference configurations a (config x dilation) grid
+        of icache estimates will look up, in deterministic (sorted)
+        order.  Bracketing runs vectorized over the whole grid; only the
+        unique (sets, assoc, line) combinations materialize as configs."""
+        configs = list(configs)
+        dils = np.asarray(list(dilations), dtype=np.float64).reshape(-1)
+        if (dils <= 0).any():
+            raise ModelError("dilations must be positive")
+        if not configs or dils.size == 0:
+            return []
+        lines = np.array([c.line_size for c in configs], dtype=np.float64)
+        sets = np.array([c.sets for c in configs], dtype=np.int64)
+        assoc = np.array([c.assoc for c in configs], dtype=np.int64)
+        effective = np.maximum(
+            float(_MIN_LINE), lines[:, None] / dils[None, :]
+        )
+        lower, upper = _bracket_line_sizes_grid(effective)
+        shape = effective.shape
+        sa = np.stack(
+            [
+                np.broadcast_to(sets[:, None], shape).ravel(),
+                np.broadcast_to(assoc[:, None], shape).ravel(),
+            ],
+            axis=1,
+        )
+        candidates = np.concatenate(
+            [
+                np.column_stack([sa, lower.ravel().astype(np.int64)]),
+                np.column_stack([sa, upper.ravel().astype(np.int64)]),
+            ]
+        )
+        unique = np.unique(candidates, axis=0)
+        return [
+            CacheConfig(int(s), int(a), int(line)) for s, a, line in unique
+        ]
+
+    def estimate_icache_misses_batch(
+        self,
+        configs: Sequence[CacheConfig],
+        dilations,
+        reference_misses: Mapping[CacheConfig, float],
+    ) -> np.ndarray:
+        """Lemma 1 + Eq (4.12) over the whole (config x dilation) grid.
+
+        Returns an array of shape ``(len(configs), len(dilations))``
+        whose every element matches the scalar
+        :meth:`estimate_icache_misses` for the same (config, dilation)
+        to floating-point rounding of the library ``log``/``exp`` calls.
+        ``reference_misses`` must cover every configuration listed by
+        :meth:`required_icache_configs_batch`.
+        """
+        configs = list(configs)
+        dils = np.asarray(dilations, dtype=np.float64).reshape(-1)
+        if (dils <= 0).any():
+            raise ModelError("dilations must be positive")
+        n, m = len(configs), dils.size
+        if n == 0 or m == 0:
+            return np.zeros((n, m))
+        lines = np.array([c.line_size for c in configs], dtype=np.float64)
+        sets = np.array([c.sets for c in configs], dtype=np.int64)
+        assoc = np.array([c.assoc for c in configs], dtype=np.int64)
+
+        effective = np.maximum(
+            float(_MIN_LINE), lines[:, None] / dils[None, :]
+        )
+        lower, upper = _bracket_line_sizes_grid(effective)
+        exact = lower == upper
+
+        m_lower = self._gather_references(
+            reference_misses, configs, np.arange(n)[:, None] * np.ones(m, dtype=int)[None, :], lower
+        )
+        out = np.where(exact, m_lower, 0.0)
+
+        inexact = ~exact
+        if inexact.any():
+            ci, _ = np.nonzero(inexact)
+            m_lo = m_lower[inexact]
+            m_up = self._gather_references(
+                reference_misses,
+                configs,
+                np.arange(n)[:, None] * np.ones(m, dtype=int)[None, :],
+                upper,
+                cells=inexact,
+            )
+            sets_v = sets[ci]
+            assoc_v = assoc[ci]
+            coll_lo = self._icache_collisions_array(
+                lower[inexact], sets_v, assoc_v
+            )
+            coll_up = self._icache_collisions_array(
+                upper[inexact], sets_v, assoc_v
+            )
+            coll_tgt = self._icache_collisions_array(
+                effective[inexact], sets_v, assoc_v
+            )
+            estimate = interpolate_linear_in_array(
+                m_lo, coll_lo, m_up, coll_up, coll_tgt
+            )
+            out[inexact] = np.maximum(0.0, estimate)
+        return out
+
+    def estimate_unified_misses_batch(
+        self,
+        configs: Sequence[CacheConfig],
+        dilations,
+        reference_misses,
+    ) -> np.ndarray:
+        """Eq (4.15) over the whole (config x dilation) grid.
+
+        ``reference_misses`` holds one simulated miss count per config.
+        Returns shape ``(len(configs), len(dilations))``; every element
+        matches the scalar :meth:`estimate_unified_misses`.
+        """
+        configs = list(configs)
+        dils = np.asarray(dilations, dtype=np.float64).reshape(-1)
+        if (dils <= 0).any():
+            raise ModelError("dilations must be positive")
+        ref = np.asarray(reference_misses, dtype=np.float64).reshape(-1)
+        if ref.size != len(configs):
+            raise ModelError(
+                "reference_misses must hold one value per configuration"
+            )
+        n, m = len(configs), dils.size
+        if n == 0 or m == 0:
+            return np.zeros((n, m))
+        lines = np.array([c.line_size for c in configs], dtype=np.float64)
+        sets = np.array([c.sets for c in configs], dtype=np.int64)
+        assoc = np.array([c.assoc for c in configs], dtype=np.int64)
+
+        u_ref = self.params.unified_unique_lines_grid(lines, [1.0])[:, 0]
+        u_grid = self.params.unified_unique_lines_grid(lines, dils)
+        coll_ref = collisions_batch(
+            u_ref, sets, assoc, method=self.collision_method
+        )
+        coll_dil = collisions_batch(
+            u_grid, sets[:, None], assoc[:, None], method=self.collision_method
+        )
+        if (coll_ref < 0).any() or (coll_dil < 0).any():
+            raise ModelError("collision counts must be non-negative")
+        zero_ref = coll_ref == 0.0
+        if (zero_ref[:, None] & (coll_dil != 0.0)).any():
+            raise ModelError(
+                "reference configuration has zero modeled collisions; "
+                "cannot extrapolate"
+            )
+        ratio = coll_dil / np.where(zero_ref, 1.0, coll_ref)[:, None]
+        return np.where(zero_ref[:, None], ref[:, None], ref[:, None] * ratio)
+
+    def _icache_collisions_array(
+        self, line_bytes: np.ndarray, sets: np.ndarray, assoc: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`icache_collisions` over matching 1-D arrays."""
+        line_words = np.maximum(1.0, line_bytes / WORD_BYTES)
+        u = self.params.icache.unique_lines_words_array(line_words)
+        return collisions_batch(u, sets, assoc, method=self.collision_method)
+
+    @staticmethod
+    def _gather_references(
+        reference_misses: Mapping[CacheConfig, float],
+        configs: Sequence[CacheConfig],
+        config_index: np.ndarray,
+        line_grid: np.ndarray,
+        cells: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Look up reference misses for (config row, line size) cells.
+
+        With ``cells`` (a boolean grid) only those cells are gathered and
+        a flat array is returned; otherwise the full grid is gathered.
+        """
+        if cells is None:
+            flat_idx = config_index.ravel()
+            flat_lines = line_grid.ravel()
+            shape = line_grid.shape
+        else:
+            flat_idx = config_index[cells]
+            flat_lines = line_grid[cells]
+            shape = None
+        # Only the unique (config row, line size) pairs hit the mapping;
+        # the grid mostly repeats a handful of bracket line sizes.
+        pairs = np.column_stack(
+            [flat_idx.astype(np.int64), flat_lines.astype(np.int64)]
+        )
+        unique, inverse = np.unique(pairs, axis=0, return_inverse=True)
+        unique_values = np.array(
+            [
+                float(
+                    _lookup(reference_misses, _norm(configs[int(i)], int(l)))
+                )
+                for i, l in unique
+            ]
+        )
+        values = unique_values[inverse]
+        return values.reshape(shape) if shape is not None else values
+
 
 def _bracket_line_sizes(effective: float) -> tuple[int, int]:
     """Power-of-two line sizes bracketing an effective line size.
 
     Returns (lower, upper); equal when ``effective`` is itself a feasible
-    power of two.  The lower bound is clamped at one word.
+    power of two (to within ``_BRACKET_RTOL``, so dilations that land a
+    few ulps off a power of two still take the exact Lemma 1 path).  The
+    lower bound is clamped at one word.
     """
     if effective < _MIN_LINE:
         return _MIN_LINE, _MIN_LINE
     lower = _MIN_LINE
     while lower * 2 <= effective:
         lower *= 2
-    if float(lower) == effective:
+    if math.isclose(lower, effective, rel_tol=_BRACKET_RTOL, abs_tol=0.0):
         return lower, lower
-    return lower, lower * 2
+    upper = lower * 2
+    if math.isclose(upper, effective, rel_tol=_BRACKET_RTOL, abs_tol=0.0):
+        return upper, upper
+    return lower, upper
+
+
+def _bracket_line_sizes_grid(
+    effective: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Elementwise :func:`_bracket_line_sizes` over a grid.
+
+    Inputs are assumed already clamped to ``>= _MIN_LINE`` (the batch
+    caller does this).  Returns float arrays holding exact powers of two.
+    """
+    lower = np.maximum(
+        np.exp2(np.floor(np.log2(effective))), float(_MIN_LINE)
+    )
+    # math.isclose(p, e, rel_tol=r, abs_tol=0): |p - e| <= r * max(p, e)
+    snap_lo = np.abs(lower - effective) <= _BRACKET_RTOL * np.maximum(
+        lower, effective
+    )
+    upper = np.where(snap_lo, lower, lower * 2.0)
+    snap_up = np.abs(upper - effective) <= _BRACKET_RTOL * np.maximum(
+        upper, effective
+    )
+    lower = np.where(snap_up, upper, lower)
+    return lower, upper
 
 
 def _norm(config: CacheConfig, line_size: int) -> CacheConfig:

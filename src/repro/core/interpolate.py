@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.errors import ModelError
 
 
@@ -36,3 +38,35 @@ def interpolate_linear_in(
     slope = (f1 - f2) / (g1 - g2)
     intercept = (f2 * g1 - f1 * g2) / (g1 - g2)
     return slope * g + intercept
+
+
+def interpolate_linear_in_array(f1, g1, f2, g2, g) -> np.ndarray:
+    """Elementwise :func:`interpolate_linear_in` over arrays.
+
+    The batched exploration path's counterpart: the same line-through-two-
+    points arithmetic applied per element, with the same degenerate-case
+    semantics (coinciding abscissae return the shared ordinate, or raise
+    when the ordinates disagree).
+    """
+    f1 = np.asarray(f1, dtype=np.float64)
+    g1 = np.asarray(g1, dtype=np.float64)
+    f2 = np.asarray(f2, dtype=np.float64)
+    g2 = np.asarray(g2, dtype=np.float64)
+    g = np.asarray(g, dtype=np.float64)
+    # math.isclose(a, b, rel_tol=r, abs_tol=t): |a-b| <= max(r*max(|a|,|b|), t)
+    g_close = np.abs(g1 - g2) <= np.maximum(
+        1e-12 * np.maximum(np.abs(g1), np.abs(g2)), 1e-12
+    )
+    if g_close.any():
+        f_close = np.abs(f1 - f2) <= np.maximum(
+            1e-9 * np.maximum(np.abs(f1), np.abs(f2)), 1e-9
+        )
+        if (g_close & ~f_close).any():
+            raise ModelError(
+                "interpolation abscissae coincide but ordinates differ "
+                "(batched query)"
+            )
+    denom = np.where(g_close, 1.0, g1 - g2)
+    slope = (f1 - f2) / denom
+    intercept = (f2 * g1 - f1 * g2) / denom
+    return np.where(g_close, f1, slope * g + intercept)

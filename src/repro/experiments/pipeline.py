@@ -84,6 +84,7 @@ class ExperimentPipeline:
         max_visits: int = 60_000,
         i_granule: int = DEFAULT_I_GRANULE,
         u_granule: int = DEFAULT_U_GRANULE,
+        max_workers: int | None = None,
     ):
         self.workload = workload
         self.reference = reference
@@ -91,7 +92,11 @@ class ExperimentPipeline:
         self.max_visits = max_visits
         self.i_granule = i_granule
         self.u_granule = u_granule
+        #: Worker processes for batched simulation priming (None = serial).
+        self.max_workers = max_workers
         self._artifacts: dict[str, ProcessorArtifacts] = {}
+        self._dilation_infos: dict[str, DilationInfo] = {}
+        self._cycles: dict[str, int] = {}
         self._params: TraceParameters | None = None
         self._ref_evaluator: MemoryEvaluator | None = None
         # MemoryEvaluators used as pure simulation banks, keyed by the
@@ -150,10 +155,16 @@ class ExperimentPipeline:
     # ------------------------------------------------------------------
 
     def dilation_info(self, processor: VliwProcessor) -> DilationInfo:
-        """Per-block and text dilation of ``processor`` vs the reference."""
-        return measure_dilation(
-            self.reference_artifacts().binary, self.artifacts(processor).binary
-        )
+        """Per-block and text dilation of ``processor`` vs the reference
+        (cached — binaries are fixed once artifacts exist)."""
+        info = self._dilation_infos.get(processor.name)
+        if info is None:
+            info = measure_dilation(
+                self.reference_artifacts().binary,
+                self.artifacts(processor).binary,
+            )
+            self._dilation_infos[processor.name] = info
+        return info
 
     def dilation(self, processor: VliwProcessor) -> float:
         """Text dilation d (DesignProvider protocol)."""
@@ -186,9 +197,13 @@ class ExperimentPipeline:
         return self._ref_evaluator
 
     def processor_cycles(self, processor: VliwProcessor) -> int:
-        """Schedule-length cycles (DesignProvider protocol)."""
-        art = self.artifacts(processor)
-        return processor_cycles(art.compiled, art.events)
+        """Schedule-length cycles (DesignProvider protocol, cached)."""
+        cycles = self._cycles.get(processor.name)
+        if cycles is None:
+            art = self.artifacts(processor)
+            cycles = processor_cycles(art.compiled, art.events)
+            self._cycles[processor.name] = cycles
+        return cycles
 
     # ------------------------------------------------------------------
     # The three miss measurements.
@@ -210,6 +225,7 @@ class ExperimentPipeline:
         )
         configs = list(configs)
         bank.register(role, configs)
+        bank.prime(max_workers=self.max_workers)
         return {c: bank.simulated_misses(role, c) for c in configs}
 
     def prime_actual(
@@ -232,6 +248,8 @@ class ExperimentPipeline:
 
         Returns the number of simulation passes run.
         """
+        if max_workers is None:
+            max_workers = self.max_workers
         role_configs = {
             role: list(configs) for role, configs in role_configs.items()
         }
@@ -304,6 +322,7 @@ class ExperimentPipeline:
                 self._sim_banks[key] = bank
         configs = list(configs)
         bank.register(role, configs)
+        bank.prime(max_workers=self.max_workers)
         return {c: bank.simulated_misses(role, c) for c in configs}
 
     def estimated_misses(

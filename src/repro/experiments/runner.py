@@ -38,6 +38,8 @@ class RunnerSettings:
     seed: int = 1
     i_granule: int = 2_000
     u_granule: int = 20_000
+    #: Worker processes for batched simulation priming (None = serial).
+    max_workers: int | None = None
 
 
 _PIPELINES: dict[tuple, ExperimentPipeline] = {}
@@ -57,6 +59,7 @@ def get_pipeline(
             max_visits=settings.max_visits,
             i_granule=settings.i_granule,
             u_granule=settings.u_granule,
+            max_workers=settings.max_workers,
         )
         _PIPELINES[key] = pipeline
     return pipeline

@@ -21,7 +21,12 @@ from repro.explore.spec import (
     SystemDesignSpace,
 )
 from repro.explore.spacewalker import Spacewalker, SystemDesign
-from repro.explore.walkers import CacheWalker, MemoryWalker, ProcessorWalker
+from repro.explore.walkers import (
+    CacheWalker,
+    MemoryDesign,
+    MemoryWalker,
+    ProcessorWalker,
+)
 
 __all__ = [
     "CacheDesignSpace",
@@ -35,6 +40,7 @@ __all__ = [
     "exhaustive_evaluation_hours",
     "hierarchical_evaluation_hours",
     "CacheWalker",
+    "MemoryDesign",
     "MemoryWalker",
     "ProcessorWalker",
     "GreedyProcessorWalker",

@@ -14,7 +14,9 @@ performance; we track cycles, so smaller dominates).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generic, Hashable, TypeVar
+from typing import Generic, Hashable, Iterable, Sequence, TypeVar
+
+import numpy as np
 
 DesignT = TypeVar("DesignT", bound=Hashable)
 
@@ -62,6 +64,69 @@ class ParetoSet(Generic[DesignT]):
         self.inserted += 1
         return True
 
+    def insert_many(
+        self,
+        designs: Sequence[DesignT],
+        costs,
+        times,
+    ) -> int:
+        """Bulk-offer designs; returns how many joined the Pareto set.
+
+        Produces exactly the point set a sequence of :meth:`insert_point`
+        calls (in ``designs`` order) would produce, but in one
+        O(n log n) skyline pass: sort all points by (cost, time) with a
+        stable sort — so the earliest-offered point wins exact
+        (cost, time) ties, matching the first-design-wins rule — and keep
+        a point iff its time is strictly below the running minimum.
+        Existing members are sorted ahead of the candidates, preserving
+        their tie priority.
+        """
+        designs = list(designs)
+        costs = np.asarray(costs, dtype=np.float64).reshape(-1)
+        times = np.asarray(times, dtype=np.float64).reshape(-1)
+        if not len(designs) == costs.size == times.size:
+            raise ValueError(
+                "designs, costs and times must have matching lengths "
+                f"({len(designs)}, {costs.size}, {times.size})"
+            )
+        if not designs:
+            return 0
+        n_existing = len(self.points)
+        all_designs = [p.design for p in self.points] + designs
+        all_costs = np.concatenate(
+            [np.array([p.cost for p in self.points]), costs]
+        )
+        all_times = np.concatenate(
+            [np.array([p.time for p in self.points]), times]
+        )
+        # Stable: equal (cost, time) keeps original (insertion) order.
+        order = np.lexsort((all_times, all_costs))
+        t_sorted = all_times[order]
+        keep = np.empty(order.size, dtype=bool)
+        keep[0] = True
+        keep[1:] = t_sorted[1:] < np.minimum.accumulate(t_sorted)[:-1]
+        survivors = np.sort(order[keep])
+        added = int(np.count_nonzero(survivors >= n_existing))
+        self.points = [
+            ParetoPoint(all_designs[i], float(all_costs[i]), float(all_times[i]))
+            for i in survivors
+        ]
+        self.inserted += added
+        self.rejected += len(designs) - added
+        return added
+
+    @classmethod
+    def from_arrays(
+        cls,
+        designs: Iterable[DesignT],
+        costs,
+        times,
+    ) -> "ParetoSet[DesignT]":
+        """Build a Pareto set from parallel design/cost/time arrays."""
+        pareto: ParetoSet[DesignT] = cls()
+        pareto.insert_many(list(designs), costs, times)
+        return pareto
+
     def frontier(self) -> list[ParetoPoint[DesignT]]:
         """Points sorted by ascending cost (descending time follows)."""
         return sorted(self.points, key=lambda p: (p.cost, p.time))
@@ -82,9 +147,22 @@ class ParetoSet(Generic[DesignT]):
         return len(self.points)
 
     def is_consistent(self) -> bool:
-        """No point dominates another (invariant check for tests)."""
-        for a in self.points:
-            for b in self.points:
-                if a is not b and a.dominates(b):
-                    return False
+        """No point dominates another (invariant check for tests).
+
+        Linear scan over the (cost, time)-sorted points: a point is
+        dominated iff an earlier-sorted point has strictly lower time, or
+        equal time at strictly lower cost.  Equivalent to the O(n^2)
+        pairwise check (which the test suite cross-checks on small sets).
+        """
+        ordered = sorted(self.points, key=lambda p: (p.cost, p.time))
+        run_min = float("inf")
+        run_min_cost = float("inf")
+        for point in ordered:
+            if run_min < point.time:
+                return False
+            if run_min == point.time and run_min_cost < point.cost:
+                return False
+            if point.time < run_min:
+                run_min = point.time
+                run_min_cost = point.cost
         return True

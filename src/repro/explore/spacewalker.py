@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol
 
+import numpy as np
+
 from repro.explore.pareto import ParetoSet
 from repro.explore.spec import SystemDesignSpace
 from repro.explore.walkers import CacheWalker, MemoryDesign, MemoryWalker
@@ -53,21 +55,84 @@ class Spacewalker:
         provider: DesignProvider,
         l1_penalty: float = 10.0,
         l2_penalty: float = 50.0,
+        batched: bool = True,
+        max_workers: int | None = None,
     ):
         self.space = space
         self.provider = provider
         self.l1_penalty = l1_penalty
         self.l2_penalty = l2_penalty
+        self.batched = batched
+        self.max_workers = max_workers
+
+    def _memory_walker(self, evaluator: MemoryEvaluator) -> MemoryWalker:
+        return MemoryWalker(
+            CacheWalker(
+                "icache", self.space.icache, evaluator, self.l1_penalty,
+                batched=self.batched, max_workers=self.max_workers,
+            ),
+            CacheWalker(
+                "dcache", self.space.dcache, evaluator, self.l1_penalty,
+                batched=self.batched, max_workers=self.max_workers,
+            ),
+            CacheWalker(
+                "unified", self.space.unified, evaluator, self.l1_penalty,
+                batched=self.batched, max_workers=self.max_workers,
+            ),
+            l2_penalty=self.l2_penalty,
+            batched=self.batched,
+        )
 
     def walk(self) -> ParetoSet[SystemDesign]:
         """Evaluate every processor x memory-frontier combination."""
+        if not self.batched:
+            return self._walk_scalar()
         evaluator = self.provider.memory_evaluator()
-        memory_walker = MemoryWalker(
-            CacheWalker("icache", self.space.icache, evaluator, self.l1_penalty),
-            CacheWalker("dcache", self.space.dcache, evaluator, self.l1_penalty),
-            CacheWalker("unified", self.space.unified, evaluator, self.l1_penalty),
-            l2_penalty=self.l2_penalty,
+        memory_walker = self._memory_walker(evaluator)
+        processors = list(self.space.processors)
+        cycles = [self.provider.processor_cycles(p) for p in processors]
+        proc_costs = [processor_cost(p) for p in processors]
+        # Processors with equal (rounded) dilation share one memory walk
+        # (the paper's dilation intervals).
+        dilations = [
+            round(self.provider.dilation(p), 2) for p in processors
+        ]
+        unique_dils = tuple(dict.fromkeys(dilations))
+        # Register every needed simulation before walking, so one prime()
+        # can run all pending passes (in parallel when max_workers > 1).
+        evaluator.register_grid(
+            "icache", self.space.icache.configurations(), unique_dils
         )
+        evaluator.register_grid(
+            "dcache", self.space.dcache.configurations(), (1.0,)
+        )
+        evaluator.register_grid(
+            "unified", self.space.unified.configurations(), unique_dils
+        )
+        evaluator.prime(max_workers=self.max_workers)
+        memory_cache = memory_walker.walk_many(unique_dils)
+        pareto: ParetoSet[SystemDesign] = ParetoSet()
+        for processor, n_cycles, proc_cost, dilation in zip(
+            processors, cycles, proc_costs, dilations
+        ):
+            frontier = memory_cache[dilation].frontier()
+            if not frontier:
+                continue
+            designs = [
+                SystemDesign(processor=processor.name, memory=p.design)
+                for p in frontier
+            ]
+            pareto.insert_many(
+                designs,
+                proc_cost + np.array([p.cost for p in frontier]),
+                n_cycles + np.array([p.time for p in frontier]),
+            )
+        return pareto
+
+    def _walk_scalar(self) -> ParetoSet[SystemDesign]:
+        """Scalar reference path: per-point queries and insertions."""
+        evaluator = self.provider.memory_evaluator()
+        memory_walker = self._memory_walker(evaluator)
         pareto: ParetoSet[SystemDesign] = ParetoSet()
         # Memory Pareto sets are cached per dilation: processors with equal
         # dilation share one memory walk (the paper's dilation intervals).

@@ -32,6 +32,28 @@ class TestBracketing:
     def test_clamped_at_word(self):
         assert _bracket_line_sizes(2.0) == (4, 4)
 
+    def test_ulp_off_power_of_two_snaps(self):
+        """Float division landing ulps off a power of two must still take
+        the exact Lemma 1 path (regression: dilation 2.0000000000000004
+        used to misbracket 32/d into the (8, 16) interpolation)."""
+        effective = 32 / 2.0000000000000004  # 15.999999999999996
+        assert effective != 16.0
+        assert _bracket_line_sizes(effective) == (16, 16)
+        # A few ulps above a power of two snaps down to it as well.
+        assert _bracket_line_sizes(16.000000000000004) == (16, 16)
+
+    def test_ulp_snap_gives_exact_icache_lookup(self, estimator):
+        config = CacheConfig(64, 1, 32)
+        reference = {CacheConfig(64, 1, 16): 5000.0}
+        value = estimator.estimate_icache_misses(
+            config, 2.0000000000000004, reference
+        )
+        assert value == 5000.0
+
+    def test_far_from_power_still_brackets(self):
+        assert _bracket_line_sizes(16.1) == (16, 32)
+        assert _bracket_line_sizes(15.9) == (8, 16)
+
 
 class TestDcache:
     def test_identity(self, estimator):
@@ -146,3 +168,87 @@ class TestUnified:
             estimator.estimate_unified_misses(
                 CacheConfig(64, 1, 32), -1.0, 1.0
             )
+
+
+class TestBatchedEstimates:
+    """The batched grid methods must match the scalar oracle."""
+
+    DILATIONS = (1.0, 1.3, 2.0, 2.0000000000000004, 3.3, 100.0)
+
+    def icache_configs(self):
+        return [
+            CacheConfig(sets, assoc, line)
+            for sets in (16, 64)
+            for assoc in (1, 2)
+            for line in (16, 32)
+        ]
+
+    def test_icache_grid_matches_scalar(self, estimator):
+        configs = self.icache_configs()
+        reference = {
+            c: 100.0 + 7.0 * c.line_size + c.sets / 3.0
+            for c in estimator.required_icache_configs_batch(
+                configs, self.DILATIONS
+            )
+        }
+        grid = estimator.estimate_icache_misses_batch(
+            configs, self.DILATIONS, reference
+        )
+        assert grid.shape == (len(configs), len(self.DILATIONS))
+        for i, config in enumerate(configs):
+            for j, dilation in enumerate(self.DILATIONS):
+                scalar = estimator.estimate_icache_misses(
+                    config, dilation, reference
+                )
+                assert grid[i, j] == pytest.approx(
+                    scalar, rel=1e-9, abs=1e-9
+                )
+
+    def test_unified_grid_matches_scalar(self, estimator):
+        configs = [
+            CacheConfig.from_size(kb * 1024, assoc, 64)
+            for kb in (16, 32)
+            for assoc in (2, 4)
+        ]
+        reference = [1000.0 * (k + 1) for k in range(len(configs))]
+        grid = estimator.estimate_unified_misses_batch(
+            configs, self.DILATIONS, reference
+        )
+        for i, config in enumerate(configs):
+            for j, dilation in enumerate(self.DILATIONS):
+                scalar = estimator.estimate_unified_misses(
+                    config, dilation, reference[i]
+                )
+                assert grid[i, j] == pytest.approx(
+                    scalar, rel=1e-9, abs=1e-9
+                )
+
+    def test_required_configs_batch_is_union(self, estimator):
+        configs = self.icache_configs()
+        batch = estimator.required_icache_configs_batch(
+            configs, self.DILATIONS
+        )
+        assert len(batch) == len(set(batch))
+        union = {
+            needed
+            for c in configs
+            for d in self.DILATIONS
+            for needed in estimator.required_icache_configs(c, d)
+        }
+        assert set(batch) == union
+
+    def test_batch_rejects_non_positive_dilations(self, estimator):
+        configs = [CacheConfig(64, 1, 32)]
+        with pytest.raises(ModelError, match="dilation"):
+            estimator.estimate_icache_misses_batch(configs, [1.0, 0.0], {})
+        with pytest.raises(ModelError, match="dilation"):
+            estimator.estimate_unified_misses_batch(
+                configs, [-1.0], [100.0]
+            )
+
+    def test_empty_grid(self, estimator):
+        assert estimator.estimate_icache_misses_batch([], [1.0], {}).shape \
+            == (0, 1)
+        assert estimator.estimate_unified_misses_batch(
+            [], [1.0], []
+        ).shape == (0, 1)

@@ -97,3 +97,81 @@ def test_pareto_invariants(points):
             (rc <= cost and rt <= time) for rc, rt in retained
         )
         assert covered
+
+
+class TestInsertMany:
+    def test_matches_sequential_inserts(self):
+        pareto = ParetoSet()
+        pareto.insert_many(
+            ["a", "b", "c", "d"],
+            [1.0, 10.0, 10.0, 5.0],
+            [10.0, 1.0, 10.0, 5.0],
+        )
+        assert {p.design for p in pareto.points} == {"a", "b", "d"}
+        assert pareto.inserted == 3
+        assert pareto.rejected == 1
+
+    def test_existing_points_win_ties(self):
+        pareto = ParetoSet()
+        pareto.insert_point("old", cost=1.0, time=1.0)
+        pareto.insert_many(["dup"], [1.0], [1.0])
+        assert [p.design for p in pareto.points] == ["old"]
+        assert pareto.rejected == 1
+
+    def test_candidates_evict_existing(self):
+        pareto = ParetoSet()
+        pareto.insert_point("old", cost=5.0, time=5.0)
+        pareto.insert_many(["better"], [4.0], [4.0])
+        assert [p.design for p in pareto.points] == ["better"]
+
+    def test_first_candidate_wins_duplicate_coordinates(self):
+        pareto = ParetoSet.from_arrays(
+            ["first", "second"], [1.0, 1.0], [1.0, 1.0]
+        )
+        assert [p.design for p in pareto.points] == ["first"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="matching lengths"):
+            ParetoSet().insert_many(["a"], [1.0, 2.0], [1.0])
+
+    def test_empty_offer_is_noop(self):
+        pareto = ParetoSet()
+        assert pareto.insert_many([], [], []) == 0
+        assert len(pareto) == 0
+
+
+def _pairwise_consistent(pareto: ParetoSet) -> bool:
+    """The retired O(n^2) consistency check, kept as a test oracle."""
+    for a in pareto.points:
+        for b in pareto.points:
+            if a is not b and a.dominates(b):
+                return False
+    return True
+
+
+@given(
+    points=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=10.0),
+            st.floats(min_value=0.0, max_value=10.0),
+        ),
+        max_size=30,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_is_consistent_matches_pairwise_oracle(points):
+    """The linear-scan is_consistent agrees with the O(n^2) pairwise
+    check, both on valid Pareto sets and on hand-built corrupted ones."""
+    pareto = ParetoSet()
+    for index, (cost, time) in enumerate(points):
+        pareto.insert_point(index, cost, time)
+    assert pareto.is_consistent() is _pairwise_consistent(pareto) is True
+    # Corrupt the set by force-appending every raw point: duplicates and
+    # dominated points sneak in, and both checks must agree on the result.
+    corrupted = ParetoSet(
+        points=[
+            ParetoPoint(i, cost, time)
+            for i, (cost, time) in enumerate(points)
+        ]
+    )
+    assert corrupted.is_consistent() is _pairwise_consistent(corrupted)

@@ -1,0 +1,155 @@
+"""Property tests pinning the batched exploration path to the scalar path.
+
+The vectorized layer (collisions_batch, MemoryEvaluator.misses_batch,
+ParetoSet.insert_many) is required to reproduce the scalar oracle's
+results; these properties exercise the equivalence over randomized
+inputs, including tie-heavy Pareto offers and dilations landing ulps off
+powers of two.
+"""
+
+import functools
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.ahh.batch import clear_collisions_batch_cache, collisions_batch
+from repro.ahh.model import collisions
+from repro.ahh.params import ComponentParameters, TraceParameters
+from repro.cache.config import CacheConfig
+from repro.explore.evaluators import MemoryEvaluator
+from repro.explore.pareto import ParetoSet
+from repro.trace.ranges import KIND_DATA, KIND_INSTR, RangeTrace
+
+# ----------------------------------------------------------------------
+# collisions_batch vs scalar collisions.
+# ----------------------------------------------------------------------
+
+triples = st.tuples(
+    st.floats(min_value=0.0, max_value=5000.0),
+    st.sampled_from([1, 2, 8, 64, 512]),
+    st.integers(min_value=1, max_value=8),
+)
+methods = st.sampled_from(["auto", "direct", "stable"])
+
+
+@given(batch=st.lists(triples, min_size=1, max_size=12), method=methods)
+@settings(max_examples=100, deadline=None)
+def test_collisions_batch_matches_scalar(batch, method):
+    clear_collisions_batch_cache()
+    u = np.array([t[0] for t in batch])
+    sets = np.array([t[1] for t in batch])
+    assoc = np.array([t[2] for t in batch])
+    values = collisions_batch(u, sets, assoc, method=method)
+    for k, (uu, ss, aa) in enumerate(batch):
+        scalar = collisions(uu, ss, aa, method=method)
+        assert values[k] == pytest.approx(scalar, rel=1e-9, abs=1e-9)
+
+
+@given(batch=st.lists(triples, min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_collisions_batch_memo_is_transparent(batch):
+    """A memoized (cache-warm) second query returns identical values."""
+    clear_collisions_batch_cache()
+    u = np.array([t[0] for t in batch])
+    sets = np.array([t[1] for t in batch])
+    assoc = np.array([t[2] for t in batch])
+    cold = collisions_batch(u, sets, assoc)
+    warm = collisions_batch(u, sets, assoc)
+    assert np.array_equal(cold, warm)
+
+
+# ----------------------------------------------------------------------
+# MemoryEvaluator.misses_batch vs per-config misses().
+# ----------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=1)
+def shared_evaluator() -> MemoryEvaluator:
+    itrace = RangeTrace.build(
+        [(i * 37) % 2048 * 16 for i in range(600)], [48] * 600, KIND_INSTR
+    )
+    dtrace = RangeTrace.build(
+        [0x100000 + (i * 52) % 8192 for i in range(600)],
+        [4] * 600,
+        KIND_DATA,
+    )
+    unified = RangeTrace.concatenate([itrace, dtrace])
+    params = TraceParameters(
+        icache=ComponentParameters(300.0, 0.08, 9.0, granule_size=600),
+        unified_instr=ComponentParameters(500.0, 0.08, 9.0, granule_size=1200),
+        unified_data=ComponentParameters(350.0, 0.4, 2.2, granule_size=1200),
+    )
+    return MemoryEvaluator(itrace, dtrace, unified, params)
+
+
+configs_st = st.lists(
+    st.builds(
+        CacheConfig,
+        st.sampled_from([8, 16, 64]),
+        st.sampled_from([1, 2]),
+        st.sampled_from([16, 32, 64]),
+    ),
+    min_size=1,
+    max_size=4,
+    unique=True,
+)
+dilations_st = st.lists(
+    st.one_of(
+        st.just(1.0),
+        st.just(2.0000000000000004),
+        st.floats(min_value=0.5, max_value=4.0),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+@given(role=st.sampled_from(["icache", "dcache", "unified"]),
+       configs=configs_st, dilations=dilations_st)
+@settings(max_examples=40, deadline=None)
+def test_misses_batch_matches_scalar(role, configs, dilations):
+    evaluator = shared_evaluator()
+    grid = evaluator.misses_batch(role, configs, dilations)
+    assert grid.shape == (len(configs), len(dilations))
+    for i, config in enumerate(configs):
+        for j, dilation in enumerate(dilations):
+            scalar = evaluator.misses(role, config, dilation)
+            assert grid[i, j] == pytest.approx(scalar, rel=1e-9, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Skyline insert_many vs sequential insert_point.
+# ----------------------------------------------------------------------
+
+# Coarse coordinate grid: collisions and exact ties are common, which is
+# exactly where the skyline's tie-breaking must match sequential order.
+coords = st.tuples(
+    st.sampled_from([0.0, 1.0, 1.5, 2.0, 3.0, 5.0]),
+    st.sampled_from([0.0, 1.0, 1.5, 2.0, 3.0, 5.0]),
+)
+
+
+@given(
+    existing=st.lists(coords, max_size=10),
+    offered=st.lists(coords, max_size=25),
+)
+@settings(max_examples=150, deadline=None)
+def test_insert_many_matches_sequential(existing, offered):
+    sequential: ParetoSet = ParetoSet()
+    bulk: ParetoSet = ParetoSet()
+    for index, (cost, time) in enumerate(existing):
+        sequential.insert_point(("pre", index), cost, time)
+        bulk.insert_point(("pre", index), cost, time)
+    for index, (cost, time) in enumerate(offered):
+        sequential.insert_point(("new", index), cost, time)
+    bulk.insert_many(
+        [("new", index) for index in range(len(offered))],
+        [cost for cost, _ in offered],
+        [time for _, time in offered],
+    )
+    seq_points = {(p.design, p.cost, p.time) for p in sequential.points}
+    bulk_points = {(p.design, p.cost, p.time) for p in bulk.points}
+    assert seq_points == bulk_points
+    assert bulk.is_consistent()

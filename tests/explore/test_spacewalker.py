@@ -66,3 +66,14 @@ class TestSpacewalker:
             memory = point.design.memory
             assert satisfies_inclusion(memory.icache, memory.unified)
             assert satisfies_inclusion(memory.dcache, memory.unified)
+
+    def test_batched_and_scalar_walks_agree(self, pipeline, small_space):
+        """The vectorized walk must reproduce the scalar frontier
+        exactly (same designs, costs and times within 1e-9)."""
+        scalar = Spacewalker(small_space, pipeline, batched=False).walk()
+        batched = Spacewalker(small_space, pipeline, batched=True).walk()
+        fs, fb = scalar.frontier(), batched.frontier()
+        assert [p.design for p in fs] == [p.design for p in fb]
+        for a, b in zip(fs, fb):
+            assert b.cost == pytest.approx(a.cost, rel=1e-9, abs=1e-9)
+            assert b.time == pytest.approx(a.time, rel=1e-9, abs=1e-9)

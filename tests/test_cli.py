@@ -83,3 +83,66 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "estimated/icache" in out
         assert "median" in out
+
+
+class TestMaxWorkers:
+    def test_parser_accepts_max_workers(self):
+        args = build_parser().parse_args(
+            ["explore", "--max-workers", "2"]
+        )
+        assert args.max_workers == 2
+        # Sweep commands share the common options.
+        args = build_parser().parse_args(["table2", "--max-workers", "3"])
+        assert args.max_workers == 3
+
+    def test_default_is_serial(self):
+        assert build_parser().parse_args(["explore"]).max_workers is None
+
+    def test_settings_carry_max_workers(self):
+        from repro.cli import _settings
+
+        args = build_parser().parse_args(
+            ["table2", "--max-workers", "4"]
+        )
+        assert _settings(args).max_workers == 4
+
+    def test_explore_runs_with_max_workers(
+        self, capsys, monkeypatch, tiny_pipeline
+    ):
+        """The explore command reaches the parallel-priming path."""
+        import repro.cli as cli
+        from repro.explore.spec import (
+            CacheDesignSpace,
+            ProcessorDesignSpace,
+            SystemDesignSpace,
+        )
+
+        space = SystemDesignSpace(
+            processors=ProcessorDesignSpace(
+                int_units=(1, 2), float_units=(1,), memory_units=(1,),
+                branch_units=(1,),
+            ),
+            icache=CacheDesignSpace(
+                sizes_kb=(0.5, 1), assocs=(1,), line_sizes=(16, 32)
+            ),
+            dcache=CacheDesignSpace(
+                sizes_kb=(0.5, 1), assocs=(1,), line_sizes=(16,)
+            ),
+            unified=CacheDesignSpace(
+                sizes_kb=(8,), assocs=(2,), line_sizes=(32,)
+            ),
+        )
+        monkeypatch.setattr(cli, "_explore_space", lambda: space)
+        monkeypatch.setattr(
+            cli, "get_pipeline", lambda bench, settings: tiny_pipeline
+        )
+        assert main(["explore", *FAST, "--max-workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier for epic" in out
+        assert "cost=" in out
+
+    def test_table2_with_max_workers(self, capsys):
+        """A sweep command accepts --max-workers end to end."""
+        assert main(["table2", *FAST, "--max-workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Relative Data Cache Miss Rates" in out
