@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""CI fault-injection smoke: faulty runs must match fault-free runs.
+
+Runs two comparisons with deterministic worker faults injected through
+:class:`repro.runtime.FaultPlan`:
+
+1. A small line-size sweep (``sweep_design_space``) where one group's
+   worker is killed mid-sweep: the executor must fall back / retry and
+   produce results identical to the fault-free sweep.
+2. A small spacewalker exploration where the first attempt of every
+   icache priming pass raises: the retried run's Pareto frontier must
+   match the fault-free frontier exactly.
+
+The run journal is written to ``--journal`` (JSON lines) so CI can
+upload it as an artifact next to ``BENCH_explore.json``; the script
+asserts the journal actually recorded the injected retries/fallbacks.
+Exit code 0 means every assertion held.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cache.config import CacheConfig  # noqa: E402
+from repro.cache.sweep import sweep_design_space  # noqa: E402
+from repro.experiments.runner import (  # noqa: E402
+    RunnerSettings,
+    clear_pipeline_cache,
+    get_pipeline,
+)
+from repro.explore.spacewalker import Spacewalker  # noqa: E402
+from repro.explore.spec import (  # noqa: E402
+    CacheDesignSpace,
+    ProcessorDesignSpace,
+    SystemDesignSpace,
+)
+from repro.runtime import ExecutorPolicy, FaultPlan, RunJournal  # noqa: E402
+
+SWEEP_CONFIGS = [
+    CacheConfig(8, 1, 16),
+    CacheConfig(8, 2, 16),
+    CacheConfig(16, 1, 16),
+    CacheConfig(8, 1, 32),
+    CacheConfig(4, 4, 32),
+    CacheConfig(16, 2, 64),
+]
+
+
+def sweep_trace():
+    """Tiny fixed trace shared by the faulty and fault-free sweeps."""
+    starts = [0, 32, 64, 0, 128, 256, 32, 512, 0, 96, 72, 8]
+    sizes = [16, 16, 32, 16, 64, 16, 16, 16, 16, 4, 4, 40]
+    return starts, sizes
+
+
+def check_sweep(journal: RunJournal) -> None:
+    """Worker death mid-sweep must not change the sweep's results."""
+    baseline = sweep_design_space(SWEEP_CONFIGS, sweep_trace())
+    policy = ExecutorPolicy(
+        max_workers=2,
+        retries=2,
+        backoff=0.0,
+        fault=FaultPlan("exit", match="32", times=1),
+    )
+    faulty = sweep_design_space(
+        SWEEP_CONFIGS, sweep_trace, policy=policy, journal=journal
+    )
+    assert faulty == baseline, "fault-injected sweep diverged from baseline"
+    assert journal.select("fallback") or journal.select("retry"), (
+        "journal recorded neither a fallback nor a retry for the killed worker"
+    )
+    print(f"sweep: {len(faulty)} configs identical under injected worker death")
+
+
+def explore_space() -> SystemDesignSpace:
+    """A deliberately tiny design space (seconds, not minutes, in CI)."""
+    return SystemDesignSpace(
+        processors=ProcessorDesignSpace(
+            int_units=(1, 2), float_units=(1,), memory_units=(1,),
+            branch_units=(1,),
+        ),
+        icache=CacheDesignSpace(
+            sizes_kb=(0.5, 1), assocs=(1,), line_sizes=(16, 32)
+        ),
+        dcache=CacheDesignSpace(
+            sizes_kb=(0.5, 1), assocs=(1,), line_sizes=(16,)
+        ),
+        unified=CacheDesignSpace(sizes_kb=(8,), assocs=(2,), line_sizes=(32,)),
+    )
+
+
+def frontier_fingerprint(pareto) -> list[tuple]:
+    """Comparable summary of a Pareto frontier (cost, time, design repr)."""
+    return [
+        (round(p.cost, 9), round(p.time, 9), repr(p.design))
+        for p in pareto.frontier()
+    ]
+
+
+def check_explore(journal: RunJournal) -> None:
+    """An injected priming fault must not change the Pareto frontier."""
+    settings = RunnerSettings(scale=0.12, max_visits=2000)
+    space = explore_space()
+    retries_before = len(journal.select("retry"))
+
+    clear_pipeline_cache()
+    baseline = frontier_fingerprint(
+        Spacewalker(space, get_pipeline("epic", settings)).walk()
+    )
+
+    clear_pipeline_cache()
+    policy = ExecutorPolicy(
+        max_workers=2,
+        retries=2,
+        backoff=0.0,
+        fault=FaultPlan("raise", match="icache", times=1),
+    )
+    faulty = frontier_fingerprint(
+        Spacewalker(
+            space,
+            get_pipeline("epic", settings),
+            max_workers=2,
+            policy=policy,
+            journal=journal,
+        ).walk()
+    )
+    assert faulty == baseline, (
+        "fault-injected exploration frontier diverged from baseline:\n"
+        f"  baseline: {baseline}\n  faulty:   {faulty}"
+    )
+    retries = len(journal.select("retry")) - retries_before
+    assert retries > 0, (
+        "journal recorded no retry for the injected priming fault"
+    )
+    print(
+        f"explore: frontier of {len(faulty)} designs identical under "
+        f"{retries} injected fault(s)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run both fault-injection checks; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--journal",
+        default="JOURNAL_fault_sweep.jsonl",
+        metavar="PATH",
+        help="write the JSON-lines run journal here (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+    with RunJournal(args.journal) as journal:
+        check_sweep(journal)
+        check_explore(journal)
+        print()
+        print(journal.summary_text(title="Fault-injection smoke journal"))
+        print(f"\njournal: {len(journal)} events -> {args.journal}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

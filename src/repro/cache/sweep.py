@@ -5,29 +5,55 @@ cache design space by line size and run one single-pass Cheetah simulation
 per distinct line size, rather than one simulation per configuration.
 
 Distinct line-size groups are independent single-pass simulations, so the
-driver can optionally fan them out over worker processes
-(``max_workers``): each worker simulates one group and ships back the
-stack-depth histograms, which the parent folds into the ordinary
-:class:`~repro.cache.simulator.MissResult` mapping — callers see the same
-API either way.
+driver can fan them out over worker processes (``max_workers``) through
+the fault-tolerant executor in :mod:`repro.runtime`: each worker
+simulates one group and ships back the stack-depth histograms, which the
+parent folds — in completion order, keyed by line size — into the
+ordinary :class:`~repro.cache.simulator.MissResult` mapping.  Callers
+see the same API either way, and a crashed or hung worker costs a retry
+(or an in-process fallback), not the sweep.
+
+Trace residency: each group's trace is materialized only when its job is
+submitted and the parent's copy is dropped right after submission, so
+parent-side residency is bounded by the executor's in-flight window
+(``max_workers + 1`` groups), never the whole design space.  When the
+trace is supplied as a *picklable* factory, the factory itself is
+shipped to the workers and the parent never materializes the arrays at
+all (unless checkpointing needs a digest).
+
+Sweeps can checkpoint completed groups into an
+:class:`~repro.explore.evalcache.EvaluationCache` (one durable flush per
+group, via :meth:`~repro.explore.evalcache.EvaluationCache.bulk`), so a
+killed run resumes from the finished groups instead of restarting.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence
+import hashlib
+import pickle
+from functools import partial
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.cache._util import as_int64_array
-from repro.cache.cheetah import CheetahSimulator, simulate_many
+from repro.cache.cheetah import CheetahSimulator
 from repro.cache.config import CacheConfig
 from repro.cache.simulator import MissResult
+from repro.errors import ConfigurationError, RuntimeExecutionError
+from repro.runtime.executor import ExecutorPolicy, Job, run_jobs
+from repro.runtime.journal import RunJournal, resolve_journal
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.explore.evalcache import EvaluationCache
 
 #: A range trace: callable returning (starts, sizes).  Sweeps accept a
 #: factory rather than arrays so multi-gigabyte traces can be re-generated
 #: lazily per pass instead of held resident.
 TraceFactory = Callable[[], tuple[Sequence[int], Sequence[int]]]
+
+#: A trace argument: either the (starts, sizes) pair or a factory.
+Trace = "tuple[Sequence[int], Sequence[int]] | TraceFactory"
 
 
 def simulate_group_state(
@@ -47,72 +73,302 @@ def simulate_group_state(
     return sim.state()
 
 
+def simulate_group_from_factory(
+    line_size: int,
+    set_counts: Sequence[int],
+    max_assoc: int,
+    factory: TraceFactory,
+) -> tuple[int, dict[int, list[int]]]:
+    """Worker-side variant: materialize the trace *inside* the worker.
+
+    Used when the trace factory is picklable, so the parent process never
+    holds the expanded arrays.
+    """
+    starts, sizes = factory()
+    return simulate_group_state(
+        line_size,
+        set_counts,
+        max_assoc,
+        as_int64_array(starts),
+        as_int64_array(sizes),
+    )
+
+
+def _materialize(trace: Trace) -> tuple[np.ndarray, np.ndarray]:
+    starts, sizes = trace() if callable(trace) else trace
+    return as_int64_array(starts), as_int64_array(sizes)
+
+
+def _group_args(
+    line_size: int,
+    set_counts: list[int],
+    max_assoc: int,
+    trace: Trace,
+    journal: RunJournal,
+) -> tuple:
+    """Late argument materialization for one group's job (parent side)."""
+    starts, sizes = _materialize(trace)
+    journal.record(
+        "trace_materialized", line_size=line_size, trace_ranges=len(starts)
+    )
+    return (line_size, set_counts, max_assoc, starts, sizes)
+
+
+def _is_picklable(obj: object) -> bool:
+    try:
+        pickle.dumps(obj)
+    except Exception:  # noqa: BLE001 - any pickling failure means "no"
+        return False
+    return True
+
+
+class _SweepCheckpoint:
+    """Group-state checkpointing through an EvaluationCache.
+
+    One entry per (trace, line size, set counts, max assoc): the exported
+    single-pass histogram state.  Stores flush durably per group (inside
+    :meth:`EvaluationCache.bulk`, one write each), so a killed sweep
+    resumes from its completed groups.
+    """
+
+    def __init__(
+        self,
+        cache: "EvaluationCache",
+        trace: Trace,
+        trace_key: str | None,
+        journal: RunJournal,
+    ):
+        self.cache = cache
+        self.journal = journal
+        if trace_key is not None:
+            self.trace_id = f"key={trace_key}"
+        else:
+            # All line-size groups share one trace, so one digest
+            # identifies the whole sweep; materialize once and drop.
+            starts, sizes = _materialize(trace)
+            digest = hashlib.sha256()
+            digest.update(starts.tobytes())
+            digest.update(sizes.tobytes())
+            self.trace_id = f"sha256={digest.hexdigest()[:24]}"
+
+    def key(
+        self, line_size: int, set_counts: Sequence[int], max_assoc: int
+    ) -> str:
+        sets = ",".join(str(s) for s in set_counts)
+        return (
+            f"sweep:{self.trace_id}:line={line_size}:"
+            f"sets={sets}:assoc={max_assoc}"
+        )
+
+    def lookup(
+        self, line_size: int, set_counts: Sequence[int], max_assoc: int
+    ) -> tuple[int, dict[int, list[int]]] | None:
+        key = self.key(line_size, set_counts, max_assoc)
+        value = self.cache.get(key)
+        if (
+            isinstance(value, list)
+            and len(value) == 2
+            and isinstance(value[1], dict)
+        ):
+            self.journal.record("checkpoint", action="hit", key=key)
+            return int(value[0]), {
+                int(sets): list(hist) for sets, hist in value[1].items()
+            }
+        self.journal.record("checkpoint", action="miss", key=key)
+        return None
+
+    def store(
+        self,
+        line_size: int,
+        set_counts: Sequence[int],
+        max_assoc: int,
+        state: tuple[int, dict[int, list[int]]],
+    ) -> None:
+        key = self.key(line_size, set_counts, max_assoc)
+        accesses, hists = state
+        with self.cache.bulk():
+            self.cache.put(
+                key, [int(accesses), {str(s): h for s, h in hists.items()}]
+            )
+        self.journal.record("checkpoint", action="store", key=key)
+
+
 def sweep_design_space(
     configs: Iterable[CacheConfig],
-    trace: tuple[Sequence[int], Sequence[int]] | TraceFactory,
+    trace: "tuple[Sequence[int], Sequence[int]] | TraceFactory",
     max_workers: int | None = None,
+    *,
+    policy: ExecutorPolicy | None = None,
+    journal: RunJournal | None = None,
+    checkpoint: "EvaluationCache | None" = None,
+    trace_key: str | None = None,
+    on_error: str = "raise",
 ) -> dict[CacheConfig, MissResult]:
     """Simulate every configuration, one pass per distinct line size.
 
     ``trace`` is either a ``(starts, sizes)`` pair or a zero-argument
-    callable producing one (called once per line-size group).
+    callable producing one (called once per line-size group, at job
+    submission time).
 
-    With ``max_workers`` > 1 and more than one line-size group, the
-    groups run concurrently in worker processes.  Traces are always
-    materialized in the parent (the factory need not be picklable); only
-    the plain ``(starts, sizes)`` arrays cross the process boundary.
+    With ``max_workers`` > 1 (or ``policy.max_workers`` > 1) and more
+    than one line-size group, the groups run concurrently in worker
+    processes under the fault-tolerant executor: failed attempts are
+    retried per ``policy``, a broken pool degrades to in-process serial
+    execution, and results fold in completion order.
+
+    ``checkpoint`` (an :class:`~repro.explore.evalcache.EvaluationCache`)
+    persists each completed group's simulation state, keyed by a trace
+    digest — or by ``trace_key`` when the caller has a cheaper stable
+    identity — so re-running the same sweep resumes instead of
+    re-simulating.
+
+    ``on_error`` controls what happens when a group still fails after
+    retries and fallback: ``"raise"`` (default) raises
+    :class:`~repro.errors.RuntimeExecutionError`; ``"partial"`` returns
+    results for the surviving groups only (the failure is journaled).
     """
+    if on_error not in ("raise", "partial"):
+        raise ConfigurationError(
+            f"on_error must be 'raise' or 'partial', got {on_error!r}"
+        )
+    journal = resolve_journal(journal)
+    policy = (policy or ExecutorPolicy()).with_workers(max_workers)
+
     groups: dict[int, list[CacheConfig]] = {}
     for config in configs:
         groups.setdefault(config.line_size, []).append(config)
-
-    if max_workers is not None and max_workers > 1 and len(groups) > 1:
-        return _sweep_parallel(groups, trace, max_workers)
-
-    results: dict[CacheConfig, MissResult] = {}
-    for line_size in sorted(groups):
-        starts, sizes = trace() if callable(trace) else trace
-        results.update(simulate_many(groups[line_size], starts, sizes))
-    return results
-
-
-def _sweep_parallel(
-    groups: dict[int, list[CacheConfig]],
-    trace: tuple[Sequence[int], Sequence[int]] | TraceFactory,
-    max_workers: int,
-) -> dict[CacheConfig, MissResult]:
-    jobs: list[tuple[int, list[CacheConfig], tuple]] = []
-    for line_size in sorted(groups):
-        starts, sizes = trace() if callable(trace) else trace
-        group = groups[line_size]
-        set_counts = sorted({c.sets for c in group})
-        max_assoc = max(c.assoc for c in group)
-        jobs.append(
-            (
-                line_size,
-                group,
-                (
-                    line_size,
-                    set_counts,
-                    max_assoc,
-                    as_int64_array(starts),
-                    as_int64_array(sizes),
-                ),
-            )
+    if not groups:
+        return {}
+    meta = {
+        line_size: (
+            sorted({c.sets for c in group}),
+            max(c.assoc for c in group),
         )
+        for line_size, group in groups.items()
+    }
+
+    ck = (
+        _SweepCheckpoint(checkpoint, trace, trace_key, journal)
+        if checkpoint is not None
+        else None
+    )
 
     results: dict[CacheConfig, MissResult] = {}
-    workers = min(max_workers, len(jobs))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(simulate_group_state, *args) for _, _, args in jobs]
-        for (line_size, group, args), future in zip(jobs, futures):
-            accesses, hists = future.result()
-            sim = CheetahSimulator.from_state(
-                line_size, args[2], accesses, hists
+    pending: list[int] = []
+    for line_size in sorted(groups):
+        set_counts, max_assoc = meta[line_size]
+        state = ck.lookup(line_size, set_counts, max_assoc) if ck else None
+        if state is not None:
+            _fold_group(results, groups[line_size], line_size, max_assoc, state)
+        else:
+            pending.append(line_size)
+    if not pending:
+        if ck is not None:
+            journal.observe_cache(ck.cache, label="sweep-checkpoint")
+        return results
+
+    parallel = (
+        policy.max_workers is not None
+        and policy.max_workers > 1
+        and len(pending) > 1
+    )
+    if not parallel and policy.fault is None:
+        for line_size in pending:
+            set_counts, max_assoc = meta[line_size]
+            with journal.timed(
+                "pass", role="sweep", line_size=line_size, where="serial"
+            ) as extra:
+                starts, sizes = _materialize(trace)
+                extra["trace_ranges"] = len(starts)
+                state = simulate_group_state(
+                    line_size, set_counts, max_assoc, starts, sizes
+                )
+            del starts, sizes
+            if ck is not None:
+                ck.store(line_size, set_counts, max_assoc, state)
+            _fold_group(results, groups[line_size], line_size, max_assoc, state)
+        if ck is not None:
+            journal.observe_cache(ck.cache, label="sweep-checkpoint")
+        return results
+
+    # Ship the factory itself when it pickles (workers materialize their
+    # own trace); otherwise materialize per submission in the parent.
+    ship_factory = callable(trace) and _is_picklable(trace)
+    jobs = []
+    for line_size in pending:
+        set_counts, max_assoc = meta[line_size]
+        if ship_factory:
+            jobs.append(
+                Job(
+                    key=line_size,
+                    fn=simulate_group_from_factory,
+                    args=(line_size, set_counts, max_assoc, trace),
+                )
             )
-            for config in group:
-                results[config] = sim.result(config)
+        else:
+            jobs.append(
+                Job(
+                    key=line_size,
+                    fn=simulate_group_state,
+                    args_factory=partial(
+                        _group_args,
+                        line_size,
+                        set_counts,
+                        max_assoc,
+                        trace,
+                        journal,
+                    ),
+                )
+            )
+    outcomes = run_jobs(jobs, policy, journal)
+
+    failures: list[tuple[int, str]] = []
+    for line_size in pending:
+        outcome = outcomes[line_size]
+        set_counts, max_assoc = meta[line_size]
+        if not outcome.ok:
+            failures.append((line_size, outcome.error or "unknown error"))
+            journal.record(
+                "group_failed",
+                line_size=line_size,
+                configs=len(groups[line_size]),
+                error=outcome.error,
+            )
+            continue
+        journal.record(
+            "pass",
+            role="sweep",
+            line_size=line_size,
+            where=outcome.where,
+            wall_s=round(outcome.wall_s, 6),
+        )
+        if ck is not None:
+            ck.store(line_size, set_counts, max_assoc, outcome.value)
+        _fold_group(
+            results, groups[line_size], line_size, max_assoc, outcome.value
+        )
+    if ck is not None:
+        journal.observe_cache(ck.cache, label="sweep-checkpoint")
+    if failures and on_error == "raise":
+        line_size, error = failures[0]
+        raise RuntimeExecutionError(
+            f"{len(failures)} line-size group(s) failed after retries "
+            f"(first: line {line_size}: {error})"
+        )
     return results
+
+
+def _fold_group(
+    results: dict[CacheConfig, MissResult],
+    group: list[CacheConfig],
+    line_size: int,
+    max_assoc: int,
+    state: tuple[int, dict[int, list[int]]],
+) -> None:
+    accesses, hists = state
+    sim = CheetahSimulator.from_state(line_size, max_assoc, accesses, hists)
+    for config in group:
+        results[config] = sim.result(config)
 
 
 def simulation_passes_required(configs: Iterable[CacheConfig]) -> int:

@@ -13,13 +13,16 @@ Gives the repository's main flows a shell entry point:
 * ``benchmarks`` — list the workload suite.
 
 Common options: ``--scale`` (workload footprint multiplier),
-``--visits`` (emulation budget), ``--benchmarks`` (subset).
+``--visits`` (emulation budget), ``--benchmarks`` (subset),
+``--max-workers``/``--job-timeout``/``--job-retries`` (parallel
+priming), ``--journal`` (structured JSON-lines run journal).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import Sequence
 
 from repro.experiments.runner import (
@@ -33,7 +36,22 @@ from repro.experiments.runner import (
     run_table4,
 )
 from repro.machine.presets import PAPER_PROCESSORS
+from repro.runtime.journal import RunJournal, use_journal
 from repro.workloads.suite import BENCHMARK_NAMES
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an int >= 1 (0/negatives are configuration errors,
+    not a silent request for serial execution)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,12 +78,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common.add_argument(
         "--max-workers",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="N",
         help=(
             "worker processes for batched simulation priming "
-            "(default: serial)"
+            "(default: serial; must be >= 1)"
+        ),
+    )
+    common.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-pass timeout for parallel priming; a hung worker is "
+            "evicted and the pass retried (default: no limit)"
+        ),
+    )
+    common.add_argument(
+        "--job-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="re-attempts per failed simulation pass (default: 2)",
+    )
+    common.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append a structured JSON-lines run journal (passes, "
+            "retries, fallbacks, cache hit rates) to PATH"
         ),
     )
     parser = argparse.ArgumentParser(
@@ -102,6 +146,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the report here instead of stdout",
     )
+    report.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="include a run-journal summary section from this JSON-lines file",
+    )
     return parser
 
 
@@ -110,6 +160,8 @@ def _settings(args: argparse.Namespace) -> RunnerSettings:
         scale=args.scale,
         max_visits=args.visits,
         max_workers=args.max_workers,
+        job_timeout=args.job_timeout,
+        job_retries=args.job_retries,
     )
 
 
@@ -135,20 +187,27 @@ def _explore_space():
 def _cmd_explore(args: argparse.Namespace) -> str:
     from repro.explore.spacewalker import Spacewalker
 
-    bench = _benchmarks(args)[0]
-    pipeline = get_pipeline(bench, _settings(args))
-    pareto = Spacewalker(
-        _explore_space(), pipeline, max_workers=args.max_workers
-    ).walk()
-    lines = [f"Pareto frontier for {bench} ({len(pareto)} designs):"]
-    for point in pareto.frontier():
-        memory = point.design.memory
-        lines.append(
-            f"  cost={point.cost:9.2f} cycles={point.time:13.0f} "
-            f"proc={point.design.processor} "
-            f"I={memory.icache.describe()} D={memory.dcache.describe()} "
-            f"U={memory.unified.describe()}"
-        )
+    settings = _settings(args)
+    policy = settings.executor_policy()
+    lines: list[str] = []
+    # Every requested benchmark is walked (not just the first).
+    for bench in _benchmarks(args):
+        pipeline = get_pipeline(bench, settings)
+        pareto = Spacewalker(
+            _explore_space(),
+            pipeline,
+            max_workers=args.max_workers,
+            policy=policy,
+        ).walk()
+        lines.append(f"Pareto frontier for {bench} ({len(pareto)} designs):")
+        for point in pareto.frontier():
+            memory = point.design.memory
+            lines.append(
+                f"  cost={point.cost:9.2f} cycles={point.time:13.0f} "
+                f"proc={point.design.processor} "
+                f"I={memory.icache.describe()} D={memory.dcache.describe()} "
+                f"U={memory.unified.describe()}"
+            )
     return "\n".join(lines)
 
 
@@ -175,9 +234,9 @@ def _cmd_report(args: argparse.Namespace) -> str:
     from repro.experiments.report import build_report, save_report
 
     if args.output:
-        path = save_report(args.results, args.output)
+        path = save_report(args.results, args.output, journal=args.journal)
         return f"report written to {path}"
-    return build_report(args.results)
+    return build_report(args.results, journal=args.journal)
 
 
 def _cmd_benchmarks(_: argparse.Namespace) -> str:
@@ -200,6 +259,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "report":
         print(_cmd_report(args))
         return 0
+    journal = RunJournal(args.journal) if args.journal else None
+    scope = use_journal(journal) if journal is not None else nullcontext()
+    with scope:
+        if journal is not None:
+            journal.record("run_start", command=args.command)
+        try:
+            return _dispatch(args)
+        finally:
+            if journal is not None:
+                journal.record("run_end", command=args.command)
+                print(
+                    f"[journal] {len(journal)} events -> {journal.path}",
+                    file=sys.stderr,
+                )
+                journal.close()
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     settings = _settings(args)
     benches = _benchmarks(args)
     if args.command == "table2":

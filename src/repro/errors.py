@@ -40,5 +40,11 @@ class ExplorationError(ReproError):
     """The design-space exploration layer hit an unrecoverable condition."""
 
 
+class RuntimeExecutionError(ReproError):
+    """The fault-tolerant run-execution layer exhausted its recovery
+    options (retries spent, pool unrecoverable with fallback disabled,
+    or inconsistent job submissions)."""
+
+
 class EvaluationCacheError(ReproError):
     """The persistent evaluation cache is corrupt or unusable."""

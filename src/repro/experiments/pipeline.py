@@ -19,8 +19,8 @@ spacewalker can drive it directly.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from typing import Iterable, Mapping
 
 from repro.ahh.modeler import (
@@ -34,13 +34,15 @@ from repro.cache.sweep import simulate_group_state
 from repro.core.dilated_trace import dilate_binary
 from repro.core.dilation import DilationInfo, measure_dilation
 from repro.core.hierarchy_eval import processor_cycles
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RuntimeExecutionError
 from repro.explore.evaluators import ROLES, MemoryEvaluator
 from repro.iformat.assembler import assemble
 from repro.iformat.linker import Binary, link
 from repro.machine.mdes import MachineDescription
 from repro.machine.presets import REFERENCE_PROCESSOR
 from repro.machine.processor import VliwProcessor
+from repro.runtime.executor import ExecutorPolicy, Job, run_jobs
+from repro.runtime.journal import RunJournal, resolve_journal
 from repro.trace.emulator import Emulator
 from repro.trace.events import EventTrace
 from repro.trace.generator import TraceGenerator
@@ -85,6 +87,7 @@ class ExperimentPipeline:
         i_granule: int = DEFAULT_I_GRANULE,
         u_granule: int = DEFAULT_U_GRANULE,
         max_workers: int | None = None,
+        policy: ExecutorPolicy | None = None,
     ):
         self.workload = workload
         self.reference = reference
@@ -94,6 +97,8 @@ class ExperimentPipeline:
         self.u_granule = u_granule
         #: Worker processes for batched simulation priming (None = serial).
         self.max_workers = max_workers
+        #: Fault-tolerance knobs for parallel priming (timeout/retries).
+        self.policy = (policy or ExecutorPolicy()).with_workers(max_workers)
         self._artifacts: dict[str, ProcessorArtifacts] = {}
         self._dilation_infos: dict[str, DilationInfo] = {}
         self._cycles: dict[str, int] = {}
@@ -225,7 +230,7 @@ class ExperimentPipeline:
         )
         configs = list(configs)
         bank.register(role, configs)
-        bank.prime(max_workers=self.max_workers)
+        bank.prime(max_workers=self.max_workers, policy=self.policy)
         return {c: bank.simulated_misses(role, c) for c in configs}
 
     def prime_actual(
@@ -233,15 +238,19 @@ class ExperimentPipeline:
         processors: Iterable[VliwProcessor],
         role_configs: Mapping[str, Iterable[CacheConfig]],
         max_workers: int | None = None,
+        policy: ExecutorPolicy | None = None,
+        journal: RunJournal | None = None,
     ) -> int:
         """Pre-run the simulations :meth:`actual_misses` will need.
 
         One work unit per (processor, role, line size); with
         ``max_workers`` > 1 the units run concurrently in worker
-        processes sharing one pool, and their single-pass histogram
-        states are merged back into the per-processor simulation banks.
-        Subsequent :meth:`actual_misses` calls are pure lookups either
-        way, so results are identical to the serial path.
+        processes under the fault-tolerant executor
+        (:func:`repro.runtime.run_jobs`), and their single-pass
+        histogram states are merged back into the per-processor
+        simulation banks.  Worker faults cost retries (or an in-process
+        fallback), and subsequent :meth:`actual_misses` calls are pure
+        lookups either way, so results are identical to the serial path.
 
         Artifact construction (compile/assemble/emulate/trace) stays in
         the parent process — it is memoized and shared across roles.
@@ -250,6 +259,8 @@ class ExperimentPipeline:
         """
         if max_workers is None:
             max_workers = self.max_workers
+        policy = (policy or self.policy).with_workers(max_workers)
+        journal = resolve_journal(journal)
         role_configs = {
             role: list(configs) for role, configs in role_configs.items()
         }
@@ -268,24 +279,40 @@ class ExperimentPipeline:
                 bank.register(role, configs)
 
         units = [
-            (bank, key) for bank in banks for key in bank.pending_units()
+            (bank_index, key)
+            for bank_index, bank in enumerate(banks)
+            for key in bank.pending_units()
         ]
         if not units:
             return 0
-        if max_workers is None or max_workers <= 1 or len(units) == 1:
+        parallel = (
+            policy.max_workers is not None
+            and policy.max_workers > 1
+            and len(units) > 1
+        )
+        if not parallel and policy.fault is None:
             for bank in banks:
                 bank.prime()
             return len(units)
-        with ProcessPoolExecutor(
-            max_workers=min(max_workers, len(units))
-        ) as pool:
-            futures = [
-                (bank, key, pool.submit(simulate_group_state, *bank.unit_job(*key)))
-                for bank, key in units
-            ]
-            for bank, key, future in futures:
-                accesses, hists = future.result()
-                bank.install_unit(*key, accesses, hists)
+        jobs = [
+            Job(
+                key=(bank_index, *key),
+                fn=simulate_group_state,
+                args_factory=partial(banks[bank_index].unit_job, *key),
+            )
+            for bank_index, key in units
+        ]
+        outcomes = run_jobs(jobs, policy, journal)
+        failures = [r for r in outcomes.values() if not r.ok]
+        if failures:
+            first = failures[0]
+            raise RuntimeExecutionError(
+                f"{len(failures)} priming pass(es) failed after retries "
+                f"(first: {first.key}: {first.error})"
+            )
+        for bank_index, key in units:
+            accesses, hists = outcomes[(bank_index, *key)].value
+            banks[bank_index].install_unit(*key, accesses, hists)
         return len(units)
 
     def dilated_misses(
@@ -322,7 +349,7 @@ class ExperimentPipeline:
                 self._sim_banks[key] = bank
         configs = list(configs)
         bank.register(role, configs)
-        bank.prime(max_workers=self.max_workers)
+        bank.prime(max_workers=self.max_workers, policy=self.policy)
         return {c: bank.simulated_misses(role, c) for c in configs}
 
     def estimated_misses(

@@ -34,13 +34,20 @@ SECTIONS: tuple[tuple[str, str], ...] = (
 
 
 def build_report(
-    results_dir: str | Path, title: str = "Reproduction run report"
+    results_dir: str | Path,
+    title: str = "Reproduction run report",
+    journal: str | Path | None = None,
 ) -> str:
     """Assemble available results into one markdown document.
 
     Missing result files are listed (not errors): partial bench runs
     produce partial reports.  An empty results directory raises, since a
     report of nothing is always a mistake.
+
+    ``journal`` (a JSON-lines file written via ``--journal`` or
+    :class:`repro.runtime.RunJournal`) appends a robustness/observability
+    summary section: simulation passes, retries, fallbacks, cache hit
+    rates and worker utilization.
     """
     results_dir = Path(results_dir)
     if not results_dir.is_dir():
@@ -73,6 +80,16 @@ def build_report(
         for stem in missing:
             parts.append(f"* `{stem}`")
         parts.append("")
+    if journal is not None:
+        from repro.runtime.journal import RunJournal
+
+        summary = RunJournal.load(journal).summary_text()
+        parts.append("## Run journal — robustness & observability")
+        parts.append("")
+        parts.append("```text")
+        parts.append(summary)
+        parts.append("```")
+        parts.append("")
     return "\n".join(parts)
 
 
@@ -80,9 +97,10 @@ def save_report(
     results_dir: str | Path,
     output: str | Path,
     title: str = "Reproduction run report",
+    journal: str | Path | None = None,
 ) -> Path:
     """Write :func:`build_report`'s output to ``output``."""
     output = Path(output)
     output.parent.mkdir(parents=True, exist_ok=True)
-    output.write_text(build_report(results_dir, title))
+    output.write_text(build_report(results_dir, title, journal=journal))
     return output

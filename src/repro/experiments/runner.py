@@ -26,6 +26,7 @@ from repro.machine.presets import (
     TARGET_PROCESSORS,
 )
 from repro.machine.processor import VliwProcessor
+from repro.runtime.executor import ExecutorPolicy
 from repro.workloads.suite import BENCHMARK_NAMES, load_benchmark
 
 
@@ -40,6 +41,18 @@ class RunnerSettings:
     u_granule: int = 20_000
     #: Worker processes for batched simulation priming (None = serial).
     max_workers: int | None = None
+    #: Per-pass timeout in seconds for parallel priming (None = no limit).
+    job_timeout: float | None = None
+    #: Re-attempts per failed simulation pass before giving up.
+    job_retries: int = 2
+
+    def executor_policy(self) -> ExecutorPolicy:
+        """The fault-tolerance policy these settings describe."""
+        return ExecutorPolicy(
+            max_workers=self.max_workers,
+            timeout=self.job_timeout,
+            retries=self.job_retries,
+        )
 
 
 _PIPELINES: dict[tuple, ExperimentPipeline] = {}
@@ -60,6 +73,7 @@ def get_pipeline(
             i_granule=settings.i_granule,
             u_granule=settings.u_granule,
             max_workers=settings.max_workers,
+            policy=settings.executor_policy(),
         )
         _PIPELINES[key] = pipeline
     return pipeline

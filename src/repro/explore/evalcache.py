@@ -75,11 +75,17 @@ class EvaluationCache:
         return key in self._data
 
     def get(self, key: str) -> Metric | None:
-        """The stored metric, or None when absent."""
-        value = self._data.get(key)
-        if value is not None:
+        """The stored metric, or None when absent.
+
+        Hit/miss accounting matches :meth:`__contains__`: a key that is
+        present counts as a hit even if its stored value is ``None``
+        (JSON ``null``), and an absent key counts as a miss.
+        """
+        if key in self._data:
             self.hits += 1
-        return value
+            return self._data[key]
+        self.misses += 1
+        return None
 
     def put(self, key: str, value: Metric) -> None:
         """Store a metric and flush to disk (when persistent)."""
@@ -126,6 +132,21 @@ class EvaluationCache:
         value = compute()
         self.put(key, value)
         return value
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup; 0.0 before any lookup."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict[str, Metric]:
+        """Hit/miss accounting snapshot (journal-friendly)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "entries": len(self._data),
+        }
 
     def __len__(self) -> int:
         return len(self._data)

@@ -20,6 +20,8 @@ from repro.explore.walkers import CacheWalker, MemoryDesign, MemoryWalker
 from repro.explore.evaluators import MemoryEvaluator
 from repro.machine.cost import processor_cost
 from repro.machine.processor import VliwProcessor
+from repro.runtime.executor import ExecutorPolicy
+from repro.runtime.journal import RunJournal
 
 
 class DesignProvider(Protocol):
@@ -57,6 +59,8 @@ class Spacewalker:
         l2_penalty: float = 50.0,
         batched: bool = True,
         max_workers: int | None = None,
+        policy: ExecutorPolicy | None = None,
+        journal: RunJournal | None = None,
     ):
         self.space = space
         self.provider = provider
@@ -64,6 +68,9 @@ class Spacewalker:
         self.l2_penalty = l2_penalty
         self.batched = batched
         self.max_workers = max_workers
+        #: Fault-tolerance knobs for parallel priming (see repro.runtime).
+        self.policy = policy
+        self.journal = journal
 
     def _memory_walker(self, evaluator: MemoryEvaluator) -> MemoryWalker:
         return MemoryWalker(
@@ -109,7 +116,11 @@ class Spacewalker:
         evaluator.register_grid(
             "unified", self.space.unified.configurations(), unique_dils
         )
-        evaluator.prime(max_workers=self.max_workers)
+        evaluator.prime(
+            max_workers=self.max_workers,
+            policy=self.policy,
+            journal=self.journal,
+        )
         memory_cache = memory_walker.walk_many(unique_dils)
         pareto: ParetoSet[SystemDesign] = ParetoSet()
         for processor, n_cycles, proc_cost, dilation in zip(

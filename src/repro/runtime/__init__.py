@@ -1,0 +1,45 @@
+"""Run-execution layer: fault-tolerant parallelism plus observability.
+
+:mod:`repro.runtime.executor` wraps every process-pool call site in the
+library (design-space sweeps, evaluator priming, pipeline priming) in a
+single fault-tolerant executor — per-job timeouts, bounded retry with
+backoff, serial in-process fallback when a worker pool breaks, and
+submission-order-independent result folding.
+
+:mod:`repro.runtime.journal` is the matching observability layer: a
+structured JSON-lines run journal recording per-pass wall times, trace
+lengths, retry/fallback events, worker utilization and evaluation-cache
+hit rates, with a ``repro report``-compatible summary.
+"""
+
+from repro.runtime.executor import (
+    ExecutorPolicy,
+    FaultPlan,
+    InjectedWorkerFault,
+    Job,
+    JobResult,
+    run_jobs,
+)
+from repro.runtime.journal import (
+    NullJournal,
+    RunJournal,
+    active_journal,
+    resolve_journal,
+    set_active_journal,
+    use_journal,
+)
+
+__all__ = [
+    "ExecutorPolicy",
+    "FaultPlan",
+    "InjectedWorkerFault",
+    "Job",
+    "JobResult",
+    "NullJournal",
+    "RunJournal",
+    "active_journal",
+    "resolve_journal",
+    "run_jobs",
+    "set_active_journal",
+    "use_journal",
+]

@@ -1,0 +1,315 @@
+"""Structured run journal: the observability half of the runtime layer.
+
+A :class:`RunJournal` is an append-only event log.  Every event is one
+JSON object carrying an ``event`` type tag, a monotonically increasing
+``seq`` number and a wall-clock ``ts``; with a ``path`` the events are
+also appended to disk as JSON lines, flushed per event, so a killed run
+still leaves a readable journal behind.
+
+Event vocabulary used by the library (all optional — the journal accepts
+any event type):
+
+``pass``
+    One single-pass cache simulation: ``role``, ``line_size``,
+    ``trace_ranges``, ``wall_s``, ``where`` (``"serial"``/``"worker"``).
+``job`` / ``job_failed``
+    One executor work unit finishing: ``key``, ``attempts``, ``wall_s``,
+    ``where``; failures carry ``error``.
+``retry`` / ``timeout``
+    A failed or expired attempt that will be retried: ``key``,
+    ``attempt``, ``error``/``timeout_s``, ``backoff_s``.
+``fallback`` / ``pool_start_failed`` / ``pool_restart``
+    Pool-level degradation events (``reason``, ``remaining``).
+``checkpoint``
+    Sweep checkpointing: ``action`` (``"hit"``/``"miss"``/``"store"``),
+    ``key``.
+``cache``
+    An :class:`~repro.explore.evalcache.EvaluationCache` snapshot:
+    ``hits``, ``misses``, ``hit_rate``, ``entries``.
+``worker_util``
+    End-of-run pool accounting: ``workers``, ``busy_s``, ``wall_s``,
+    ``utilization``.
+
+The module also keeps a process-wide *active* journal so deep layers
+(sweeps, evaluators, executors) can record events without every caller
+threading a journal object through; ``repro --journal PATH`` installs
+one for the duration of a CLI command.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import ReproError
+
+__all__ = [
+    "RunJournal",
+    "NullJournal",
+    "active_journal",
+    "resolve_journal",
+    "set_active_journal",
+    "use_journal",
+]
+
+
+class RunJournal:
+    """Append-only structured event log (JSON lines)."""
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self.events: list[dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._handle = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+
+    def record(self, event: str, **fields: Any) -> dict[str, Any]:
+        """Append one event; returns the recorded entry."""
+        entry: dict[str, Any] = {"event": event, **fields}
+        with self._lock:
+            entry["seq"] = len(self.events)
+            entry["ts"] = round(time.time(), 6)
+            self.events.append(entry)
+            if self._handle is not None:
+                json.dump(entry, self._handle, default=str)
+                self._handle.write("\n")
+                self._handle.flush()
+        return entry
+
+    @contextmanager
+    def timed(self, event: str, **fields: Any) -> Iterator[dict[str, Any]]:
+        """Record ``event`` with a measured ``wall_s`` when the block exits.
+
+        Yields a mutable dict; keys added inside the block land in the
+        recorded event.
+        """
+        extra: dict[str, Any] = {}
+        start = time.perf_counter()
+        try:
+            yield extra
+        finally:
+            wall = time.perf_counter() - start
+            self.record(event, **fields, **extra, wall_s=round(wall, 6))
+
+    def observe_cache(self, cache: Any, label: str = "evalcache") -> None:
+        """Snapshot an ``EvaluationCache``-style object's hit/miss stats."""
+        stats = cache.stats() if hasattr(cache, "stats") else {
+            "hits": getattr(cache, "hits", 0),
+            "misses": getattr(cache, "misses", 0),
+        }
+        self.record("cache", label=label, **stats)
+
+    def close(self) -> None:
+        """Close the on-disk handle (in-memory events stay readable)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    # Reading back.
+    # ------------------------------------------------------------------
+
+    def select(self, event: str) -> list[dict[str, Any]]:
+        """All events of one type, in order."""
+        return [e for e in self.events if e.get("event") == event]
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunJournal":
+        """Parse a JSON-lines journal back into memory (read-only)."""
+        journal = cls()
+        text = Path(path).read_text(encoding="utf-8")
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"journal {path} line {lineno} is not valid JSON: {exc}"
+                ) from exc
+            journal.events.append(entry)
+        return journal
+
+    # ------------------------------------------------------------------
+    # Summaries.
+    # ------------------------------------------------------------------
+
+    def summary(self) -> dict[str, Any]:
+        """Aggregate counts and timings across the recorded events."""
+        passes = self.select("pass")
+        jobs = self.select("job")
+        failed = self.select("job_failed")
+        retries = self.select("retry")
+        timeouts = self.select("timeout")
+        fallbacks = self.select("fallback")
+        checkpoints = self.select("checkpoint")
+        caches = self.select("cache")
+        utils = self.select("worker_util")
+        summary: dict[str, Any] = {
+            "events": len(self.events),
+            "passes": {
+                "count": len(passes),
+                "wall_s": round(
+                    sum(e.get("wall_s", 0.0) for e in passes), 6
+                ),
+                "trace_ranges": sum(
+                    int(e.get("trace_ranges", 0)) for e in passes
+                ),
+                "by_where": _count_by(passes, "where"),
+            },
+            "jobs": {
+                "completed": len(jobs),
+                "failed": len(failed),
+                "retries": len(retries),
+                "timeouts": len(timeouts),
+                "wall_s": round(sum(e.get("wall_s", 0.0) for e in jobs), 6),
+            },
+            "fallbacks": _count_by(fallbacks, "reason"),
+            "checkpoints": _count_by(checkpoints, "action"),
+        }
+        if caches:
+            summary["caches"] = {
+                e.get("label", "evalcache"): {
+                    k: e[k]
+                    for k in ("hits", "misses", "hit_rate", "entries")
+                    if k in e
+                }
+                for e in caches  # later snapshots of a label win
+            }
+        if utils:
+            last = utils[-1]
+            summary["worker_util"] = {
+                k: last[k]
+                for k in ("workers", "busy_s", "wall_s", "utilization")
+                if k in last
+            }
+        return summary
+
+    def summary_text(self, title: str = "Run journal summary") -> str:
+        """Human-readable summary block (``repro report`` compatible)."""
+        s = self.summary()
+        lines = [title, "=" * len(title)]
+        lines.append(f"events: {s['events']}")
+        p = s["passes"]
+        where = ", ".join(
+            f"{k}={v}" for k, v in sorted(p["by_where"].items())
+        ) or "none"
+        lines.append(
+            f"simulation passes: {p['count']} "
+            f"({p['trace_ranges']} trace ranges, {p['wall_s']:.3f} s; "
+            f"{where})"
+        )
+        j = s["jobs"]
+        lines.append(
+            f"jobs: {j['completed']} completed, {j['failed']} failed, "
+            f"{j['retries']} retries, {j['timeouts']} timeouts "
+            f"({j['wall_s']:.3f} s busy)"
+        )
+        if s["fallbacks"]:
+            reasons = ", ".join(
+                f"{k} x{v}" for k, v in sorted(s["fallbacks"].items())
+            )
+            lines.append(f"fallbacks: {reasons}")
+        if s["checkpoints"]:
+            actions = ", ".join(
+                f"{k}={v}" for k, v in sorted(s["checkpoints"].items())
+            )
+            lines.append(f"checkpoints: {actions}")
+        for label, stats in s.get("caches", {}).items():
+            rate = stats.get("hit_rate")
+            rate_text = f"{rate:.1%}" if isinstance(rate, float) else "n/a"
+            lines.append(
+                f"{label}: hits={stats.get('hits', 0)} "
+                f"misses={stats.get('misses', 0)} hit_rate={rate_text} "
+                f"entries={stats.get('entries', 0)}"
+            )
+        util = s.get("worker_util")
+        if util:
+            lines.append(
+                f"worker utilization: {util.get('utilization', 0.0):.1%} "
+                f"({util.get('workers', 0)} workers, "
+                f"{util.get('busy_s', 0.0):.3f} s busy / "
+                f"{util.get('wall_s', 0.0):.3f} s wall)"
+            )
+        return "\n".join(lines)
+
+
+class NullJournal(RunJournal):
+    """A journal that drops everything (the default when none is active)."""
+
+    def record(self, event: str, **fields: Any) -> dict[str, Any]:
+        """Drop the event."""
+        return {}
+
+    @contextmanager
+    def timed(self, event: str, **fields: Any) -> Iterator[dict[str, Any]]:
+        """Run the block without recording anything."""
+        yield {}
+
+    def observe_cache(self, cache: Any, label: str = "evalcache") -> None:
+        """Drop the snapshot."""
+
+
+#: Shared sink for unjournaled runs.
+NULL_JOURNAL = NullJournal()
+
+_active: RunJournal | None = None
+_active_lock = threading.Lock()
+
+
+def active_journal() -> RunJournal:
+    """The process-wide journal (a no-op sink when none is installed)."""
+    return _active if _active is not None else NULL_JOURNAL
+
+
+def set_active_journal(journal: RunJournal | None) -> RunJournal | None:
+    """Install (or clear, with None) the active journal; returns the old."""
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = journal
+    return previous
+
+
+@contextmanager
+def use_journal(journal: RunJournal | None) -> Iterator[RunJournal]:
+    """Scope the active journal to a block."""
+    previous = set_active_journal(journal)
+    try:
+        yield journal if journal is not None else NULL_JOURNAL
+    finally:
+        set_active_journal(previous)
+
+
+def resolve_journal(journal: RunJournal | None) -> RunJournal:
+    """An explicit journal if given, else the active one."""
+    return journal if journal is not None else active_journal()
+
+
+def _count_by(events: list[dict[str, Any]], field: str) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for event in events:
+        key = str(event.get(field, "?"))
+        counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -30,6 +30,56 @@ class TestInMemory:
         assert cache.misses == 1
 
 
+class TestHitMissAccounting:
+    """Regression pin: get/get_or_compute/bulk all count hits AND misses."""
+
+    def test_get_counts_misses(self):
+        cache = EvaluationCache()
+        assert cache.get("absent") is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.put("k", 1)
+        assert cache.get("k") == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_get_none_value_is_a_hit(self):
+        # Present-with-None matches __contains__: stored null is a hit.
+        cache = EvaluationCache()
+        cache.put("k", None)
+        assert "k" in cache
+        assert cache.get("k") is None
+        assert (cache.hits, cache.misses) == (1, 0)
+
+    def test_get_or_compute_counts(self):
+        cache = EvaluationCache()
+        cache.get_or_compute("k", lambda: 7)
+        cache.get_or_compute("k", lambda: 7)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_bulk_preserves_counts(self, tmp_path):
+        cache = EvaluationCache(tmp_path / "metrics.json")
+        with cache.bulk():
+            for i in range(4):
+                cache.get_or_compute(f"k{i}", lambda: i)
+            cache.get_or_compute("k0", lambda: 0)
+            assert cache.get("k1") == 1
+            assert cache.get("nope") is None
+        assert (cache.hits, cache.misses) == (2, 5)
+
+    def test_hit_rate_and_stats(self):
+        cache = EvaluationCache()
+        assert cache.hit_rate == 0.0
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("absent")
+        assert cache.hit_rate == 0.5
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "hit_rate": 0.5,
+            "entries": 1,
+        }
+
+
 class TestPersistent:
     def test_round_trip(self, tmp_path):
         path = tmp_path / "metrics.json"

@@ -73,6 +73,49 @@ class TestParallelPrime:
         assert ev.simulation_passes == 1
 
 
+class TestFaultTolerantPrime:
+    def test_worker_raise_retried_and_matches_serial(self):
+        from repro.runtime import ExecutorPolicy, FaultPlan, RunJournal
+
+        serial = make_evaluator()
+        faulty = make_evaluator()
+        for ev in (serial, faulty):
+            for role in ("icache", "dcache"):
+                ev.register(role, CONFIGS)
+        serial.prime()
+        journal = RunJournal()
+        policy = ExecutorPolicy(
+            max_workers=2,
+            retries=2,
+            backoff=0.0,
+            fault=FaultPlan("raise", match="icache", times=1),
+        )
+        assert faulty.prime(policy=policy, journal=journal) == 4
+        assert journal.select("retry")
+        for role in ("icache", "dcache"):
+            for config in CONFIGS:
+                assert faulty.simulated_misses(role, config) == (
+                    serial.simulated_misses(role, config)
+                )
+
+    def test_exhausted_retries_raise(self):
+        import pytest
+
+        from repro.errors import RuntimeExecutionError
+        from repro.runtime import ExecutorPolicy, FaultPlan
+
+        ev = make_evaluator()
+        ev.register("icache", CONFIGS)
+        policy = ExecutorPolicy(
+            max_workers=2,
+            retries=0,
+            backoff=0.0,
+            fault=FaultPlan("raise", match="icache", times=99),
+        )
+        with pytest.raises(RuntimeExecutionError, match="pass"):
+            ev.prime(policy=policy)
+
+
 class TestEvalCacheBulk:
     def test_bulk_defers_flushes(self, tmp_path):
         from repro.explore.evalcache import EvaluationCache

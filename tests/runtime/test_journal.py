@@ -1,0 +1,149 @@
+"""Run journal: recording, persistence, summaries, active-journal scoping."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime import (
+    NullJournal,
+    RunJournal,
+    active_journal,
+    resolve_journal,
+    use_journal,
+)
+
+
+class TestRecording:
+    def test_record_orders_events(self):
+        journal = RunJournal()
+        journal.record("pass", role="sweep", wall_s=0.5)
+        journal.record("retry", key="a", attempt=0)
+        assert [e["event"] for e in journal.events] == ["pass", "retry"]
+        assert [e["seq"] for e in journal.events] == [0, 1]
+        assert len(journal) == 2
+
+    def test_timed_measures_and_merges(self):
+        journal = RunJournal()
+        with journal.timed("pass", role="sweep") as extra:
+            extra["line_size"] = 32
+        (event,) = journal.select("pass")
+        assert event["role"] == "sweep"
+        assert event["line_size"] == 32
+        assert event["wall_s"] >= 0.0
+
+    def test_observe_cache_prefers_stats(self):
+        class FakeCache:
+            hits = 3
+            misses = 1
+
+            def stats(self):
+                return {"hits": 3, "misses": 1, "hit_rate": 0.75, "entries": 4}
+
+        journal = RunJournal()
+        journal.observe_cache(FakeCache(), label="sweep-checkpoint")
+        (event,) = journal.select("cache")
+        assert event["label"] == "sweep-checkpoint"
+        assert event["hit_rate"] == 0.75
+
+
+class TestPersistence:
+    def test_disk_round_trip(self, tmp_path):
+        path = tmp_path / "run" / "journal.jsonl"
+        with RunJournal(path) as journal:
+            journal.record("pass", role="sweep", wall_s=0.25, trace_ranges=10)
+            journal.record("retry", key="g32", attempt=0, error="boom")
+        loaded = RunJournal.load(path)
+        assert [e["event"] for e in loaded.events] == ["pass", "retry"]
+        assert loaded.select("retry")[0]["key"] == "g32"
+
+    def test_flushed_per_event(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal(path)
+        journal.record("pass", wall_s=0.1)
+        # Readable before close: a killed run still leaves the event.
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["event"] == "pass"
+        journal.close()
+
+    def test_load_rejects_corrupt_lines(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"event": "pass"}\nnot json\n')
+        with pytest.raises(ReproError, match="line 2"):
+            RunJournal.load(path)
+
+
+class TestSummary:
+    def build(self):
+        journal = RunJournal()
+        journal.record("pass", role="sweep", wall_s=0.5, trace_ranges=100,
+                       where="worker")
+        journal.record("pass", role="sweep", wall_s=0.25, trace_ranges=50,
+                       where="serial")
+        journal.record("job", key="a", attempts=1, wall_s=0.5, where="worker")
+        journal.record("retry", key="b", attempt=0, error="x")
+        journal.record("timeout", key="c", attempt=0, timeout_s=1.0)
+        journal.record("job_failed", key="b", attempts=3, error="x")
+        journal.record("fallback", reason="broken_pool", remaining=2)
+        journal.record("checkpoint", action="hit", key="k1")
+        journal.record("checkpoint", action="store", key="k2")
+        journal.record("cache", label="sweep-checkpoint", hits=1, misses=2,
+                       hit_rate=1 / 3, entries=2)
+        journal.record("worker_util", workers=4, busy_s=2.0, wall_s=1.0,
+                       utilization=0.5)
+        return journal
+
+    def test_summary_aggregates(self):
+        s = self.build().summary()
+        assert s["passes"]["count"] == 2
+        assert s["passes"]["trace_ranges"] == 150
+        assert s["passes"]["by_where"] == {"worker": 1, "serial": 1}
+        assert s["jobs"] == {
+            "completed": 1,
+            "failed": 1,
+            "retries": 1,
+            "timeouts": 1,
+            "wall_s": 0.5,
+        }
+        assert s["fallbacks"] == {"broken_pool": 1}
+        assert s["checkpoints"] == {"hit": 1, "store": 1}
+        assert s["caches"]["sweep-checkpoint"]["hits"] == 1
+        assert s["worker_util"]["utilization"] == 0.5
+
+    def test_summary_text_mentions_everything(self):
+        text = self.build().summary_text(title="Journal")
+        assert text.startswith("Journal\n=======")
+        for needle in (
+            "simulation passes: 2",
+            "1 retries",
+            "1 timeouts",
+            "broken_pool x1",
+            "hit=1",
+            "sweep-checkpoint: hits=1",
+            "worker utilization: 50.0%",
+        ):
+            assert needle in text, text
+
+
+class TestActiveJournal:
+    def test_default_is_null(self):
+        assert isinstance(active_journal(), NullJournal)
+        assert isinstance(resolve_journal(None), NullJournal)
+
+    def test_use_journal_scopes(self):
+        journal = RunJournal()
+        with use_journal(journal):
+            assert active_journal() is journal
+            assert resolve_journal(None) is journal
+            explicit = RunJournal()
+            assert resolve_journal(explicit) is explicit
+        assert isinstance(active_journal(), NullJournal)
+
+    def test_null_journal_drops_everything(self):
+        null = NullJournal()
+        null.record("pass", wall_s=1.0)
+        with null.timed("pass") as extra:
+            extra["x"] = 1
+        null.observe_cache(object())
+        assert len(null) == 0

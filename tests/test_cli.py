@@ -146,3 +146,105 @@ class TestMaxWorkers:
         assert main(["table2", *FAST, "--max-workers", "2"]) == 0
         out = capsys.readouterr().out
         assert "Relative Data Cache Miss Rates" in out
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "nope"])
+    def test_non_positive_max_workers_rejected(self, bad, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table2", "--max-workers", bad])
+        err = capsys.readouterr().err
+        assert "positive integer" in err or "invalid int" in err
+
+
+class TestExecutorOptions:
+    def test_timeout_and_retries_parse(self):
+        args = build_parser().parse_args(
+            ["table2", "--job-timeout", "1.5", "--job-retries", "3"]
+        )
+        assert args.job_timeout == 1.5
+        assert args.job_retries == 3
+
+    def test_settings_build_policy(self):
+        from repro.cli import _settings
+
+        args = build_parser().parse_args(
+            ["table2", "--max-workers", "2", "--job-timeout", "9",
+             "--job-retries", "1"]
+        )
+        policy = _settings(args).executor_policy()
+        assert policy.max_workers == 2
+        assert policy.timeout == 9
+        assert policy.retries == 1
+
+
+class TestExploreAllBenchmarks:
+    def _patch_tiny(self, monkeypatch, tiny_pipeline):
+        import repro.cli as cli
+        from repro.explore.spec import (
+            CacheDesignSpace,
+            ProcessorDesignSpace,
+            SystemDesignSpace,
+        )
+
+        space = SystemDesignSpace(
+            processors=ProcessorDesignSpace(
+                int_units=(1,), float_units=(1,), memory_units=(1,),
+                branch_units=(1,),
+            ),
+            icache=CacheDesignSpace(
+                sizes_kb=(0.5,), assocs=(1,), line_sizes=(16,)
+            ),
+            dcache=CacheDesignSpace(
+                sizes_kb=(0.5,), assocs=(1,), line_sizes=(16,)
+            ),
+            unified=CacheDesignSpace(
+                sizes_kb=(8,), assocs=(2,), line_sizes=(32,)
+            ),
+        )
+        monkeypatch.setattr(cli, "_explore_space", lambda: space)
+        monkeypatch.setattr(
+            cli, "get_pipeline", lambda bench, settings: tiny_pipeline
+        )
+
+    def test_explore_walks_every_requested_benchmark(
+        self, capsys, monkeypatch, tiny_pipeline
+    ):
+        """Regression: explore used to evaluate only the first benchmark."""
+        self._patch_tiny(monkeypatch, tiny_pipeline)
+        assert main(
+            ["explore", "--scale", "0.12", "--visits", "2000",
+             "--benchmarks", "epic", "unepic"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier for epic" in out
+        assert "Pareto frontier for unepic" in out
+
+
+class TestJournalFlag:
+    def test_journal_file_written(self, capsys, tmp_path):
+        from repro.experiments.runner import clear_pipeline_cache
+
+        clear_pipeline_cache()  # force fresh simulation passes
+        path = tmp_path / "journal.jsonl"
+        assert main(["table2", *FAST, "--journal", str(path)]) == 0
+        assert "[journal]" in capsys.readouterr().err
+        from repro.runtime import RunJournal
+
+        journal = RunJournal.load(path)
+        events = {e["event"] for e in journal.events}
+        assert "run_start" in events and "run_end" in events
+        assert journal.select("pass")  # simulations were journaled
+
+    def test_report_includes_journal_section(self, capsys, tmp_path):
+        from repro.runtime import RunJournal
+
+        with RunJournal(tmp_path / "journal.jsonl") as journal:
+            journal.record("pass", role="sweep", wall_s=0.5, where="serial")
+            journal.record("retry", key="32", attempt=0, error="boom")
+        (tmp_path / "table3.txt").write_text("Text Dilation\n")
+        assert main(
+            ["report", "--results", str(tmp_path),
+             "--journal", str(tmp_path / "journal.jsonl")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Run journal" in out
+        assert "1 retries" in out

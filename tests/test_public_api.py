@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.trace",
     "repro.cache",
     "repro.explore",
+    "repro.runtime",
     "repro.workloads",
     "repro.experiments",
 ]
