@@ -14,25 +14,43 @@ memory stays bounded regardless of trace length.
 
 Engine
 ------
-The batch path (:meth:`CheetahSimulator.simulate`) is vectorized.  Per
-trace it runs one memoized numpy expansion of byte ranges into a line
-stream with immediate repeats removed (:mod:`repro.cache.linestream`),
-then per stack family:
+The batch path (:meth:`CheetahSimulator.simulate`) is vectorized end to
+end.  Per trace it runs one memoized numpy expansion of byte ranges into
+a line stream with immediate repeats removed
+(:mod:`repro.cache.linestream`); per batch it value-sorts the stream
+*once* to link every reference to its previous occurrence (occurrence
+order of a line is identical in every set partition, because equal
+lines share a set and partitioning keeps within-set order); per family
+it:
 
-1. partitions the stream by set with one radix ``argsort`` of the
-   (small-dtype) set indices — per-set LRU state is independent of other
-   sets, so stack distances only depend on the within-set order, which a
-   stable sort preserves;
-2. removes *within-set* immediate repeats vectorially — each is a
-   depth-0 hit that leaves LRU state unchanged (``hist[0]`` credit);
-3. removes period-2 alternations (``x y x y ...``) pairwise — each
-   removed reference sits at stack depth exactly 1, and removing an
-   adjacent ``x, y`` pair swaps the set's top two stack entries twice,
-   leaving state unchanged (``hist[1]`` credit; for ``max_assoc == 1``
-   that bucket is the shared "deeper-or-absent" bucket the seed's miss
-   path used, so accounting still matches bit-for-bit);
-4. feeds only the surviving references (typically < 15% of the stream)
-   to a tight Python LRU-stack loop.
+1. radix-partitions the stream by the family's set bits — refining the
+   previous family's partition by one stable per-bit split when the set
+   counts double (the set bits of family ``2k`` extend those of family
+   ``k``), re-sorting across wider jumps where the chain of splits
+   would cost more than one fresh 16-bit radix sort;
+2. maps the shared occurrence links into the partition and hands the
+   partitioned stream to the offline stack-distance kernel
+   (:mod:`repro.cache.stackdist`), which resolves every reference's
+   clamped LRU stack distance in O(n log n) whole-array operations, and
+   bin-counts the distances into the depth histogram (within-set
+   immediate repeats simply come out at depth 0);
+3. prepends the family's carried per-set LRU stacks as synthetic
+   references (deepest first) when the simulator already consumed
+   earlier batches — each synthetic is cold by construction, so its
+   histogram contribution is known and subtracted afterwards, and the
+   batch references then see exactly the stack state they would have
+   seen scalar-stepped.
+
+Small batches (and explicit ``engine="scalar"``) take the previous
+generation of the engine instead: vectorized dedup + period-2
+alternation pre-passes feeding a per-reference Python LRU loop.  That
+scalar path and the per-line :func:`_touch` are kept as the property
+-test oracle alongside :mod:`repro.cache._legacy`, and as the baseline
+the benchmarks measure the kernel against.
+
+Per-family kernel timings are recorded into the active
+:class:`~repro.runtime.journal.RunJournal` (event ``stackdist``), so
+``repro report --journal`` shows where pass time goes.
 
 ``docs/PERFORMANCE.md`` documents the design and its invariants; the
 seed implementation is preserved in :mod:`repro.cache._legacy` as the
@@ -41,7 +59,7 @@ benchmark baseline and property-test oracle.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -49,13 +67,35 @@ from repro.cache._util import as_int64_array
 from repro.cache.config import CacheConfig
 from repro.cache.linestream import LineStream, line_stream
 from repro.cache.simulator import MissResult
+from repro.cache.stackdist import (
+    partition_by_set,
+    radix_argsort,
+    refine_partition,
+    stack_distances,
+)
 from repro.errors import ConfigurationError, TraceError
+from repro.runtime.journal import active_journal
+
+#: Batches at or below this many references take the scalar survivor
+#: loop under ``engine="auto"`` — the kernel's fixed vectorization
+#: overhead only pays for itself on larger streams.
+SCALAR_BATCH_LIMIT = 2048
+
+#: Refine an existing partition only across this factor (one doubling);
+#: wider jumps re-sort from scratch — a fresh 16-bit radix sort costs
+#: about as much as two single-bit split passes.
+_MAX_REFINE_FACTOR = 2
+
+#: Compact within-set immediate repeats before the kernel when they
+#: exceed 1/16 of the partitioned stream; below that the kernel scores
+#: them as depth-0 hits at no extra cost.
+_DUP_COMPACT_DIVISOR = 16
 
 
 class _Family:
     """Per-set-count truncated LRU stacks plus the depth histogram."""
 
-    __slots__ = ("nsets", "max_assoc", "stacks", "hist")
+    __slots__ = ("nsets", "max_assoc", "stacks", "hist", "pending")
 
     def __init__(self, nsets: int, max_assoc: int):
         self.nsets = nsets
@@ -64,6 +104,11 @@ class _Family:
         # hist[k] = number of references found at stack depth k (0 = MRU).
         # hist[max_assoc] accumulates "deeper than we track, or absent".
         self.hist: list[int] = [0] * (max_assoc + 1)
+        # Deferred stack materialization after a kernel batch: the
+        # partitioned stream plus which positions recur later.  Most
+        # simulations never read the stacks again, so the rebuild only
+        # happens when another batch or access_line() needs them.
+        self.pending: tuple | None = None
 
 
 class CheetahSimulator:
@@ -79,14 +124,23 @@ class CheetahSimulator:
     max_assoc:
         Largest associativity of interest.  After a pass,
         :meth:`misses` answers for any ``A <= max_assoc``.
+    engine:
+        ``"auto"`` (default) uses the vectorized stack-distance kernel
+        for batches larger than :data:`SCALAR_BATCH_LIMIT` and the
+        scalar survivor loop otherwise; ``"kernel"`` / ``"scalar"``
+        force one path.  All three produce bit-identical histograms.
     """
 
     def __init__(
         self, line_size: int, set_counts: Sequence[int] | Iterable[int],
-        max_assoc: int = 8,
+        max_assoc: int = 8, engine: str = "auto",
     ):
         if max_assoc < 1:
             raise ConfigurationError(f"max_assoc must be >= 1, got {max_assoc}")
+        if engine not in ("auto", "kernel", "scalar"):
+            raise ConfigurationError(
+                f"engine must be 'auto', 'kernel' or 'scalar', got {engine!r}"
+            )
         # Materialize once so one-shot iterables are safe.
         counts = [int(nsets) for nsets in set_counts]
         # CacheConfig validates line size / set count feasibility for us.
@@ -96,6 +150,7 @@ class CheetahSimulator:
             raise ConfigurationError("set_counts contains duplicates")
         self.line_size = line_size
         self.max_assoc = max_assoc
+        self.engine = engine
         # Keyed by set count for O(1) lookup in :meth:`misses`.
         self._families: dict[int, _Family] = {
             nsets: _Family(nsets, max_assoc) for nsets in counts
@@ -161,6 +216,7 @@ class CheetahSimulator:
         self._check_unsealed()
         self.accesses += 1
         for fam in self._families.values():
+            _ensure_stacks(fam)
             _touch(fam, line)
 
     def simulate(
@@ -181,8 +237,86 @@ class CheetahSimulator:
         """Feed a pre-expanded line stream to every stack family."""
         self._check_unsealed()
         self.accesses += stream.accesses
-        for fam in self._families.values():
-            _process_family(fam, stream)
+        n = len(stream.lines)
+        if n == 0:
+            return
+        use_kernel = self.engine == "kernel" or (
+            self.engine == "auto" and n > SCALAR_BATCH_LIMIT
+        )
+        if not use_kernel:
+            for fam in self._families.values():
+                _ensure_stacks(fam)
+                _process_family(fam, stream)
+            return
+
+        journal = active_journal()
+        lines = stream.lines
+        vmax = stream.max_line if stream.min_line >= 0 else None
+        # One value sort serves every family: link each reference to its
+        # previous occurrence in *stream* coordinates; families map the
+        # links into their own partition via the partition permutation.
+        # (Lazy: the links are useless to families carrying LRU state
+        # from earlier batches, which splice in synthetic references and
+        # re-link internally.)
+        stream_links: tuple[np.ndarray, np.ndarray] | None = None
+        if not any(
+            fam.pending is not None or any(fam.stacks)
+            for fam in self._families.values()
+        ):
+            order_v = radix_argsort(lines, vmax)
+            sv = lines[order_v]
+            eq = np.flatnonzero(sv[1:] == sv[:-1])
+            stream_links = (order_v[eq], order_v[eq + 1])
+        # Walk families by ascending set count so each partition can
+        # refine the previous one (a stable per-bit split) when the set
+        # counts double; wider jumps re-sort from scratch.  When a
+        # family compacts within-set repeats out of the stream, the
+        # compacted survivors become the ladder stream for every finer
+        # family (their repeats are a superset of the coarser ones), at
+        # the price of dropping the precomputed stream links — the much
+        # smaller survivor stream re-links cheaply.
+        ladder = lines
+        ladder_dups = 0  # repeats compacted out of the adopted stream
+        part: np.ndarray | None = None
+        seg_lens = seg_sets = order = None
+        prev_nsets = 0
+        for fam in sorted(self._families.values(), key=lambda f: f.nsets):
+            nsets = fam.nsets
+            if (
+                part is None
+                or nsets % prev_nsets
+                or nsets // prev_nsets > _MAX_REFINE_FACTOR
+            ):
+                part, seg_lens, seg_sets, order = partition_by_set(
+                    ladder, nsets, vmax
+                )
+                if ladder is not lines:
+                    order = None  # permutation is not stream-relative
+            elif nsets > prev_nsets:
+                if order is None and stream_links is not None:
+                    # Identity layout from an nsets==1 parent: make the
+                    # stream permutation explicit before refining it.
+                    order = np.arange(len(ladder), dtype=np.intp)
+                part, seg_lens, seg_sets, order = refine_partition(
+                    part, seg_lens, seg_sets, prev_nsets, nsets, order
+                )
+            prev_nsets = nsets
+            with journal.timed(
+                "stackdist", line_size=self.line_size, nsets=nsets
+            ) as extra:
+                stats, adopted = _process_family_kernel(
+                    fam, part, seg_lens, seg_sets,
+                    order if ladder is lines else None,
+                    stream_links if ladder is lines else None,
+                    stream.repeats + ladder_dups, vmax,
+                )
+                extra.update(stats)
+            if adopted is not None:
+                part, seg_lens, ndup = adopted
+                ladder = part
+                ladder_dups += ndup
+                order = None
+                stream_links = None
 
     def misses(self, sets: int, assoc: int) -> int:
         """Misses of cache C(sets, assoc, line_size) on the trace seen so far.
@@ -235,6 +369,165 @@ def _touch(fam: _Family, line: int) -> None:
     if depth:
         del stack[depth]
         stack.insert(0, line)
+
+
+def _ensure_stacks(fam: _Family) -> None:
+    """Materialize per-set LRU stacks deferred by a kernel batch.
+
+    The truncated LRU stack of a set after a batch is its ``max_assoc``
+    most-recently-used distinct lines, MRU first — i.e. the *last*
+    occurrences of the segment's lines, latest first.  The kernel's
+    next-occurrence links identify them for free: a position is a last
+    occurrence iff it has no later occurrence (``recurs_idx``).
+    """
+    pending = fam.pending
+    if pending is None:
+        return
+    fam.pending = None
+    part, seg_lens, seg_sets, recurs_idx = pending
+    m = len(part)
+    if m == 0:
+        return
+    has_next = np.zeros(m, dtype=bool)
+    has_next[recurs_idx] = True
+    lastpos = np.flatnonzero(~has_next)        # ascending == time order
+    ends = np.cumsum(seg_lens)
+    segi = np.searchsorted(ends, lastpos, side="right")
+    cnt = np.bincount(segi, minlength=len(seg_lens))
+    vals = part[lastpos]
+    A = fam.max_assoc
+    stacks = fam.stacks
+    sets_list = seg_sets.tolist()
+    pos = 0
+    for j, c in enumerate(cnt.tolist()):
+        if c:
+            lo = pos + (c - A if c > A else 0)
+            stacks[sets_list[j]] = vals[lo : pos + c][::-1].tolist()
+            pos += c
+
+
+def _process_family_kernel(
+    fam: _Family,
+    part: np.ndarray,
+    seg_lens: np.ndarray,
+    seg_sets: np.ndarray,
+    order: np.ndarray | None,
+    stream_links: tuple[np.ndarray, np.ndarray] | None,
+    repeats: int,
+    vmax: int | None,
+) -> tuple[dict[str, Any], tuple[np.ndarray, np.ndarray, int] | None]:
+    """Batch-process one family with the offline stack-distance kernel.
+
+    ``part``/``seg_lens``/``seg_sets``/``order`` describe the batch
+    partitioned by this family's set bits (shared across families via
+    the refinement ladder, so this function never mutates them);
+    ``stream_links`` is the shared previous-occurrence linking in stream
+    coordinates (``None`` when carried LRU state forces re-linking, or
+    when a coarser family already compacted the ladder stream).
+
+    Returns ``(stats, adopted)``: kernel telemetry for the ``stackdist``
+    journal event, and — when this family compacted within-set repeats
+    out of a synthetic-free stream — the compacted
+    ``(part, seg_lens, ndup)`` for the caller to adopt as the ladder
+    stream for finer families, crediting the ``ndup`` removed repeats
+    to their depth-0 buckets
+    (a within-set repeat for ``k`` sets is also one for ``2k`` sets:
+    the finer set class is a subset, so the two references stay
+    adjacent).
+    """
+    hist = fam.hist
+    hist[0] += repeats
+    A = fam.max_assoc
+    nseg = len(seg_lens)
+
+    # Carried state from earlier batches/access_line() enters as
+    # synthetic references: each touched set's stack, deepest line
+    # first, prepended to the set's segment.  Stack lines are distinct
+    # and a line value determines its set, so each synthetic is the
+    # first occurrence of its line in the spliced stream: it lands in
+    # the cold bucket (subtracted below) and the batch references then
+    # see exactly the LRU state a scalar replay would have left.  (A
+    # batch reference of the set's MRU line comes out at depth 0, just
+    # as _touch would score it.)
+    nsyn = 0
+    if fam.pending is not None or any(fam.stacks):
+        _ensure_stacks(fam)
+        stacks = fam.stacks
+        ins_pos: list[int] = []
+        ins_vals: list[int] = []
+        syn_per_seg = np.zeros(nseg, dtype=np.intp)
+        starts_list = (np.cumsum(seg_lens) - seg_lens).tolist()
+        lens_list = seg_lens.tolist()
+        for j, sset in enumerate(seg_sets.tolist()):
+            if not lens_list[j]:
+                continue
+            stack = stacks[sset]
+            if stack:
+                ins_pos.extend([starts_list[j]] * len(stack))
+                ins_vals.extend(reversed(stack))
+                syn_per_seg[j] = len(stack)
+        nsyn = len(ins_vals)
+        if nsyn:
+            vals_arr = np.asarray(ins_vals)
+            dtype = np.promote_types(part.dtype, vals_arr.dtype)
+            part = np.insert(part.astype(dtype, copy=False), ins_pos, vals_arr)
+            seg_lens = seg_lens + syn_per_seg
+            if vmax is not None:
+                vmax = max(vmax, int(vals_arr.max()))
+
+    # Within-set immediate repeats are depth-0 hits that leave LRU state
+    # unchanged (equal adjacent values are always in the same segment,
+    # since equal values share a set).  The kernel scores them exactly
+    # as depth 0, so dup-light streams go straight through; dup-heavy
+    # streams (loop-dominated code touches one hot line for most of a
+    # basic block) are compacted first — shrinking the kernel's input
+    # beats keeping the precomputed links, and the survivors re-link
+    # cheaply inside the kernel.
+    m = len(part)
+    dup = part[1:] == part[:-1]
+    ndup = int(np.count_nonzero(dup))
+    adopted: tuple[np.ndarray, np.ndarray, int] | None = None
+    if ndup * _DUP_COMPACT_DIVISOR > m:
+        hist[0] += ndup
+        keep = np.empty(m, dtype=bool)
+        keep[0] = True
+        np.logical_not(dup, out=keep[1:])
+        keep_idx = np.flatnonzero(keep)
+        part = part[keep_idx]
+        if nseg > 1:
+            ends = np.cumsum(seg_lens)
+            segi = np.searchsorted(ends, keep_idx, side="right")
+            seg_lens = np.bincount(segi, minlength=nseg).astype(np.intp)
+        else:
+            seg_lens = np.array([len(part)], dtype=np.intp)
+        links: tuple[np.ndarray, np.ndarray] | None = None
+        if nsyn == 0:
+            adopted = (part, seg_lens, ndup)
+    elif nsyn == 0 and stream_links is not None:
+        s_from, s_to = stream_links
+        if order is None:
+            links = (s_from, s_to)
+        else:
+            inv = np.empty(m, dtype=np.int32)
+            inv[order] = np.arange(m, dtype=np.int32)
+            links = (inv[s_from], inv[s_to])
+    else:
+        links = None
+
+    dist, info = stack_distances(part, seg_lens, A, vmax=vmax, links=links)
+    counts = np.bincount(dist, minlength=A + 1)
+    for depth, cnt in enumerate(counts.tolist()):
+        if cnt:
+            hist[depth] += cnt
+    if nsyn:
+        hist[A] -= nsyn
+    fam.pending = (part, seg_lens, seg_sets, info["recurs_idx"])
+    return {
+        "refs": int(info["refs"]),
+        "path": info["path"],
+        "window": int(info["window"]),
+        "residues": int(info["residues"]),
+    }, adopted
 
 
 def _process_family(fam: _Family, stream: LineStream) -> None:

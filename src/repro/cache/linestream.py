@@ -24,6 +24,7 @@ import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -59,6 +60,21 @@ class LineStream:
     def repeats(self) -> int:
         """Immediate-repeat references removed by the MRU collapse."""
         return self.accesses - len(self.lines)
+
+    @cached_property
+    def max_line(self) -> int:
+        """Largest line index (0 for an empty stream), computed once.
+
+        Memoized streams are consumed by many stack families and many
+        sweep passes; the stack-distance kernel keys its radix-sort pass
+        count off this bound, so it is cached on the stream.
+        """
+        return int(self.lines.max()) if len(self.lines) else 0
+
+    @cached_property
+    def min_line(self) -> int:
+        """Smallest line index (0 for an empty stream), computed once."""
+        return int(self.lines.min()) if len(self.lines) else 0
 
     def __len__(self) -> int:
         return len(self.lines)

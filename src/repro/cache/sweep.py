@@ -278,10 +278,24 @@ def sweep_design_space(
             with journal.timed(
                 "pass", role="sweep", line_size=line_size, where="serial"
             ) as extra:
+                # Attribute this pass's stack-distance kernel time: the
+                # simulator records one "stackdist" event per family into
+                # the same (active) journal, so the events appended while
+                # the pass runs are exactly this pass's kernel calls.
+                # Serial/in-process only — worker events never cross the
+                # pool boundary, so parallel passes carry no kernel_s.
+                kernels_before = len(journal.select("stackdist"))
                 starts, sizes = _materialize(trace)
                 extra["trace_ranges"] = len(starts)
                 state = simulate_group_state(
                     line_size, set_counts, max_assoc, starts, sizes
+                )
+                extra["kernel_s"] = round(
+                    sum(
+                        e.get("wall_s", 0.0)
+                        for e in journal.select("stackdist")[kernels_before:]
+                    ),
+                    6,
                 )
             del starts, sizes
             if ck is not None:

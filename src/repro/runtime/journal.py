@@ -12,6 +12,12 @@ any event type):
 ``pass``
     One single-pass cache simulation: ``role``, ``line_size``,
     ``trace_ranges``, ``wall_s``, ``where`` (``"serial"``/``"worker"``).
+``stackdist``
+    One stack-distance kernel invocation (one stack family inside a
+    batch consume): ``line_size``, ``nsets``, ``refs``, ``path``
+    (``"scan"``/``"scan+expand"``/``"scan+expand+dominance"``/...),
+    ``window``, ``residues``, ``wall_s``.  Only recorded in-process
+    (serial passes); worker-side events do not cross the pool.
 ``job`` / ``job_failed``
     One executor work unit finishing: ``key``, ``attempts``, ``wall_s``,
     ``where``; failures carry ``error``.
@@ -158,6 +164,7 @@ class RunJournal:
     def summary(self) -> dict[str, Any]:
         """Aggregate counts and timings across the recorded events."""
         passes = self.select("pass")
+        kernels = self.select("stackdist")
         jobs = self.select("job")
         failed = self.select("job_failed")
         retries = self.select("retry")
@@ -177,6 +184,14 @@ class RunJournal:
                     int(e.get("trace_ranges", 0)) for e in passes
                 ),
                 "by_where": _count_by(passes, "where"),
+            },
+            "stackdist": {
+                "count": len(kernels),
+                "wall_s": round(
+                    sum(e.get("wall_s", 0.0) for e in kernels), 6
+                ),
+                "refs": sum(int(e.get("refs", 0)) for e in kernels),
+                "by_path": _count_by(kernels, "path"),
             },
             "jobs": {
                 "completed": len(jobs),
@@ -220,6 +235,15 @@ class RunJournal:
             f"({p['trace_ranges']} trace ranges, {p['wall_s']:.3f} s; "
             f"{where})"
         )
+        k = s["stackdist"]
+        if k["count"]:
+            paths = ", ".join(
+                f"{name} x{n}" for name, n in sorted(k["by_path"].items())
+            ) or "none"
+            lines.append(
+                f"stack-distance kernel: {k['count']} families "
+                f"({k['refs']} refs, {k['wall_s']:.3f} s; {paths})"
+            )
         j = s["jobs"]
         lines.append(
             f"jobs: {j['completed']} completed, {j['failed']} failed, "
