@@ -122,6 +122,54 @@ def _is_picklable(obj: object) -> bool:
     return True
 
 
+# ----------------------------------------------------------------------
+# Group-state checkpointing codec (shared with evaluator priming and the
+# evaluation service, so every layer's checkpoints interoperate in one
+# store).
+# ----------------------------------------------------------------------
+
+
+def trace_digest(starts: np.ndarray, sizes: np.ndarray) -> str:
+    """Content address of a materialized trace (``sha256=<24 hex>``)."""
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(starts).tobytes())
+    digest.update(np.ascontiguousarray(sizes).tobytes())
+    return f"sha256={digest.hexdigest()[:24]}"
+
+
+def group_state_key(
+    trace_id: str,
+    line_size: int,
+    set_counts: Sequence[int],
+    max_assoc: int,
+    prefix: str = "sweep",
+) -> str:
+    """Cache key of one line-size group's simulation state."""
+    sets = ",".join(str(s) for s in set_counts)
+    return (
+        f"{prefix}:{trace_id}:line={line_size}:sets={sets}:assoc={max_assoc}"
+    )
+
+
+def encode_group_state(state: tuple[int, dict[int, list[int]]]) -> list:
+    """JSON-representable form of an exported single-pass state."""
+    accesses, hists = state
+    return [int(accesses), {str(s): list(h) for s, h in hists.items()}]
+
+
+def decode_group_state(value) -> tuple[int, dict[int, list[int]]] | None:
+    """Inverse of :func:`encode_group_state`; None for foreign values."""
+    if (
+        isinstance(value, (list, tuple))
+        and len(value) == 2
+        and isinstance(value[1], dict)
+    ):
+        return int(value[0]), {
+            int(sets): list(hist) for sets, hist in value[1].items()
+        }
+    return None
+
+
 class _SweepCheckpoint:
     """Group-state checkpointing through an EvaluationCache.
 
@@ -146,34 +194,21 @@ class _SweepCheckpoint:
             # All line-size groups share one trace, so one digest
             # identifies the whole sweep; materialize once and drop.
             starts, sizes = _materialize(trace)
-            digest = hashlib.sha256()
-            digest.update(starts.tobytes())
-            digest.update(sizes.tobytes())
-            self.trace_id = f"sha256={digest.hexdigest()[:24]}"
+            self.trace_id = trace_digest(starts, sizes)
 
     def key(
         self, line_size: int, set_counts: Sequence[int], max_assoc: int
     ) -> str:
-        sets = ",".join(str(s) for s in set_counts)
-        return (
-            f"sweep:{self.trace_id}:line={line_size}:"
-            f"sets={sets}:assoc={max_assoc}"
-        )
+        return group_state_key(self.trace_id, line_size, set_counts, max_assoc)
 
     def lookup(
         self, line_size: int, set_counts: Sequence[int], max_assoc: int
     ) -> tuple[int, dict[int, list[int]]] | None:
         key = self.key(line_size, set_counts, max_assoc)
-        value = self.cache.get(key)
-        if (
-            isinstance(value, list)
-            and len(value) == 2
-            and isinstance(value[1], dict)
-        ):
+        state = decode_group_state(self.cache.get(key))
+        if state is not None:
             self.journal.record("checkpoint", action="hit", key=key)
-            return int(value[0]), {
-                int(sets): list(hist) for sets, hist in value[1].items()
-            }
+            return state
         self.journal.record("checkpoint", action="miss", key=key)
         return None
 
@@ -185,11 +220,8 @@ class _SweepCheckpoint:
         state: tuple[int, dict[int, list[int]]],
     ) -> None:
         key = self.key(line_size, set_counts, max_assoc)
-        accesses, hists = state
         with self.cache.bulk():
-            self.cache.put(
-                key, [int(accesses), {str(s): h for s, h in hists.items()}]
-            )
+            self.cache.put(key, encode_group_state(state))
         self.journal.record("checkpoint", action="store", key=key)
 
 

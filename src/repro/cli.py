@@ -10,7 +10,11 @@ Gives the repository's main flows a shell entry point:
   benchmark;
 * ``errors`` — estimation-error statistics over a table4-style run;
 * ``report`` — assemble bench results into one markdown report;
-* ``benchmarks`` — list the workload suite.
+* ``benchmarks`` — list the workload suite;
+* ``serve`` — run the evaluation service (durable store + job queue +
+  HTTP API) against one sqlite database;
+* ``submit`` — send a job spec to a running service and optionally wait
+  for its result.
 
 Common options: ``--scale`` (workload footprint multiplier),
 ``--visits`` (emulation budget), ``--benchmarks`` (subset),
@@ -152,6 +156,59 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="include a run-journal summary section from this JSON-lines file",
     )
+    serve = sub.add_parser(
+        "serve",
+        help="run the evaluation service (store + job queue + HTTP API)",
+    )
+    serve.add_argument(
+        "--db",
+        required=True,
+        metavar="PATH",
+        help="sqlite database file for the shared result store and job queue",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8321, help="bind port (default 8321)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="job worker threads (each job may fan out to processes)",
+    )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append the service's JSON-lines run journal to PATH",
+    )
+    submit = sub.add_parser(
+        "submit", help="submit a job spec to a running evaluation service"
+    )
+    submit.add_argument(
+        "--url",
+        default="http://127.0.0.1:8321",
+        help="service base URL (default http://127.0.0.1:8321)",
+    )
+    submit.add_argument(
+        "--spec",
+        required=True,
+        metavar="PATH",
+        help="job spec JSON file ('-' reads stdin)",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job finishes and print its result document",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="--wait polling budget (default 600)",
+    )
     return parser
 
 
@@ -239,6 +296,37 @@ def _cmd_report(args: argparse.Namespace) -> str:
     return build_report(args.results, journal=args.journal)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    serve(
+        args.db,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        journal_path=args.journal,
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    if args.spec == "-":
+        spec = json.load(sys.stdin)
+    else:
+        with open(args.spec, encoding="utf-8") as handle:
+            spec = json.load(handle)
+    client = ServiceClient(args.url)
+    job_id = client.submit(spec)
+    if not args.wait:
+        return json.dumps({"id": job_id, "state": "queued"})
+    record = client.wait(job_id, timeout=args.timeout)
+    return json.dumps(record.to_dict(), indent=2)
+
+
 def _cmd_benchmarks(_: argparse.Namespace) -> str:
     from repro.workloads.suite import benchmark_profile
 
@@ -258,6 +346,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "report":
         print(_cmd_report(args))
+        return 0
+    if args.command == "serve":
+        # serve owns its journal (installed as the active journal for
+        # the service's whole lifetime, not one command's).
+        return _cmd_serve(args)
+    if args.command == "submit":
+        print(_cmd_submit(args))
         return 0
     journal = RunJournal(args.journal) if args.journal else None
     scope = use_journal(journal) if journal is not None else nullcontext()

@@ -48,3 +48,9 @@ class RuntimeExecutionError(ReproError):
 
 class EvaluationCacheError(ReproError):
     """The persistent evaluation cache is corrupt or unusable."""
+
+
+class ServiceError(ReproError):
+    """The evaluation service (store, job queue or HTTP API) failed:
+    a malformed job spec, an unusable database, a job that exhausted its
+    attempts, or a client request the server rejected."""

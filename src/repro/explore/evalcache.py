@@ -5,6 +5,17 @@ particular metric for a design is available.  Otherwise, it invokes the
 Evaluators layer..."  Implemented as a JSON file of string-keyed metric
 values, written atomically; in-memory use (``path=None``) is supported for
 tests and throwaway explorations.
+
+Concurrent writers are safe: flushes take an advisory file lock (a
+``<name>.lock`` sibling) and merge the on-disk contents into the
+in-memory map before the atomic replace, so two processes flushing the
+same path union their entries instead of last-write-wins clobbering.
+The cache has no delete operation, so a union is always the correct
+reconciliation.
+
+For a *database*-grade backend (sqlite, per-key upserts, cross-process
+read-through), see :mod:`repro.service.store`, whose
+``StoreEvaluationCache`` adapter speaks this same API.
 """
 
 from __future__ import annotations
@@ -17,6 +28,11 @@ from pathlib import Path
 from typing import Callable, Iterator, Mapping
 
 from repro.errors import EvaluationCacheError
+
+try:  # pragma: no cover - fcntl is present on every POSIX platform
+    import fcntl
+except ImportError:  # pragma: no cover - windows: best-effort, no lock
+    fcntl = None  # type: ignore[assignment]
 
 #: JSON-representable metric values.
 Metric = float | int | list | dict | str
@@ -48,6 +64,63 @@ class EvaluationCache:
                 f"evaluation cache {self.path} is not a JSON object"
             )
 
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Advisory cross-process lock scoped to this cache path.
+
+        Taken around the read-merge-replace of a flush so concurrent
+        writers serialize; a persistent ``<name>.lock`` sibling is the
+        lock target (locking the data file itself would be lost on the
+        atomic replace).  Platforms without ``fcntl`` degrade to the old
+        unlocked behaviour.
+        """
+        if fcntl is None or self.path is None:
+            yield
+            return
+        lock_path = self.path.with_name(self.path.name + ".lock")
+        try:
+            handle = open(lock_path, "a")
+        except OSError:
+            yield
+            return
+        try:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            yield
+        finally:
+            handle.close()  # closing drops the flock
+
+    def _merge_from_disk(self) -> None:
+        """Union the current on-disk entries under ours (ours win).
+
+        Called with the lock held, immediately before a flush rewrites
+        the file: entries another process flushed since our last load
+        survive instead of being clobbered.
+        """
+        try:
+            text = self.path.read_text()
+            on_disk = json.loads(text) if text.strip() else {}
+        except (OSError, json.JSONDecodeError):
+            return  # nothing mergeable; our data stands alone
+        if isinstance(on_disk, dict) and on_disk:
+            self._data = {**on_disk, **self._data}
+
+    def _reap_stale_tmps(self) -> None:
+        """Remove orphaned ``<name>*.tmp`` siblings of the cache path.
+
+        A flush interrupted between ``mkstemp`` and the atomic replace
+        (power loss, SIGKILL) leaves its temp file behind.  Temp files
+        only ever exist while their writer holds the lock, so reaping
+        under the lock can never race a live flush.
+        """
+        try:
+            for stale in self.path.parent.glob(f"{self.path.name}*.tmp"):
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
+        except OSError:
+            pass
+
     def _flush(self) -> None:
         if self.path is None:
             return
@@ -55,21 +128,27 @@ class EvaluationCache:
             self._dirty = True
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(self._data, handle)
-            os.replace(tmp, self.path)
-        except OSError as exc:
+        with self._locked():
+            if self.path.exists():
+                self._merge_from_disk()
+            self._reap_stale_tmps()
+            fd, tmp = tempfile.mkstemp(
+                dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+            )
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise EvaluationCacheError(
-                f"cannot write evaluation cache {self.path}: {exc}"
-            ) from exc
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(self._data, handle)
+                os.replace(tmp, self.path)
+            except (OSError, TypeError, ValueError) as exc:
+                raise EvaluationCacheError(
+                    f"cannot write evaluation cache {self.path}: {exc}"
+                ) from exc
+            finally:
+                if os.path.exists(tmp):
+                    try:
+                        os.unlink(tmp)
+                    except OSError:  # pragma: no cover - best-effort reap
+                        pass
 
     def __contains__(self, key: str) -> bool:
         return key in self._data

@@ -1,0 +1,45 @@
+"""Evaluation service: the shareable half of Section 5.1's architecture.
+
+The paper puts a *persistent disk-based database* (the EvaluationCache)
+between the exploration layers and the expensive Evaluators.  This
+package turns that database into a long-lived, multi-process service:
+
+* :mod:`repro.service.store` — a durable, content-addressed result store
+  backed by sqlite (WAL mode), safe for concurrent writers across
+  processes, with namespaces, GC and an adapter speaking the
+  :class:`~repro.explore.evalcache.EvaluationCache` API;
+* :mod:`repro.service.queue` — a persistent job queue (queued → running
+  → done/failed, bounded retries, kill-and-resume recovery) stored in
+  the same database;
+* :mod:`repro.service.jobs` — job specs (sweep / estimate / explore) and
+  their execution through the existing fault-tolerant runtime;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a
+  stdlib-only JSON HTTP API (``repro serve``) and its Python client
+  (``repro submit``).
+
+Everything is standard library + numpy; there is no new dependency.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import execute_job, validate_spec
+from repro.service.queue import JobQueue, JobRecord
+from repro.service.server import EvalService, make_server, serve
+from repro.service.store import (
+    ResultStore,
+    StoreEvaluationCache,
+    open_evaluation_cache,
+)
+
+__all__ = [
+    "EvalService",
+    "JobQueue",
+    "JobRecord",
+    "ResultStore",
+    "ServiceClient",
+    "StoreEvaluationCache",
+    "execute_job",
+    "make_server",
+    "open_evaluation_cache",
+    "serve",
+    "validate_spec",
+]

@@ -1,0 +1,145 @@
+"""Thin stdlib HTTP client for the evaluation service.
+
+Speaks the JSON API of :mod:`repro.service.server`; used by ``repro
+submit`` and by tests/CI.  Only ``urllib.request`` — no new
+dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+from urllib.parse import urlencode
+
+from repro.errors import ServiceError
+from repro.service.queue import JobRecord
+
+
+class ServiceClient:
+    """Client for one evaluation-service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport.
+    # ------------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Any | None = None
+    ) -> Any:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read()).get("error", "")
+            except Exception:  # noqa: BLE001 - body may not be JSON
+                detail = ""
+            raise ServiceError(
+                f"{method} {path} failed: HTTP {exc.code}"
+                + (f" ({detail})" if detail else "")
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach evaluation service at {self.base_url}: "
+                f"{exc.reason}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # API surface.
+    # ------------------------------------------------------------------
+
+    def health(self) -> bool:
+        """True when the server answers its liveness probe."""
+        return bool(self._request("GET", "/healthz").get("ok"))
+
+    def submit(self, spec: dict[str, Any], max_attempts: int = 3) -> str:
+        """Submit a job spec; returns the job id."""
+        doc = self._request(
+            "POST", "/jobs", {"spec": spec, "max_attempts": max_attempts}
+        )
+        return doc["id"]
+
+    def job(self, job_id: str) -> JobRecord:
+        """One job's current state."""
+        return _record(self._request("GET", f"/jobs/{job_id}"))
+
+    def jobs(
+        self, state: str | None = None, limit: int = 100
+    ) -> list[JobRecord]:
+        """Recent jobs, newest first."""
+        query = {"limit": str(limit)}
+        if state is not None:
+            query["state"] = state
+        doc = self._request("GET", f"/jobs?{urlencode(query)}")
+        return [_record(item) for item in doc["jobs"]]
+
+    def wait(
+        self, job_id: str, timeout: float = 120.0, poll: float = 0.1
+    ) -> JobRecord:
+        """Poll until the job is terminal; returns the ``done`` record.
+
+        Raises :class:`ServiceError` when the job fails or the timeout
+        expires (the error message carries the job's stored error).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record.state == "done":
+                return record
+            if record.state == "failed":
+                raise ServiceError(
+                    f"job {job_id} failed after {record.attempts} "
+                    f"attempt(s): {record.error}"
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {record.state} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def results(
+        self,
+        prefix: str = "",
+        namespace: str = "metrics",
+        limit: int | None = None,
+    ) -> dict[str, Any]:
+        """Stored metrics whose key starts with ``prefix``."""
+        query = {"prefix": prefix, "namespace": namespace}
+        if limit is not None:
+            query["limit"] = str(limit)
+        return self._request("GET", f"/results?{urlencode(query)}")["items"]
+
+    def metrics(self) -> dict[str, Any]:
+        """The server's /metrics document (journal + store + queue)."""
+        return self._request("GET", "/metrics")
+
+
+def _record(doc: dict[str, Any]) -> JobRecord:
+    return JobRecord(
+        id=doc["id"],
+        spec=doc.get("spec") or {},
+        state=doc["state"],
+        attempts=doc.get("attempts", 0),
+        max_attempts=doc.get("max_attempts", 0),
+        result=doc.get("result"),
+        error=doc.get("error"),
+        owner=doc.get("owner"),
+        submitted=doc.get("submitted") or 0.0,
+        started=doc.get("started"),
+        finished=doc.get("finished"),
+    )

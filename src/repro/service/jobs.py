@@ -1,0 +1,509 @@
+"""Job specs and their execution (the service's unit of work).
+
+A job spec is one JSON object with a ``kind``:
+
+``sweep``
+    Exact miss counts for a grid of cache configurations on one trace:
+    ``{"kind": "sweep", "trace": <trace spec>, "configs": <configs>}``.
+    Runs one single-pass simulation per distinct line size through
+    :func:`repro.cache.sweep.sweep_design_space`, checkpointing group
+    states into the shared store and serving per-config results that
+    are already stored without simulating at all.
+
+``estimate``
+    Dilation-model miss estimates over a (config x dilation) grid for a
+    named benchmark's reference trace: ``{"kind": "estimate",
+    "benchmark": ..., "role": ..., "configs": ..., "dilations": [...]}``.
+    Uses :meth:`repro.explore.evaluators.MemoryEvaluator.misses_batch`
+    with priming checkpointed into the shared store.
+
+``explore``
+    A spacewalker Pareto walk for a named benchmark:
+    ``{"kind": "explore", "benchmark": ...}``, optional ``space``
+    overrides.  The resulting frontier is stored under the
+    ``frontiers`` namespace and returned.
+
+Trace specs (for ``sweep``):
+
+* ``{"kind": "ranges", "starts": [...], "sizes": [...]}`` — explicit;
+* ``{"kind": "synthetic", "seed": 1, "ranges": 512, "footprint": 65536,
+  "max_size": 64}`` — a seeded random range trace, cheap to
+  re-materialize anywhere (workers rebuild it from the spec);
+* ``{"kind": "benchmark", "benchmark": "085.gcc", "role": "icache",
+  "scale": 1.0, "visits": 60000}`` — a real workload's reference trace
+  via the experiment pipeline.
+
+Every spec is *content-addressed*: :func:`trace_key` is a digest of the
+canonical spec JSON, so two clients submitting the same trace (however
+phrased) share store entries.
+
+All execution knobs (``max_workers``, ``job_timeout``, ``job_retries``)
+route into :class:`repro.runtime.executor.ExecutorPolicy`, so service
+jobs inherit the fault-tolerant runtime: per-pass timeouts, bounded
+retries, fault injection and journal events all carry over.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.cache.config import CacheConfig
+from repro.cache.sweep import sweep_design_space
+from repro.errors import ReproError, ServiceError
+from repro.runtime.executor import ExecutorPolicy
+from repro.runtime.journal import RunJournal, resolve_journal
+from repro.service.store import ResultStore, StoreEvaluationCache
+
+#: Job kinds the queue accepts.
+JOB_KINDS = ("sweep", "estimate", "explore")
+
+#: Store namespaces used by job execution.
+NS_METRICS = "metrics"
+NS_EVALCACHE = "evalcache"
+NS_FRONTIERS = "frontiers"
+
+
+# ----------------------------------------------------------------------
+# Content addressing.
+# ----------------------------------------------------------------------
+
+
+def canonical(spec: Any) -> str:
+    """Canonical JSON of a spec (sorted keys, no whitespace)."""
+    try:
+        return json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"spec is not JSON-representable: {exc}") from exc
+
+
+def trace_key(trace_spec: dict[str, Any]) -> str:
+    """Content address of a trace spec (``spec=<16 hex>``)."""
+    digest = hashlib.sha256(canonical(trace_spec).encode()).hexdigest()
+    return f"spec={digest[:16]}"
+
+
+def result_key(trace_id: str, config: CacheConfig) -> str:
+    """Content address of one config's exact miss result on one trace."""
+    return (
+        f"misses:{trace_id}:S{config.sets}"
+        f"A{config.assoc}L{config.line_size}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Spec parsing and validation.
+# ----------------------------------------------------------------------
+
+
+def _require(spec: dict, field: str, kind: str) -> Any:
+    try:
+        return spec[field]
+    except (KeyError, TypeError):
+        raise ServiceError(
+            f"{kind} job spec is missing required field {field!r}"
+        ) from None
+
+
+def parse_configs(value: Any) -> list[CacheConfig]:
+    """Configs from either an explicit list or a Cartesian grid.
+
+    List form: ``[{"sets": 8, "assoc": 1, "line_size": 16}, ...]``.
+    Grid form: ``{"sets": [8, 16], "assocs": [1, 2],
+    "line_sizes": [16, 32]}`` (full cross product).
+    """
+    try:
+        if isinstance(value, dict):
+            configs = [
+                CacheConfig(int(sets), int(assoc), int(line))
+                for line in value["line_sizes"]
+                for sets in value["sets"]
+                for assoc in value["assocs"]
+            ]
+        else:
+            configs = [
+                CacheConfig(
+                    int(item["sets"]),
+                    int(item["assoc"]),
+                    int(item["line_size"]),
+                )
+                for item in value
+            ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed configs spec: {exc}") from exc
+    except ReproError as exc:
+        raise ServiceError(f"infeasible cache configuration: {exc}") from exc
+    if not configs:
+        raise ServiceError("configs spec is empty")
+    return list(dict.fromkeys(configs))
+
+
+def build_trace_arrays(trace_spec: dict[str, Any]) -> tuple[Any, Any]:
+    """Materialize a trace spec into ``(starts, sizes)`` arrays.
+
+    Module-level and driven purely by the (picklable) spec dict, so the
+    executor can ship trace construction to worker processes instead of
+    materializing in the service parent.
+    """
+    kind = trace_spec.get("kind")
+    if kind == "ranges":
+        starts = trace_spec.get("starts")
+        sizes = trace_spec.get("sizes")
+        if not starts or not sizes or len(starts) != len(sizes):
+            raise ServiceError(
+                "ranges trace needs equal-length non-empty starts/sizes"
+            )
+        return (
+            np.asarray(starts, dtype=np.int64),
+            np.asarray(sizes, dtype=np.int64),
+        )
+    if kind == "synthetic":
+        n = int(trace_spec.get("ranges", 512))
+        footprint = int(trace_spec.get("footprint", 65536))
+        max_size = int(trace_spec.get("max_size", 64))
+        seed = int(trace_spec.get("seed", 0))
+        if n < 1 or footprint < 1 or max_size < 1:
+            raise ServiceError(
+                "synthetic trace needs positive ranges/footprint/max_size"
+            )
+        rng = np.random.default_rng(seed)
+        starts = rng.integers(0, footprint, size=n, dtype=np.int64)
+        sizes = rng.integers(1, max_size + 1, size=n, dtype=np.int64)
+        return starts, sizes
+    if kind == "benchmark":
+        trace = _benchmark_trace(trace_spec)
+        return trace.starts, trace.sizes
+    raise ServiceError(
+        f"unknown trace kind {kind!r}; expected 'ranges', 'synthetic' "
+        "or 'benchmark'"
+    )
+
+
+def _benchmark_trace(trace_spec: dict[str, Any]):
+    from repro.experiments.runner import RunnerSettings, get_pipeline
+
+    benchmark = _require(trace_spec, "benchmark", "benchmark trace")
+    role = trace_spec.get("role", "unified")
+    settings = RunnerSettings(
+        scale=float(trace_spec.get("scale", 1.0)),
+        max_visits=int(trace_spec.get("visits", 60_000)),
+    )
+    try:
+        pipeline = get_pipeline(benchmark, settings)
+        return pipeline.reference_artifacts().trace(role)
+    except ReproError as exc:
+        raise ServiceError(f"cannot build benchmark trace: {exc}") from exc
+
+
+class SpecTraceFactory:
+    """Picklable zero-arg trace factory for :func:`sweep_design_space`."""
+
+    def __init__(self, trace_spec: dict[str, Any]):
+        self.trace_spec = trace_spec
+
+    def __call__(self) -> tuple[Any, Any]:
+        return build_trace_arrays(self.trace_spec)
+
+
+def validate_spec(spec: Any) -> dict[str, Any]:
+    """Check a job spec's shape up front (at submission time).
+
+    Raises :class:`ServiceError` with an actionable message; returns the
+    spec unchanged when acceptable.  Full validation of e.g. benchmark
+    names happens at execution; this catches the malformed 90% before
+    they occupy the queue.
+    """
+    if not isinstance(spec, dict):
+        raise ServiceError(f"job spec must be a JSON object, got {type(spec).__name__}")
+    kind = spec.get("kind")
+    if kind not in JOB_KINDS:
+        raise ServiceError(
+            f"unknown job kind {kind!r}; expected one of {JOB_KINDS}"
+        )
+    if kind == "sweep":
+        trace_spec = _require(spec, "trace", kind)
+        if not isinstance(trace_spec, dict) or "kind" not in trace_spec:
+            raise ServiceError("sweep trace spec must be an object with a 'kind'")
+        if trace_spec["kind"] not in ("ranges", "synthetic", "benchmark"):
+            raise ServiceError(
+                f"unknown trace kind {trace_spec['kind']!r}"
+            )
+        if trace_spec["kind"] != "benchmark":
+            build_trace_arrays(trace_spec)  # cheap: validates eagerly
+        parse_configs(_require(spec, "configs", kind))
+    elif kind == "estimate":
+        _require(spec, "benchmark", kind)
+        parse_configs(_require(spec, "configs", kind))
+        dilations = spec.get("dilations", [1.0])
+        if not dilations:
+            raise ServiceError("estimate job needs at least one dilation")
+        role = spec.get("role", "icache")
+        if role not in ("icache", "dcache", "unified"):
+            raise ServiceError(f"unknown role {role!r}")
+    else:  # explore
+        _require(spec, "benchmark", kind)
+    return spec
+
+
+def spec_policy(spec: dict[str, Any]) -> ExecutorPolicy:
+    """The fault-tolerance policy a job spec asks for."""
+    return ExecutorPolicy(
+        max_workers=spec.get("max_workers"),
+        timeout=spec.get("job_timeout"),
+        retries=int(spec.get("job_retries", 2)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution.
+# ----------------------------------------------------------------------
+
+
+def execute_job(
+    spec: dict[str, Any],
+    store: ResultStore,
+    journal: RunJournal | None = None,
+) -> dict[str, Any]:
+    """Run one validated job spec against the shared store.
+
+    Returns the job's JSON result document.  All simulation work routes
+    through the existing runtime (``sweep_design_space`` /
+    ``MemoryEvaluator.prime`` / ``Spacewalker.walk`` →
+    :func:`repro.runtime.executor.run_jobs`), so the spec's
+    ``max_workers`` / ``job_timeout`` / ``job_retries`` knobs behave
+    exactly as they do on the CLI.
+    """
+    journal = resolve_journal(journal)
+    validate_spec(spec)
+    kind = spec["kind"]
+    if kind == "sweep":
+        return _execute_sweep(spec, store, journal)
+    if kind == "estimate":
+        return _execute_estimate(spec, store, journal)
+    return _execute_explore(spec, store, journal)
+
+
+def _config_doc(config: CacheConfig, **extra: Any) -> dict[str, Any]:
+    return {
+        "sets": config.sets,
+        "assoc": config.assoc,
+        "line_size": config.line_size,
+        **extra,
+    }
+
+
+def _execute_sweep(
+    spec: dict[str, Any], store: ResultStore, journal: RunJournal
+) -> dict[str, Any]:
+    trace_spec = spec["trace"]
+    configs = parse_configs(spec["configs"])
+    tkey = trace_key(trace_spec)
+
+    # Result-level de-duplication: configs whose exact misses are
+    # already stored are served without any simulation.
+    stored: dict[CacheConfig, Any] = {}
+    missing: list[CacheConfig] = []
+    for config in configs:
+        value = store.get(result_key(tkey, config), namespace=NS_METRICS)
+        if (
+            isinstance(value, dict)
+            and "misses" in value
+            and "accesses" in value
+        ):
+            stored[config] = value
+        else:
+            missing.append(config)
+
+    simulated: dict[CacheConfig, Any] = {}
+    if missing:
+        # Group-level de-duplication: the sweep checkpoints each
+        # line-size group's single-pass state into the shared store, so
+        # even a *partially* overlapping grid reuses whole passes.
+        checkpoint = StoreEvaluationCache(store, namespace=NS_EVALCACHE)
+        results = sweep_design_space(
+            missing,
+            SpecTraceFactory(trace_spec),
+            policy=spec_policy(spec),
+            journal=journal,
+            checkpoint=checkpoint,
+            trace_key=tkey,
+        )
+        fresh = {}
+        for config, miss in results.items():
+            doc = {"accesses": miss.accesses, "misses": miss.misses}
+            simulated[config] = doc
+            fresh[result_key(tkey, config)] = doc
+        store.put_many(fresh, namespace=NS_METRICS)
+
+    journal.record(
+        "service_dedup",
+        kind="sweep",
+        trace_key=tkey,
+        from_store=len(stored),
+        simulated=len(simulated),
+    )
+    journal.observe_cache(store, label="result-store")
+    docs = []
+    for config in configs:
+        source = "store" if config in stored else "simulated"
+        doc = stored.get(config) or simulated[config]
+        docs.append(_config_doc(config, **doc, source=source))
+    return {
+        "kind": "sweep",
+        "trace_key": tkey,
+        "total": len(configs),
+        "from_store": len(stored),
+        "simulated": len(simulated),
+        "results": docs,
+    }
+
+
+def _execute_estimate(
+    spec: dict[str, Any], store: ResultStore, journal: RunJournal
+) -> dict[str, Any]:
+    from repro.experiments.runner import RunnerSettings, get_pipeline
+
+    benchmark = spec["benchmark"]
+    role = spec.get("role", "icache")
+    configs = parse_configs(spec["configs"])
+    dilations = [float(d) for d in spec.get("dilations", [1.0])]
+    settings = RunnerSettings(
+        scale=float(spec.get("scale", 1.0)),
+        max_visits=int(spec.get("visits", 60_000)),
+        max_workers=spec.get("max_workers"),
+        job_timeout=spec.get("job_timeout"),
+        job_retries=int(spec.get("job_retries", 2)),
+    )
+    bench_id = (
+        f"{benchmark}:scale={settings.scale:g}:visits={settings.max_visits}"
+    )
+    try:
+        pipeline = get_pipeline(benchmark, settings)
+        evaluator = pipeline.memory_evaluator()
+    except ReproError as exc:
+        raise ServiceError(f"cannot build evaluator: {exc}") from exc
+    # Priming passes checkpoint into the shared store, de-duplicating
+    # across jobs, processes and restarts.
+    evaluator.attach_checkpoint(
+        StoreEvaluationCache(store, namespace=NS_EVALCACHE),
+        trace_keys={r: f"{bench_id}:{r}" for r in ("icache", "dcache", "unified")},
+    )
+    grid = evaluator.misses_batch(
+        role, configs, dilations, max_workers=spec.get("max_workers")
+    )
+    journal.observe_cache(store, label="result-store")
+    return {
+        "kind": "estimate",
+        "benchmark": benchmark,
+        "role": role,
+        "dilations": dilations,
+        "results": [
+            _config_doc(
+                config,
+                misses={
+                    f"{dil:g}": float(grid[i, j])
+                    for j, dil in enumerate(dilations)
+                },
+            )
+            for i, config in enumerate(configs)
+        ],
+    }
+
+
+def _cache_space(value: dict[str, Any]):
+    from repro.explore.spec import CacheDesignSpace
+
+    return CacheDesignSpace(
+        sizes_kb=tuple(value["sizes_kb"]),
+        assocs=tuple(value["assocs"]),
+        line_sizes=tuple(value["line_sizes"]),
+    )
+
+
+def _system_space(overrides: dict[str, Any] | None):
+    from repro.explore.spec import ProcessorDesignSpace, SystemDesignSpace
+
+    if not overrides:
+        return SystemDesignSpace()
+    kwargs: dict[str, Any] = {}
+    try:
+        for role in ("icache", "dcache", "unified"):
+            if role in overrides:
+                kwargs[role] = _cache_space(overrides[role])
+        if "processors" in overrides:
+            procs = overrides["processors"]
+            kwargs["processors"] = ProcessorDesignSpace(
+                int_units=tuple(procs.get("int_units", (1, 2, 4))),
+                float_units=tuple(procs.get("float_units", (1, 2))),
+                memory_units=tuple(procs.get("memory_units", (1, 2))),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed space overrides: {exc}") from exc
+    except ReproError as exc:
+        raise ServiceError(f"infeasible design space: {exc}") from exc
+    return SystemDesignSpace(**kwargs)
+
+
+def _execute_explore(
+    spec: dict[str, Any], store: ResultStore, journal: RunJournal
+) -> dict[str, Any]:
+    from repro.experiments.runner import RunnerSettings, get_pipeline
+    from repro.explore.spacewalker import Spacewalker
+
+    benchmark = spec["benchmark"]
+    settings = RunnerSettings(
+        scale=float(spec.get("scale", 1.0)),
+        max_visits=int(spec.get("visits", 60_000)),
+        max_workers=spec.get("max_workers"),
+        job_timeout=spec.get("job_timeout"),
+        job_retries=int(spec.get("job_retries", 2)),
+    )
+    space = _system_space(spec.get("space"))
+    try:
+        pipeline = get_pipeline(benchmark, settings)
+        evaluator = pipeline.memory_evaluator()
+    except ReproError as exc:
+        raise ServiceError(f"cannot build pipeline: {exc}") from exc
+    bench_id = (
+        f"{benchmark}:scale={settings.scale:g}:visits={settings.max_visits}"
+    )
+    evaluator.attach_checkpoint(
+        StoreEvaluationCache(store, namespace=NS_EVALCACHE),
+        trace_keys={r: f"{bench_id}:{r}" for r in ("icache", "dcache", "unified")},
+    )
+    pareto = Spacewalker(
+        space,
+        pipeline,
+        max_workers=spec.get("max_workers"),
+        policy=settings.executor_policy(),
+        journal=journal,
+    ).walk()
+    frontier = [
+        {
+            "cost": point.cost,
+            "cycles": point.time,
+            "processor": point.design.processor,
+            "icache": _config_doc(point.design.memory.icache),
+            "dcache": _config_doc(point.design.memory.dcache),
+            "unified": _config_doc(point.design.memory.unified),
+        }
+        for point in pareto.frontier()
+    ]
+    frontier_id = hashlib.sha256(
+        canonical({"benchmark": bench_id, "space": spec.get("space")}).encode()
+    ).hexdigest()[:16]
+    store.put(
+        f"pareto:{bench_id}:space={frontier_id}",
+        frontier,
+        namespace=NS_FRONTIERS,
+    )
+    journal.observe_cache(store, label="result-store")
+    return {
+        "kind": "explore",
+        "benchmark": benchmark,
+        "frontier_key": f"pareto:{bench_id}:space={frontier_id}",
+        "frontier": frontier,
+    }

@@ -1,0 +1,274 @@
+"""Persistent asynchronous job queue (same database as the store).
+
+Jobs move ``queued → running → done | failed``.  A *failed attempt*
+requeues the job until its bounded attempt budget is spent (mirroring
+the executor's retry policy, but durable: the counter lives in sqlite,
+so retries survive the worker process).  Claiming is one ``BEGIN
+IMMEDIATE`` transaction, so any number of worker threads or processes
+can pull from the same queue without double-claiming.
+
+Kill-and-resume: a job claimed by a worker that died stays ``running``
+in the database; :meth:`JobQueue.recover` (called on service startup)
+requeues such orphans at their current attempt count.  Because sweep
+jobs checkpoint per-group state into the shared store, a resumed job
+re-simulates only the groups its predecessor had not finished.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.service.store import ResultStore
+
+#: Legal job states, in lifecycle order.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job's durable state, decoded from its sqlite row."""
+
+    id: str
+    spec: dict[str, Any]
+    state: str
+    attempts: int
+    max_attempts: int
+    result: Any = None
+    error: str | None = None
+    owner: str | None = None
+    submitted: float = 0.0
+    started: float | None = None
+    finished: float | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def finished_ok(self) -> bool:
+        return self.state == "done"
+
+    @property
+    def terminal(self) -> bool:
+        """True once the job can no longer change state."""
+        return self.state in ("done", "failed")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-representable form (the HTTP API's job document)."""
+        return {
+            "id": self.id,
+            "spec": self.spec,
+            "state": self.state,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "result": self.result,
+            "error": self.error,
+            "owner": self.owner,
+            "submitted": self.submitted,
+            "started": self.started,
+            "finished": self.finished,
+        }
+
+
+def _decode(row) -> JobRecord:
+    return JobRecord(
+        id=row["id"],
+        spec=json.loads(row["spec"]),
+        state=row["state"],
+        attempts=row["attempts"],
+        max_attempts=row["max_attempts"],
+        result=json.loads(row["result"]) if row["result"] else None,
+        error=row["error"],
+        owner=row["owner"],
+        submitted=row["submitted"],
+        started=row["started"],
+        finished=row["finished"],
+    )
+
+
+def default_owner() -> str:
+    """This worker's identity, recorded on claim (host:pid:uuid-ish)."""
+    return f"pid={os.getpid()}"
+
+
+class JobQueue:
+    """Durable FIFO job queue over the store's ``jobs`` table."""
+
+    def __init__(self, store: ResultStore):
+        self.store = store
+
+    # ------------------------------------------------------------------
+    # Submission and inspection.
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, spec: dict[str, Any], max_attempts: int = 3
+    ) -> str:
+        """Enqueue a job spec; returns the new job id."""
+        if max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        job_id = uuid.uuid4().hex[:16]
+        try:
+            text = json.dumps(spec)
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"job spec is not JSON-representable: {exc}") from exc
+        with self.store.transaction() as conn:
+            conn.execute(
+                "INSERT INTO jobs (id, spec, state, attempts, max_attempts,"
+                " submitted) VALUES (?, ?, 'queued', 0, ?, ?)",
+                (job_id, text, max_attempts, time.time()),
+            )
+        return job_id
+
+    def get(self, job_id: str) -> JobRecord:
+        """The job's current durable state."""
+        row = self.store.connection().execute(
+            "SELECT * FROM jobs WHERE id = ?", (job_id,)
+        ).fetchone()
+        if row is None:
+            raise ServiceError(f"unknown job id {job_id!r}")
+        return _decode(row)
+
+    def list(
+        self, state: str | None = None, limit: int = 100
+    ) -> list[JobRecord]:
+        """Jobs newest-first, optionally filtered by state."""
+        if state is not None and state not in JOB_STATES:
+            raise ServiceError(
+                f"unknown job state {state!r}; expected one of {JOB_STATES}"
+            )
+        if state is None:
+            rows = self.store.connection().execute(
+                "SELECT * FROM jobs ORDER BY submitted DESC, id LIMIT ?",
+                (limit,),
+            ).fetchall()
+        else:
+            rows = self.store.connection().execute(
+                "SELECT * FROM jobs WHERE state = ?"
+                " ORDER BY submitted DESC, id LIMIT ?",
+                (state, limit),
+            ).fetchall()
+        return [_decode(row) for row in rows]
+
+    def counts(self) -> dict[str, int]:
+        """Job counts per state (zero-filled)."""
+        rows = self.store.connection().execute(
+            "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+        ).fetchall()
+        counts = {state: 0 for state in JOB_STATES}
+        for row in rows:
+            counts[row["state"]] = row["n"]
+        return counts
+
+    # ------------------------------------------------------------------
+    # Worker protocol.
+    # ------------------------------------------------------------------
+
+    def claim(self, owner: str | None = None) -> JobRecord | None:
+        """Atomically claim the oldest queued job, or None when idle."""
+        owner = owner or default_owner()
+        with self.store.transaction() as conn:
+            row = conn.execute(
+                "SELECT * FROM jobs WHERE state = 'queued'"
+                " ORDER BY submitted, id LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            conn.execute(
+                "UPDATE jobs SET state = 'running', attempts = attempts + 1,"
+                " owner = ?, started = ? WHERE id = ?",
+                (owner, time.time(), row["id"]),
+            )
+        return self.get(row["id"])
+
+    def complete(self, job_id: str, result: Any) -> None:
+        """Mark a running job done with its result document."""
+        try:
+            text = json.dumps(result)
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(
+                f"job result is not JSON-representable: {exc}"
+            ) from exc
+        with self.store.transaction() as conn:
+            cur = conn.execute(
+                "UPDATE jobs SET state = 'done', result = ?, error = NULL,"
+                " finished = ? WHERE id = ? AND state = 'running'",
+                (text, time.time(), job_id),
+            )
+        if cur.rowcount != 1:
+            raise ServiceError(
+                f"job {job_id!r} is not running; cannot complete it"
+            )
+
+    def fail(self, job_id: str, error: str) -> str:
+        """Record a failed attempt; returns the resulting state.
+
+        Requeues while attempts remain (``"queued"``); otherwise the
+        job is terminally ``"failed"`` with the error preserved.
+        """
+        with self.store.transaction() as conn:
+            row = conn.execute(
+                "SELECT attempts, max_attempts FROM jobs"
+                " WHERE id = ? AND state = 'running'",
+                (job_id,),
+            ).fetchone()
+            if row is None:
+                raise ServiceError(
+                    f"job {job_id!r} is not running; cannot fail it"
+                )
+            state = (
+                "queued" if row["attempts"] < row["max_attempts"] else "failed"
+            )
+            conn.execute(
+                "UPDATE jobs SET state = ?, error = ?, finished = ?"
+                " WHERE id = ?",
+                (
+                    state,
+                    error,
+                    time.time() if state == "failed" else None,
+                    job_id,
+                ),
+            )
+        return state
+
+    def recover(self, owner: str | None = None) -> int:
+        """Requeue ``running`` jobs whose worker died (kill-and-resume).
+
+        With ``owner`` given, only that owner's jobs are recovered;
+        otherwise every running job is treated as orphaned (correct at
+        service startup, before any worker of this process has claimed).
+        Jobs whose attempt budget is already spent become ``failed``.
+        Returns the number of jobs transitioned.
+        """
+        with self.store.transaction() as conn:
+            if owner is None:
+                rows = conn.execute(
+                    "SELECT id, attempts, max_attempts FROM jobs"
+                    " WHERE state = 'running'"
+                ).fetchall()
+            else:
+                rows = conn.execute(
+                    "SELECT id, attempts, max_attempts FROM jobs"
+                    " WHERE state = 'running' AND owner = ?",
+                    (owner,),
+                ).fetchall()
+            for row in rows:
+                exhausted = row["attempts"] >= row["max_attempts"]
+                conn.execute(
+                    "UPDATE jobs SET state = ?, error = ?, finished = ?"
+                    " WHERE id = ?",
+                    (
+                        "failed" if exhausted else "queued",
+                        "worker died mid-run (recovered)"
+                        if exhausted
+                        else None,
+                        time.time() if exhausted else None,
+                        row["id"],
+                    ),
+                )
+        return len(rows)

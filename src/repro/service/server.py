@@ -1,0 +1,316 @@
+"""Stdlib-only HTTP front end for the evaluation service.
+
+:class:`EvalService` owns the store, the job queue, the journal and a
+pool of worker *threads* that claim queued jobs and execute them (each
+job may itself fan out to worker *processes* through the fault-tolerant
+executor, per its spec).  :func:`make_server` wraps a service in a
+``ThreadingHTTPServer`` speaking a small JSON API:
+
+==========================  ===========================================
+``POST /jobs``              submit a job spec → ``{"id", "state"}``
+``GET /jobs``               recent jobs (``?state=`` filter)
+``GET /jobs/<id>``          one job's status, attempts and result
+``GET /results``            query stored metrics (``?prefix=``,
+                            ``?namespace=``, ``?limit=``)
+``GET /metrics``            journal-derived counters, store stats and
+                            queue depths
+``GET /healthz``            liveness probe
+==========================  ===========================================
+
+Errors are JSON too: ``{"error": "..."}`` with a 4xx/5xx status.
+``repro serve`` is the CLI entry point; tests and the CI smoke job run
+:func:`make_server` on an ephemeral port in-process.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import traceback
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ServiceError
+from repro.runtime.journal import RunJournal, resolve_journal, use_journal
+from repro.service.jobs import execute_job, validate_spec
+from repro.service.queue import JobQueue
+from repro.service.store import ResultStore
+
+#: Request body ceiling (1 MiB of JSON is a very large job spec).
+MAX_BODY_BYTES = 1 << 20
+
+
+class EvalService:
+    """The long-lived service: store + queue + journal + job workers."""
+
+    def __init__(
+        self,
+        db_path: str | Path,
+        workers: int = 1,
+        journal: RunJournal | None = None,
+        poll_interval: float = 0.05,
+    ):
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        self.store = ResultStore(db_path)
+        self.queue = JobQueue(self.store)
+        self.journal = resolve_journal(journal)
+        self.poll_interval = poll_interval
+        self._workers = workers
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def start(self) -> "EvalService":
+        """Recover orphaned jobs and start the worker threads."""
+        recovered = self.queue.recover()
+        if recovered:
+            self.journal.record("service_recover", jobs=recovered)
+        self._stop.clear()
+        for index in range(self._workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"eval-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        self.journal.record(
+            "service_start", workers=self._workers, db=str(self.store.path)
+        )
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Signal the workers and join them."""
+        self._stop.set()
+        self._wake.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads.clear()
+        self.journal.record("service_stop")
+
+    def __enter__(self) -> "EvalService":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Job intake and execution.
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: dict[str, Any], max_attempts: int = 3) -> str:
+        """Validate and enqueue a job; wakes an idle worker."""
+        validate_spec(spec)
+        job_id = self.queue.submit(spec, max_attempts=max_attempts)
+        self.journal.record(
+            "service_job", id=job_id, state="queued", kind=spec.get("kind")
+        )
+        self._wake.set()
+        return job_id
+
+    def _worker_loop(self) -> None:
+        owner = f"thread={threading.current_thread().name}"
+        while not self._stop.is_set():
+            job = self.queue.claim(owner)
+            if job is None:
+                self._wake.wait(timeout=self.poll_interval)
+                self._wake.clear()
+                continue
+            self.journal.record(
+                "service_job",
+                id=job.id,
+                state="running",
+                attempt=job.attempts,
+                kind=job.spec.get("kind"),
+            )
+            try:
+                result = execute_job(job.spec, self.store, self.journal)
+            except Exception as exc:  # noqa: BLE001 - job code may raise anything
+                state = self.queue.fail(job.id, repr(exc))
+                self.journal.record(
+                    "service_job",
+                    id=job.id,
+                    state=state,
+                    attempt=job.attempts,
+                    error=repr(exc),
+                )
+            else:
+                self.queue.complete(job.id, result)
+                self.journal.record(
+                    "service_job",
+                    id=job.id,
+                    state="done",
+                    attempt=job.attempts,
+                )
+
+    def drain(self, timeout: float = 60.0) -> bool:
+        """Block until no jobs are queued or running (True on success)."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            counts = self.queue.counts()
+            if counts["queued"] == 0 and counts["running"] == 0:
+                return True
+            time.sleep(self.poll_interval)
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection (the /metrics document).
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> dict[str, Any]:
+        """Journal counters, store stats and queue depths, one document."""
+        return {
+            "jobs": self.queue.counts(),
+            "store": self.store.stats(),
+            "journal": self.journal.summary(),
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route HTTP requests onto the owning server's EvalService."""
+
+    server: "_Server"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Route access logs into the journal instead of stderr."""
+        self.server.service.journal.record(
+            "http", client=self.client_address[0], line=format % args
+        )
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, message: str, status: int) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(
+                f"request body too large ({length} > {MAX_BODY_BYTES} bytes)"
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServiceError("request body is empty; expected JSON")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from exc
+
+    # -- routes ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            url = urlparse(self.path)
+            query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+            service = self.server.service
+            parts = [p for p in url.path.split("/") if p]
+            if url.path == "/healthz":
+                self._send_json({"ok": True})
+            elif url.path == "/metrics":
+                self._send_json(service.metrics())
+            elif parts == ["jobs"]:
+                records = service.queue.list(
+                    state=query.get("state"),
+                    limit=int(query.get("limit", 100)),
+                )
+                self._send_json({"jobs": [r.to_dict() for r in records]})
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._send_json(service.queue.get(parts[1]).to_dict())
+            elif parts == ["results"]:
+                limit = query.get("limit")
+                items = service.store.items(
+                    prefix=query.get("prefix", ""),
+                    namespace=query.get("namespace", "metrics"),
+                    limit=int(limit) if limit is not None else None,
+                )
+                self._send_json({"count": len(items), "items": items})
+            else:
+                self._send_error(f"no such resource: {url.path}", 404)
+        except ServiceError as exc:
+            self._send_error(str(exc), 400 if "unknown job id" not in str(exc) else 404)
+        except Exception as exc:  # noqa: BLE001 - keep the server alive
+            traceback.print_exc()
+            self._send_error(f"internal error: {exc!r}", 500)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            url = urlparse(self.path)
+            if url.path != "/jobs":
+                self._send_error(f"no such resource: {url.path}", 404)
+                return
+            payload = self._read_json()
+            if (
+                isinstance(payload, dict)
+                and "spec" in payload
+                and "kind" not in payload
+            ):
+                spec = payload["spec"]
+                max_attempts = int(payload.get("max_attempts", 3))
+            else:
+                spec = payload
+                max_attempts = 3
+            job_id = self.server.service.submit(
+                spec, max_attempts=max_attempts
+            )
+            self._send_json({"id": job_id, "state": "queued"}, status=201)
+        except ServiceError as exc:
+            self._send_error(str(exc), 400)
+        except Exception as exc:  # noqa: BLE001 - keep the server alive
+            traceback.print_exc()
+            self._send_error(f"internal error: {exc!r}", 500)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    service: EvalService
+
+
+def make_server(
+    service: EvalService, host: str = "127.0.0.1", port: int = 0
+) -> _Server:
+    """An HTTP server bound to ``host:port`` (0 = ephemeral) serving
+    ``service``; call ``serve_forever()`` (or run it in a thread)."""
+    server = _Server((host, port), _Handler)
+    server.service = service
+    return server
+
+
+def serve(
+    db_path: str | Path,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    workers: int = 1,
+    journal_path: str | Path | None = None,
+) -> None:
+    """Blocking entry point behind ``repro serve``."""
+    journal = RunJournal(journal_path) if journal_path else RunJournal()
+    with use_journal(journal):
+        service = EvalService(db_path, workers=workers, journal=journal)
+        server = make_server(service, host, port)
+        with service:
+            address = f"http://{server.server_address[0]}:{server.server_address[1]}"
+            print(f"[repro serve] listening on {address} (db: {db_path})")
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                print("[repro serve] shutting down")
+            finally:
+                server.server_close()

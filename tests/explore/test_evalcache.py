@@ -1,5 +1,8 @@
 """Unit tests for repro.explore.evalcache."""
 
+import multiprocessing
+import sys
+
 import pytest
 
 from repro.errors import EvaluationCacheError
@@ -122,3 +125,91 @@ class TestPersistent:
         cache = EvaluationCache(path)
         cache.put("k", 1)
         assert path.exists()
+
+
+def _hammer_worker(path, worker, n_keys):
+    cache = EvaluationCache(path)
+    for i in range(n_keys):
+        cache.put(f"w{worker}/k{i}", worker * 1000 + i)
+
+
+class TestConcurrentWriters:
+    """Regression: two flushers of one path must union, not clobber."""
+
+    def test_two_instances_merge_on_flush(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        first = EvaluationCache(path)
+        second = EvaluationCache(path)
+        first.put("a", 1)
+        second.put("b", 2)  # pre-fix this flush dropped "a"
+        reloaded = EvaluationCache(path)
+        assert reloaded.get("a") == 1
+        assert reloaded.get("b") == 2
+
+    def test_later_writer_wins_per_key(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        first = EvaluationCache(path)
+        second = EvaluationCache(path)
+        first.put("k", "old")
+        second.put("k", "new")
+        assert EvaluationCache(path).get("k") == "new"
+
+    def test_bulk_flush_merges(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        first = EvaluationCache(path)
+        second = EvaluationCache(path)
+        with first.bulk():
+            for i in range(5):
+                first.put(f"first/{i}", i)
+        with second.bulk():
+            for i in range(5):
+                second.put(f"second/{i}", i)
+        reloaded = EvaluationCache(path)
+        assert len(reloaded) == 10
+
+    @pytest.mark.skipif(
+        sys.platform.startswith("win"), reason="fork + flock are POSIX"
+    )
+    def test_multiprocess_hammer(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        ctx = multiprocessing.get_context("fork")
+        workers, n_keys = 4, 20
+        procs = [
+            ctx.Process(target=_hammer_worker, args=(path, w, n_keys))
+            for w in range(workers)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        reloaded = EvaluationCache(path)
+        assert len(reloaded) == workers * n_keys
+        for w in range(workers):
+            for i in range(n_keys):
+                assert reloaded.get(f"w{w}/k{i}") == w * 1000 + i
+
+
+class TestTmpHygiene:
+    """Regression: interrupted flushes must not leak *.tmp siblings."""
+
+    def test_unserializable_value_leaves_no_tmp(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        cache = EvaluationCache(path)
+        cache.put("good", 1)
+        with pytest.raises(EvaluationCacheError, match="cannot write"):
+            cache.put("bad", object())  # json.dump raises TypeError
+        assert list(tmp_path.glob("*.tmp")) == []
+        # The cache file is still intact from the last good flush.
+        assert EvaluationCache(path).get("good") == 1
+
+    def test_stale_tmps_reaped_on_flush(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        stale = tmp_path / "metrics.jsonabc123.tmp"
+        stale.write_text("{}")
+        unrelated = tmp_path / "other.jsonxyz.tmp"
+        unrelated.write_text("{}")
+        cache = EvaluationCache(path)
+        cache.put("k", 1)
+        assert not stale.exists()
+        assert unrelated.exists()  # only this path's siblings are reaped

@@ -107,3 +107,62 @@ class TestCostArithmetic:
 
     def test_costs_total(self):
         assert EvaluationCosts().total_hours == 14.0
+
+
+class TestCheckpointAdoption:
+    """attach_checkpoint: priming states survive across evaluators."""
+
+    def _attached(self, tmp_path, name="ckpt.sqlite"):
+        from repro.service.store import open_evaluation_cache
+
+        cache = open_evaluation_cache(tmp_path / name)
+        evaluator = make_evaluator()
+        evaluator.attach_checkpoint(cache)
+        return evaluator, cache
+
+    def test_second_evaluator_adopts_instead_of_simulating(self, tmp_path):
+        first, cache = self._attached(tmp_path)
+        config = CacheConfig(8, 1, 32)
+        misses = first.simulated_misses("icache", config)
+        assert first.simulation_passes == 1
+        assert len(cache) == 1
+
+        second = make_evaluator()
+        second.attach_checkpoint(cache)
+        assert second.simulated_misses("icache", config) == misses
+        assert second.simulation_passes == 0  # adopted, not re-simulated
+
+    def test_prime_counts_adopted_units(self, tmp_path):
+        first, cache = self._attached(tmp_path)
+        first.register("icache", [CacheConfig(8, 1, 32)])
+        first.register("dcache", [CacheConfig(16, 1, 16)])
+        assert first.prime() == 2
+
+        second = make_evaluator()
+        second.attach_checkpoint(cache)
+        second.register("icache", [CacheConfig(8, 1, 32)])
+        second.register("dcache", [CacheConfig(16, 1, 16)])
+        assert second.prime() == 2  # both adopted from the checkpoint
+        assert second.simulation_passes == 0
+
+    def test_json_backend_works_too(self, tmp_path):
+        first, cache = self._attached(tmp_path, name="ckpt.json")
+        config = CacheConfig(8, 1, 32)
+        misses = first.simulated_misses("icache", config)
+
+        from repro.service.store import open_evaluation_cache
+
+        second = make_evaluator()
+        second.attach_checkpoint(open_evaluation_cache(tmp_path / "ckpt.json"))
+        assert second.simulated_misses("icache", config) == misses
+        assert second.simulation_passes == 0
+
+    def test_trace_keys_partition_the_namespace(self, tmp_path):
+        first, cache = self._attached(tmp_path)
+        # Distinct traces hash to distinct checkpoint keys: an evaluator
+        # over different traces must NOT adopt the first one's states.
+        other = MemoryEvaluator(*toy_traces()[::-1], None)
+        other.attach_checkpoint(cache)
+        first.simulated_misses("icache", CacheConfig(8, 1, 32))
+        other.simulated_misses("icache", CacheConfig(8, 1, 32))
+        assert other.simulation_passes == 1  # simulated, not adopted

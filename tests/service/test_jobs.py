@@ -1,0 +1,268 @@
+"""Unit tests for repro.service.jobs (spec parsing and execution)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import simulate_trace
+from repro.errors import ServiceError
+from repro.service.jobs import (
+    NS_EVALCACHE,
+    NS_METRICS,
+    build_trace_arrays,
+    execute_job,
+    parse_configs,
+    result_key,
+    trace_key,
+    validate_spec,
+)
+from repro.service.store import ResultStore
+
+
+SYNTH = {
+    "kind": "synthetic",
+    "seed": 7,
+    "ranges": 200,
+    "footprint": 8192,
+    "max_size": 32,
+}
+
+
+def sweep_spec(**overrides):
+    spec = {
+        "kind": "sweep",
+        "trace": SYNTH,
+        "configs": {"sets": [8, 16], "assocs": [1, 2], "line_sizes": [16]},
+    }
+    spec.update(overrides)
+    return spec
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "service.sqlite")
+
+
+class TestContentAddressing:
+    def test_trace_key_is_order_independent(self):
+        a = {"kind": "synthetic", "seed": 1, "ranges": 10}
+        b = {"ranges": 10, "seed": 1, "kind": "synthetic"}
+        assert trace_key(a) == trace_key(b)
+        assert trace_key(a).startswith("spec=")
+
+    def test_different_specs_different_keys(self):
+        assert trace_key({"seed": 1}) != trace_key({"seed": 2})
+
+    def test_result_key_embeds_config_identity(self):
+        key = result_key("spec=abc", CacheConfig(8, 2, 16))
+        assert key == "misses:spec=abc:S8A2L16"
+
+
+class TestParseConfigs:
+    def test_grid_cross_product(self):
+        configs = parse_configs(
+            {"sets": [8, 16], "assocs": [1, 2], "line_sizes": [16, 32]}
+        )
+        assert len(configs) == 8
+        assert CacheConfig(16, 2, 32) in configs
+
+    def test_explicit_list(self):
+        configs = parse_configs([{"sets": 8, "assoc": 1, "line_size": 16}])
+        assert configs == [CacheConfig(8, 1, 16)]
+
+    def test_duplicates_removed_order_kept(self):
+        configs = parse_configs(
+            [
+                {"sets": 8, "assoc": 1, "line_size": 16},
+                {"sets": 16, "assoc": 1, "line_size": 16},
+                {"sets": 8, "assoc": 1, "line_size": 16},
+            ]
+        )
+        assert configs == [CacheConfig(8, 1, 16), CacheConfig(16, 1, 16)]
+
+    def test_malformed_raises(self):
+        with pytest.raises(ServiceError, match="malformed configs"):
+            parse_configs([{"sets": 8}])
+        with pytest.raises(ServiceError, match="malformed configs"):
+            parse_configs({"sets": [8]})
+
+    def test_infeasible_config_raises(self):
+        with pytest.raises(ServiceError, match="infeasible"):
+            parse_configs([{"sets": 7, "assoc": 1, "line_size": 16}])
+
+    def test_empty_raises(self):
+        with pytest.raises(ServiceError, match="empty"):
+            parse_configs([])
+
+
+class TestTraceArrays:
+    def test_ranges(self):
+        starts, sizes = build_trace_arrays(
+            {"kind": "ranges", "starts": [0, 32], "sizes": [16, 8]}
+        )
+        assert starts.tolist() == [0, 32]
+        assert sizes.tolist() == [16, 8]
+
+    def test_ranges_mismatch_raises(self):
+        with pytest.raises(ServiceError, match="equal-length"):
+            build_trace_arrays(
+                {"kind": "ranges", "starts": [0], "sizes": [16, 8]}
+            )
+
+    def test_synthetic_is_deterministic(self):
+        first = build_trace_arrays(SYNTH)
+        second = build_trace_arrays(SYNTH)
+        assert np.array_equal(first[0], second[0])
+        assert np.array_equal(first[1], second[1])
+        assert len(first[0]) == SYNTH["ranges"]
+        assert first[1].min() >= 1
+        assert first[1].max() <= SYNTH["max_size"]
+
+    def test_synthetic_bad_params_raise(self):
+        with pytest.raises(ServiceError, match="positive"):
+            build_trace_arrays({"kind": "synthetic", "ranges": 0})
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ServiceError, match="unknown trace kind"):
+            build_trace_arrays({"kind": "mystery"})
+
+
+class TestValidateSpec:
+    def test_accepts_good_specs(self):
+        validate_spec(sweep_spec())
+        validate_spec(
+            {
+                "kind": "estimate",
+                "benchmark": "085.gcc",
+                "configs": [{"sets": 8, "assoc": 1, "line_size": 16}],
+                "dilations": [1.0, 2.0],
+            }
+        )
+        validate_spec({"kind": "explore", "benchmark": "085.gcc"})
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ServiceError, match="JSON object"):
+            validate_spec([1, 2])
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ServiceError, match="unknown job kind"):
+            validate_spec({"kind": "transmogrify"})
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(ServiceError, match="missing required field"):
+            validate_spec({"kind": "sweep", "configs": []})
+        with pytest.raises(ServiceError, match="missing required field"):
+            validate_spec({"kind": "explore"})
+
+    def test_rejects_bad_trace_eagerly(self):
+        spec = sweep_spec(trace={"kind": "ranges", "starts": [], "sizes": []})
+        with pytest.raises(ServiceError, match="equal-length"):
+            validate_spec(spec)
+
+    def test_rejects_bad_role_and_empty_dilations(self):
+        base = {
+            "kind": "estimate",
+            "benchmark": "085.gcc",
+            "configs": [{"sets": 8, "assoc": 1, "line_size": 16}],
+        }
+        with pytest.raises(ServiceError, match="unknown role"):
+            validate_spec({**base, "role": "tlb"})
+        with pytest.raises(ServiceError, match="at least one dilation"):
+            validate_spec({**base, "dilations": []})
+
+
+class TestSweepExecution:
+    def test_results_match_direct_simulation(self, store):
+        result = execute_job(sweep_spec(), store)
+        assert result["total"] == 4
+        assert result["from_store"] == 0
+        assert result["simulated"] == 4
+        starts, sizes = build_trace_arrays(SYNTH)
+        for doc in result["results"]:
+            config = CacheConfig(doc["sets"], doc["assoc"], doc["line_size"])
+            expected = simulate_trace(config, starts, sizes)
+            assert doc["misses"] == expected.misses
+            assert doc["accesses"] == expected.accesses
+            assert doc["source"] == "simulated"
+
+    def test_second_run_served_entirely_from_store(self, store):
+        execute_job(sweep_spec(), store)
+        before = (store.hits, store.misses)
+        result = execute_job(sweep_spec(), store)
+        assert result["from_store"] == 4
+        assert result["simulated"] == 0
+        assert store.hits > before[0]  # hit counters moved
+        assert all(doc["source"] == "store" for doc in result["results"])
+
+    def test_results_are_durable_metrics(self, store):
+        result = execute_job(sweep_spec(), store)
+        tkey = result["trace_key"]
+        stored = store.items(prefix=f"misses:{tkey}:", namespace=NS_METRICS)
+        assert len(stored) == 4
+        for value in stored.values():
+            assert set(value) == {"accesses", "misses"}
+
+    def test_partial_overlap_reuses_group_checkpoints(self, store):
+        execute_job(sweep_spec(), store)
+        # A superset grid at the same line size: the overlapping configs
+        # come straight from the metric store and the new ones reuse the
+        # checkpointed single-pass group state (no extra full passes).
+        bigger = sweep_spec(
+            configs={"sets": [8, 16, 32], "assocs": [1, 2], "line_sizes": [16]}
+        )
+        result = execute_job(bigger, store)
+        assert result["from_store"] == 4
+        assert result["simulated"] == 2
+        # The checkpoint namespace holds the shared group states.
+        assert store.count(NS_EVALCACHE) > 0
+
+    def test_equivalent_specs_share_store_entries(self, store):
+        execute_job(sweep_spec(), store)
+        # Same trace spec with keys in another order: same content address.
+        reordered = sweep_spec(
+            trace={
+                "max_size": 32,
+                "footprint": 8192,
+                "ranges": 200,
+                "seed": 7,
+                "kind": "synthetic",
+            }
+        )
+        result = execute_job(reordered, store)
+        assert result["from_store"] == 4
+        assert result["simulated"] == 0
+
+
+class TestEstimateAndExplore:
+    def test_estimate_grid_shape(self, store):
+        spec = {
+            "kind": "estimate",
+            "benchmark": "085.gcc",
+            "role": "icache",
+            "scale": 0.05,
+            "visits": 4000,
+            "configs": {"sets": [64], "assocs": [1, 2], "line_sizes": [32]},
+            "dilations": [1.0, 2.0],
+        }
+        result = execute_job(spec, store)
+        assert result["kind"] == "estimate"
+        assert len(result["results"]) == 2
+        for doc in result["results"]:
+            assert set(doc["misses"]) == {"1", "2"}
+            for value in doc["misses"].values():
+                assert value >= 0
+        # Priming checkpointed into the shared store: a second evaluator
+        # adopts the states instead of re-simulating.
+        assert store.count(NS_EVALCACHE) > 0
+        before = store.count(NS_EVALCACHE)
+        execute_job(spec, store)
+        assert store.count(NS_EVALCACHE) == before
+
+    def test_estimate_unknown_benchmark_raises(self, store):
+        spec = {
+            "kind": "estimate",
+            "benchmark": "999.nope",
+            "configs": [{"sets": 8, "assoc": 1, "line_size": 16}],
+        }
+        with pytest.raises(ServiceError, match="cannot build"):
+            execute_job(spec, store)

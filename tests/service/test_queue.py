@@ -1,0 +1,154 @@
+"""Unit tests for repro.service.queue."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.queue import JobQueue
+from repro.service.store import ResultStore
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return JobQueue(ResultStore(tmp_path / "service.sqlite"))
+
+
+SPEC = {"kind": "sweep", "trace": {"kind": "synthetic"}, "configs": []}
+
+
+class TestLifecycle:
+    def test_submit_get(self, queue):
+        job_id = queue.submit(SPEC)
+        record = queue.get(job_id)
+        assert record.state == "queued"
+        assert record.spec == SPEC
+        assert record.attempts == 0
+        assert not record.terminal
+
+    def test_claim_complete(self, queue):
+        job_id = queue.submit(SPEC)
+        job = queue.claim("worker-1")
+        assert job.id == job_id
+        assert job.state == "running"
+        assert job.attempts == 1
+        assert job.owner == "worker-1"
+        queue.complete(job_id, {"ok": True})
+        record = queue.get(job_id)
+        assert record.state == "done"
+        assert record.finished_ok
+        assert record.result == {"ok": True}
+        assert record.finished is not None
+
+    def test_claim_is_fifo(self, queue):
+        first = queue.submit({**SPEC, "tag": 1})
+        second = queue.submit({**SPEC, "tag": 2})
+        assert queue.claim().id == first
+        assert queue.claim().id == second
+
+    def test_claim_empty_queue_is_none(self, queue):
+        assert queue.claim() is None
+
+    def test_unknown_job_id(self, queue):
+        with pytest.raises(ServiceError, match="unknown job id"):
+            queue.get("nope")
+
+    def test_complete_requires_running(self, queue):
+        job_id = queue.submit(SPEC)
+        with pytest.raises(ServiceError, match="not running"):
+            queue.complete(job_id, {})
+
+    def test_counts_zero_filled(self, queue):
+        assert queue.counts() == {
+            "queued": 0,
+            "running": 0,
+            "done": 0,
+            "failed": 0,
+        }
+        queue.submit(SPEC)
+        assert queue.counts()["queued"] == 1
+
+    def test_list_filters_and_orders(self, queue):
+        ids = [queue.submit({**SPEC, "tag": i}) for i in range(3)]
+        queue.claim()
+        newest_first = [r.id for r in queue.list()]
+        assert set(newest_first) == set(ids)
+        assert [r.id for r in queue.list(state="queued")] != []
+        assert len(queue.list(state="running")) == 1
+        with pytest.raises(ServiceError, match="unknown job state"):
+            queue.list(state="bogus")
+
+    def test_to_dict_round_trip(self, queue):
+        job_id = queue.submit(SPEC)
+        doc = queue.get(job_id).to_dict()
+        assert doc["id"] == job_id
+        assert doc["state"] == "queued"
+        assert doc["spec"] == SPEC
+
+
+class TestRetries:
+    def test_fail_requeues_until_budget_spent(self, queue):
+        job_id = queue.submit(SPEC, max_attempts=2)
+        queue.claim()
+        assert queue.fail(job_id, "boom-1") == "queued"
+        record = queue.get(job_id)
+        assert record.state == "queued"
+        assert record.attempts == 1
+        queue.claim()
+        assert queue.fail(job_id, "boom-2") == "failed"
+        record = queue.get(job_id)
+        assert record.state == "failed"
+        assert record.terminal
+        assert record.error == "boom-2"
+
+    def test_fail_requires_running(self, queue):
+        job_id = queue.submit(SPEC)
+        with pytest.raises(ServiceError, match="not running"):
+            queue.fail(job_id, "boom")
+
+    def test_max_attempts_validated(self, queue):
+        with pytest.raises(ServiceError, match="max_attempts"):
+            queue.submit(SPEC, max_attempts=0)
+
+    def test_unserializable_spec_rejected(self, queue):
+        with pytest.raises(ServiceError, match="JSON"):
+            queue.submit({"bad": object()})
+
+
+class TestRecovery:
+    """Kill-and-resume: orphaned running jobs requeue on startup."""
+
+    def test_recover_requeues_orphans(self, tmp_path):
+        path = tmp_path / "service.sqlite"
+        queue = JobQueue(ResultStore(path))
+        job_id = queue.submit(SPEC)
+        queue.claim("dead-worker")
+        # "New process": a fresh queue over the same database.
+        restarted = JobQueue(ResultStore(path))
+        assert restarted.recover() == 1
+        record = restarted.get(job_id)
+        assert record.state == "queued"
+        assert record.attempts == 1  # the dead attempt stays counted
+        # The job is claimable again and can finish normally.
+        assert restarted.claim().id == job_id
+        restarted.complete(job_id, {"resumed": True})
+        assert restarted.get(job_id).finished_ok
+
+    def test_recover_fails_exhausted_jobs(self, queue):
+        job_id = queue.submit(SPEC, max_attempts=1)
+        queue.claim()
+        assert queue.recover() == 1
+        record = queue.get(job_id)
+        assert record.state == "failed"
+        assert "worker died" in record.error
+
+    def test_recover_scoped_to_owner(self, queue):
+        mine = queue.submit({**SPEC, "tag": "mine"})
+        theirs = queue.submit({**SPEC, "tag": "theirs"})
+        queue.claim("me")
+        queue.claim("them")
+        assert queue.recover(owner="me") == 1
+        assert queue.get(mine).state == "queued"
+        assert queue.get(theirs).state == "running"
+
+    def test_recover_noop_when_clean(self, queue):
+        queue.submit(SPEC)
+        assert queue.recover() == 0
