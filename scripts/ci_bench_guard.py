@@ -9,7 +9,9 @@ compares the two headline ratios against the committed repo-root
 * ``primary_speedup`` — vectorized engine vs the seed ``_touch`` loop on
   the epic primary grid;
 * ``kernel_speedup`` — stack-distance kernel vs the scalar survivor loop
-  on the survivor-heavy synthetic grids.
+  on the survivor-heavy synthetic grids;
+* ``design_space_speedup`` — whole-design-space kernel vs cold
+  per-line-size passes on the full multi-line-size grid.
 
 Speedups are *ratios* of two timings taken on the same runner, so they
 are far more stable across machines than absolute seconds — but CI
@@ -35,7 +37,11 @@ for entry in (_root, _root / "src"):
 
 from benchmarks.bench_cheetah_perf import run_benchmark, write_report  # noqa: E402
 
-GUARDED_METRICS = ("primary_speedup", "kernel_speedup")
+GUARDED_METRICS = (
+    "primary_speedup",
+    "kernel_speedup",
+    "design_space_speedup",
+)
 
 
 def measure(runs: int, reps: int) -> list[dict]:

@@ -7,7 +7,11 @@ Runs two comparisons with deterministic worker faults injected through
 1. A small line-size sweep (``sweep_design_space``) where one group's
    worker is killed mid-sweep: the executor must fall back / retry and
    produce results identical to the fault-free sweep.
-2. A small spacewalker exploration where the first attempt of every
+2. The same faulty sweep with zero-copy shared-memory trace shipping
+   forced: results must stay identical, the journal must show
+   ``shm_attach`` events with bytes mapped exceeding bytes shipped, and
+   no ``/dev/shm`` segment may survive the sweep.
+3. A small spacewalker exploration where the first attempt of every
    icache priming pass raises: the retried run's Pareto frontier must
    match the fault-free frontier exactly.
 
@@ -74,6 +78,56 @@ def check_sweep(journal: RunJournal) -> None:
         "journal recorded neither a fallback nor a retry for the killed worker"
     )
     print(f"sweep: {len(faulty)} configs identical under injected worker death")
+
+
+def check_shm_sweep(journal: RunJournal) -> None:
+    """Zero-copy shipping under faults: identical results, no leaks."""
+    from repro.runtime.executor import segment_manager, shm_available
+
+    if not shm_available():
+        print("shm sweep: skipped (POSIX shared memory unavailable)")
+        return
+    baseline = sweep_design_space(SWEEP_CONFIGS, sweep_trace())
+    policy = ExecutorPolicy(
+        max_workers=2,
+        retries=2,
+        backoff=0.0,
+        trace_shipping="shm",
+        fault=FaultPlan("exit", match="16", times=1),
+    )
+    faulty = sweep_design_space(
+        SWEEP_CONFIGS, sweep_trace, policy=policy, journal=journal
+    )
+    assert faulty == baseline, "shm-shipped sweep diverged from baseline"
+    attaches = journal.select("shm_attach")
+    assert attaches, "journal recorded no shm_attach events"
+    shipped = sum(e["bytes_shipped"] for e in attaches)
+    mapped = sum(e["bytes_mapped"] for e in attaches)
+    assert mapped > shipped, (
+        f"shm shipping saved nothing: {shipped} B shipped for "
+        f"{mapped} B mapped"
+    )
+    assert segment_manager().active() == {}, (
+        f"segments still tracked after sweep: {segment_manager().active()}"
+    )
+    from multiprocessing import shared_memory
+
+    for event in journal.select("shm_segment"):
+        if event["action"] != "create":
+            continue
+        try:
+            segment = shared_memory.SharedMemory(name=event["segment"])
+        except FileNotFoundError:
+            continue
+        segment.close()
+        raise AssertionError(
+            f"shm segment {event['segment']} leaked into /dev/shm"
+        )
+    print(
+        f"shm sweep: {len(faulty)} configs identical under injected worker "
+        f"death; {len(attaches)} zero-copy jobs shipped "
+        f"{shipped} B for {mapped} B mapped, no segment leaked"
+    )
 
 
 def explore_space() -> SystemDesignSpace:
@@ -154,6 +208,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     with RunJournal(args.journal) as journal:
         check_sweep(journal)
+        check_shm_sweep(journal)
         check_explore(journal)
         print()
         print(journal.summary_text(title="Fault-injection smoke journal"))

@@ -195,6 +195,18 @@ class CheetahSimulator:
     def set_counts(self) -> list[int]:
         return list(self._families)
 
+    def carrying_state(self) -> bool:
+        """Whether any stack family holds LRU state from earlier batches.
+
+        A carrying simulator splices its stacks into the next batch as
+        synthetic references and re-links internally, so precomputed
+        stream links (``consume(..., links=...)``) would be ignored.
+        """
+        return any(
+            fam.pending is not None or any(fam.stacks)
+            for fam in self._families.values()
+        )
+
     def reset(self) -> None:
         """Empty every stack family and zero the counters."""
         self._families = {
@@ -233,8 +245,23 @@ class CheetahSimulator:
         stream = line_stream(starts_arr, sizes_arr, self.line_size)
         self.consume(stream)
 
-    def consume(self, stream: LineStream) -> None:
-        """Feed a pre-expanded line stream to every stack family."""
+    def consume(
+        self,
+        stream: LineStream,
+        links: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> None:
+        """Feed a pre-expanded line stream to every stack family.
+
+        ``links``, when given, is the precomputed previous-occurrence
+        linking ``(link_from, link_to)`` of ``stream.lines`` in stream
+        coordinates — consecutive occurrence positions of each line,
+        exactly what the batch's own value sort would produce.  The
+        whole-design-space simulator derives these for every line size
+        from one shared sort (:mod:`repro.cache.designspace`), skipping
+        the per-simulator ``radix_argsort`` below.  Ignored when any
+        family carries LRU state from earlier batches (carried state
+        splices in synthetic references and re-links internally).
+        """
         self._check_unsealed()
         self.accesses += stream.accesses
         n = len(stream.lines)
@@ -259,14 +286,16 @@ class CheetahSimulator:
         # from earlier batches, which splice in synthetic references and
         # re-link internally.)
         stream_links: tuple[np.ndarray, np.ndarray] | None = None
-        if not any(
-            fam.pending is not None or any(fam.stacks)
-            for fam in self._families.values()
-        ):
-            order_v = radix_argsort(lines, vmax)
-            sv = lines[order_v]
-            eq = np.flatnonzero(sv[1:] == sv[:-1])
-            stream_links = (order_v[eq], order_v[eq + 1])
+        if not self.carrying_state():
+            if links is not None:
+                stream_links = links
+            else:
+                order_v = radix_argsort(lines, vmax)
+                sv = lines[order_v]
+                # Mask-compress instead of materializing the (nearly
+                # full-length) index array of equal-value adjacencies.
+                same = sv[1:] == sv[:-1]
+                stream_links = (order_v[:-1][same], order_v[1:][same])
         # Walk families by ascending set count so each partition can
         # refine the previous one (a stable per-bit split) when the set
         # counts double; wider jumps re-sort from scratch.  When a

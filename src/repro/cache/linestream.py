@@ -16,6 +16,15 @@ Expanded streams are memoized per ``(trace fingerprint, line_size)`` so
 one expansion is shared by every stack family, by repeated
 :class:`~repro.cache.cheetah.CheetahSimulator` passes over the same
 trace, and by :func:`~repro.cache.sweep.sweep_design_space`.
+
+The memo also derives across line sizes: the line stream at size ``L``
+is a deterministic coarsening of the stream at any divisor ``L'`` —
+every ``L'``-line maps to the ``L``-line containing it, and adjacent
+equal values collapse — so a cache miss for ``(trace, L)`` that finds
+``(trace, L')`` in the memo derives the coarser stream with one integer
+division and one collapse pass instead of re-expanding the byte ranges.
+Only the access *count* needs the original ranges (coarser lines merge
+differently per range), and it is a closed-form sum.
 """
 
 from __future__ import annotations
@@ -118,17 +127,93 @@ def collapse_repeats(lines: np.ndarray) -> np.ndarray:
     return lines[keep]
 
 
+def line_access_count(
+    starts: np.ndarray, sizes: np.ndarray, line_size: int
+) -> int:
+    """Line touches of a range trace at one line size (closed form).
+
+    Equal to ``len(expand_lines(starts, sizes, line_size))`` without
+    materializing the expansion: each range touches its spanned lines.
+    """
+    if len(starts) == 0:
+        return 0
+    first = starts // line_size
+    return int(((starts + sizes - 1) // line_size - first + 1).sum())
+
+
+def derive_stream(
+    base: LineStream,
+    factor: int,
+    starts: np.ndarray,
+    sizes: np.ndarray,
+    line_size: int,
+) -> LineStream:
+    """Coarsen a finer-granularity stream to ``line_size`` (= base * factor).
+
+    Each fine line maps onto the coarse line containing it (one floor
+    division), and mapping preserves adjacency, so collapsing the mapped
+    stream equals collapsing the direct expansion — the MRU-collapse of
+    the base stream never merges references that the coarse collapse
+    would keep apart.  Access counts come from the ranges, since a
+    coarser line can absorb several of a range's fine lines.
+    """
+    lines = collapse_repeats(base.lines // factor)
+    if lines.dtype != np.int32 and len(lines):
+        if int(lines.min()) >= -(2**31) and int(lines.max()) < 2**31:
+            lines = lines.astype(np.int32)
+    return LineStream(
+        lines=lines, accesses=line_access_count(starts, sizes, line_size)
+    )
+
+
+def _derivation_base(
+    digest: bytes, line_size: int
+) -> tuple[int, LineStream] | None:
+    """Best memoized finer stream of the same trace (largest divisor)."""
+    best: tuple[int, LineStream] | None = None
+    for (cached_digest, cached_size), stream in _cache.items():
+        if (
+            cached_digest == digest
+            and cached_size < line_size
+            and line_size % cached_size == 0
+            and (best is None or cached_size > best[0])
+        ):
+            best = (cached_size, stream)
+    return best
+
+
+def trace_digest(starts: np.ndarray, sizes: np.ndarray) -> bytes:
+    """Content fingerprint of a range trace (the memo key's trace part).
+
+    Hashing a large trace costs a few milliseconds; callers touching
+    many line sizes of one batch (the whole-design-space simulator)
+    compute this once and pass it to every :func:`line_stream` call
+    instead of re-fingerprinting per size.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(len(starts).to_bytes(8, "little"))
+    digest.update(starts.tobytes())
+    digest.update(sizes.tobytes())
+    return digest.digest()
+
+
 def line_stream(
     starts: np.ndarray,
     sizes: np.ndarray,
     line_size: int,
     *,
     memoize: bool = True,
+    digest: bytes | None = None,
 ) -> LineStream:
     """Expanded+collapsed stream for a range trace, memoized by content.
 
     The memo key is a content fingerprint of the arrays, so distinct
-    array objects holding the same trace share one expansion.
+    array objects holding the same trace share one expansion.  A miss at
+    ``line_size`` that finds the same trace memoized at a finer
+    granularity dividing it derives the coarser stream from that entry
+    (see :func:`derive_stream`) instead of re-expanding the ranges.
+    ``digest`` supplies a precomputed :func:`trace_digest` so one
+    fingerprint pass serves every line size of a batch.
     """
     starts = as_int64_array(starts)
     sizes = as_int64_array(sizes)
@@ -136,24 +221,34 @@ def line_stream(
         raise TraceError("starts and sizes must have equal length")
 
     key: tuple[bytes, int] | None = None
+    base: tuple[int, LineStream] | None = None
     if memoize:
-        digest = hashlib.blake2b(digest_size=16)
-        digest.update(len(starts).to_bytes(8, "little"))
-        digest.update(starts.tobytes())
-        digest.update(sizes.tobytes())
-        key = (digest.digest(), line_size)
+        if digest is None:
+            digest = trace_digest(starts, sizes)
+        key = (digest, line_size)
         with _cache_lock:
             cached = _cache.get(key)
             if cached is not None:
                 _cache.move_to_end(key)
                 return cached
+            base = _derivation_base(key[0], line_size)
 
-    lines = expand_lines(starts, sizes, line_size)
-    accesses = len(lines)
-    lines = collapse_repeats(lines)
-    if len(lines) and int(lines.min()) >= -(2**31) and int(lines.max()) < 2**31:
-        lines = lines.astype(np.int32)
-    stream = LineStream(lines=lines, accesses=accesses)
+    if base is not None:
+        base_size, base_stream = base
+        stream = derive_stream(
+            base_stream, line_size // base_size, starts, sizes, line_size
+        )
+    else:
+        lines = expand_lines(starts, sizes, line_size)
+        accesses = len(lines)
+        lines = collapse_repeats(lines)
+        if (
+            len(lines)
+            and int(lines.min()) >= -(2**31)
+            and int(lines.max()) < 2**31
+        ):
+            lines = lines.astype(np.int32)
+        stream = LineStream(lines=lines, accesses=accesses)
 
     if key is not None:
         with _cache_lock:

@@ -71,6 +71,7 @@ __all__ = [
     "partition_by_set",
     "radix_argsort",
     "refine_partition",
+    "split_value_groups",
     "stack_distances",
 ]
 
@@ -203,6 +204,52 @@ def refine_partition(
         seg_lens, seg_sets = new_lens, new_sets
         bit <<= 1
     return part, seg_lens, seg_sets, order
+
+
+def split_value_groups(
+    order: np.ndarray, group_lens: np.ndarray, ones: np.ndarray
+) -> np.ndarray:
+    """Stable split of consecutive equal-value groups by one extra bit.
+
+    ``order`` is a permutation of stream positions sorted by
+    ``(value, time)`` — equal values contiguous, time-ascending within
+    each run; ``group_lens`` are those runs' lengths; ``ones`` flags,
+    per *stream* position, the next lower value bit.  Each group
+    stably partitions into its zero half then its one half, turning
+    ``(v, time)`` order into ``(2v + bit, time)`` order — the sorted
+    order one granularity finer — with one O(n) scatter instead of a
+    fresh sort.  This is how the whole-design-space simulator derives
+    every line size's previous-occurrence links from a single sort of
+    the coarsest values (see :mod:`repro.cache.designspace`).
+    """
+    m = len(order)
+    if m == 0:
+        return order
+    ob = ones[order]
+    zeros = ~ob
+    ends = np.cumsum(group_lens)
+    starts = ends - group_lens
+    # int32 bookkeeping throughout: destinations index a stream that is
+    # always far below 2**31 elements, and halving the temporaries'
+    # width roughly halves this pass's memory traffic.
+    czpad = np.empty(m + 1, dtype=np.int32)
+    czpad[0] = 0
+    np.cumsum(zeros, out=czpad[1:])            # zeros up to position
+    zex = czpad[:m]                            # zeros strictly before
+    ztot = czpad[ends] - czpad[starts]         # zeros per group
+    seg_id = np.repeat(
+        np.arange(len(group_lens), dtype=np.int32), group_lens
+    )
+    # Same scatter arithmetic as refine_partition (which splits by a
+    # *set* bit of the partitioned values; here the bit arrives as a
+    # separate mask because it sits below the sorted values' lsb).
+    base_zero = (starts - czpad[starts]).astype(np.int32)
+    base_one = (ztot + czpad[starts]).astype(np.int32)
+    ar = np.arange(m, dtype=np.int32)
+    dest = np.where(ob, ar + base_one[seg_id] - zex, zex + base_zero[seg_id])
+    new_order = np.empty_like(order)
+    new_order[dest] = order
+    return new_order
 
 
 def count_left_less(

@@ -13,13 +13,24 @@ ordinary :class:`~repro.cache.simulator.MissResult` mapping.  Callers
 see the same API either way, and a crashed or hung worker costs a retry
 (or an in-process fallback), not the sweep.
 
+In-process sweeps use the whole-design-space kernel
+(:class:`~repro.cache.designspace.DesignSpaceSimulator`): one line-stream
+expansion and one value sort shared by every line size, instead of one
+of each per line size.  ``strategy="perline"`` keeps the independent
+per-line-size passes (the equivalence oracle; results are bit-identical
+either way).
+
 Trace residency: each group's trace is materialized only when its job is
 submitted and the parent's copy is dropped right after submission, so
 parent-side residency is bounded by the executor's in-flight window
 (``max_workers + 1`` groups), never the whole design space.  When the
 trace is supplied as a *picklable* factory, the factory itself is
 shipped to the workers and the parent never materializes the arrays at
-all (unless checkpointing needs a digest).
+all (unless checkpointing needs a digest).  Otherwise, when the platform
+has POSIX shared memory, the arrays are materialized **once** into a
+refcounted shared segment and each job ships only a ~200-byte
+:class:`~repro.runtime.executor.SharedArrayHandle`; workers map the
+arrays zero-copy (``policy.trace_shipping`` selects the mode).
 
 Sweeps can checkpoint completed groups into an
 :class:`~repro.explore.evalcache.EvaluationCache` (one durable flush per
@@ -39,9 +50,17 @@ import numpy as np
 from repro.cache._util import as_int64_array
 from repro.cache.cheetah import CheetahSimulator
 from repro.cache.config import CacheConfig
+from repro.cache.designspace import DesignSpaceSimulator
 from repro.cache.simulator import MissResult
 from repro.errors import ConfigurationError, RuntimeExecutionError
-from repro.runtime.executor import ExecutorPolicy, Job, run_jobs
+from repro.runtime.executor import (
+    ExecutorPolicy,
+    Job,
+    SharedArrayHandle,
+    run_jobs,
+    segment_manager,
+    shm_available,
+)
 from repro.runtime.journal import RunJournal, resolve_journal
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -92,6 +111,28 @@ def simulate_group_from_factory(
         as_int64_array(starts),
         as_int64_array(sizes),
     )
+
+
+def simulate_group_from_shm(
+    line_size: int,
+    set_counts: Sequence[int],
+    max_assoc: int,
+    handle: SharedArrayHandle,
+) -> tuple[int, dict[int, list[int]]]:
+    """Worker-side variant: map the trace from shared memory (zero-copy).
+
+    The parent owns the segment and unlinks it after the sweep; the
+    simulation only reads the arrays, so the read-only mapped views feed
+    it directly.
+    """
+    with handle.open() as arrays:
+        return simulate_group_state(
+            line_size,
+            set_counts,
+            max_assoc,
+            arrays["starts"],
+            arrays["sizes"],
+        )
 
 
 def _materialize(trace: Trace) -> tuple[np.ndarray, np.ndarray]:
@@ -235,6 +276,7 @@ def sweep_design_space(
     checkpoint: "EvaluationCache | None" = None,
     trace_key: str | None = None,
     on_error: str = "raise",
+    strategy: str = "auto",
 ) -> dict[CacheConfig, MissResult]:
     """Simulate every configuration, one pass per distinct line size.
 
@@ -247,6 +289,15 @@ def sweep_design_space(
     processes under the fault-tolerant executor: failed attempts are
     retried per ``policy``, a broken pool degrades to in-process serial
     execution, and results fold in completion order.
+
+    ``strategy`` selects the in-process engine: ``"auto"`` feeds every
+    pending line size through one
+    :class:`~repro.cache.designspace.DesignSpaceSimulator` (one
+    expansion, one sort) whenever the sweep runs in-process without
+    fault injection; ``"designspace"`` forces that kernel (in-process,
+    even when workers were requested — one shared sort usually beats a
+    per-line-size fan-out); ``"perline"`` forces the independent
+    per-line-size passes.  Results are bit-identical across strategies.
 
     ``checkpoint`` (an :class:`~repro.explore.evalcache.EvaluationCache`)
     persists each completed group's simulation state, keyed by a trace
@@ -262,6 +313,11 @@ def sweep_design_space(
     if on_error not in ("raise", "partial"):
         raise ConfigurationError(
             f"on_error must be 'raise' or 'partial', got {on_error!r}"
+        )
+    if strategy not in ("auto", "designspace", "perline"):
+        raise ConfigurationError(
+            "strategy must be 'auto', 'designspace' or 'perline', "
+            f"got {strategy!r}"
         )
     journal = resolve_journal(journal)
     policy = (policy or ExecutorPolicy()).with_workers(max_workers)
@@ -303,8 +359,41 @@ def sweep_design_space(
         policy.max_workers is not None
         and policy.max_workers > 1
         and len(pending) > 1
+        and strategy != "designspace"
     )
     if not parallel and policy.fault is None:
+        if strategy == "designspace" or (
+            strategy == "auto" and len(pending) > 1
+        ):
+            starts, sizes = _materialize(trace)
+            journal.record(
+                "trace_materialized", line_size="all", trace_ranges=len(starts)
+            )
+            space = DesignSpaceSimulator(
+                {line_size: meta[line_size] for line_size in pending}
+            )
+            space.simulate(starts, sizes)
+            trace_ranges = len(starts)
+            del starts, sizes
+            for line_size in pending:
+                set_counts, max_assoc = meta[line_size]
+                state = space.state(line_size)
+                journal.record(
+                    "pass",
+                    role="sweep",
+                    line_size=line_size,
+                    where="serial",
+                    trace_ranges=trace_ranges,
+                    wall_s=round(space.consume_seconds[line_size], 6),
+                )
+                if ck is not None:
+                    ck.store(line_size, set_counts, max_assoc, state)
+                _fold_group(
+                    results, groups[line_size], line_size, max_assoc, state
+                )
+            if ck is not None:
+                journal.observe_cache(ck.cache, label="sweep-checkpoint")
+            return results
         for line_size in pending:
             set_counts, max_assoc = meta[line_size]
             with journal.timed(
@@ -337,36 +426,99 @@ def sweep_design_space(
             journal.observe_cache(ck.cache, label="sweep-checkpoint")
         return results
 
-    # Ship the factory itself when it pickles (workers materialize their
-    # own trace); otherwise materialize per submission in the parent.
+    # Resolve the shipping mode.  A picklable factory beats everything
+    # (workers materialize their own trace, the parent never holds the
+    # arrays); otherwise shared memory materializes the arrays exactly
+    # once and ships a ~200-byte handle per job; per-job pickling is the
+    # legacy fallback.  "shm"/"pickle" force their respective paths.
     ship_factory = callable(trace) and _is_picklable(trace)
-    jobs = []
-    for line_size in pending:
-        set_counts, max_assoc = meta[line_size]
-        if ship_factory:
-            jobs.append(
-                Job(
-                    key=line_size,
-                    fn=simulate_group_from_factory,
-                    args=(line_size, set_counts, max_assoc, trace),
-                )
+    mode = policy.trace_shipping
+    if mode == "auto":
+        mode = (
+            "factory"
+            if ship_factory
+            else "shm" if shm_available() else "pickle"
+        )
+    elif mode == "shm":
+        if not shm_available():
+            raise RuntimeExecutionError(
+                "trace_shipping='shm' requested but POSIX shared memory "
+                "is unavailable on this platform"
             )
-        else:
-            jobs.append(
-                Job(
-                    key=line_size,
-                    fn=simulate_group_state,
-                    args_factory=partial(
-                        _group_args,
-                        line_size,
-                        set_counts,
-                        max_assoc,
-                        trace,
-                        journal,
-                    ),
-                )
+    elif ship_factory:  # "pickle": legacy behavior shipped the factory
+        mode = "factory"
+
+    manager = shm_key = handle = None
+    try:
+        if mode == "shm":
+            starts, sizes = _materialize(trace)
+            journal.record(
+                "trace_materialized",
+                line_size="all",
+                trace_ranges=len(starts),
             )
-    outcomes = run_jobs(jobs, policy, journal)
+            if ck is not None:
+                trace_id = ck.trace_id
+            elif trace_key is not None:
+                trace_id = f"key={trace_key}"
+            else:
+                trace_id = trace_digest(starts, sizes)
+            shm_key = f"sweep:{trace_id}"
+            manager = segment_manager()
+            handle = manager.acquire(
+                shm_key, {"starts": starts, "sizes": sizes}, journal
+            )
+            handle_bytes = len(pickle.dumps(handle))
+            del starts, sizes
+
+        jobs = []
+        for line_size in pending:
+            set_counts, max_assoc = meta[line_size]
+            if mode == "shm":
+                jobs.append(
+                    Job(
+                        key=line_size,
+                        fn=simulate_group_from_shm,
+                        args=(line_size, set_counts, max_assoc, handle),
+                    )
+                )
+                journal.record(
+                    "shm_attach",
+                    key=str(line_size),
+                    segment=handle.name,
+                    bytes_shipped=handle_bytes,
+                    bytes_mapped=handle.nbytes,
+                )
+            elif mode == "factory":
+                jobs.append(
+                    Job(
+                        key=line_size,
+                        fn=simulate_group_from_factory,
+                        args=(line_size, set_counts, max_assoc, trace),
+                    )
+                )
+            else:
+                jobs.append(
+                    Job(
+                        key=line_size,
+                        fn=simulate_group_state,
+                        args_factory=partial(
+                            _group_args,
+                            line_size,
+                            set_counts,
+                            max_assoc,
+                            trace,
+                            journal,
+                        ),
+                    )
+                )
+        journal.record("trace_shipping", mode=mode, jobs=len(jobs))
+        outcomes = run_jobs(jobs, policy, journal)
+    finally:
+        # Parent-owned unlink on every exit path: worker kills, pool
+        # restarts and serial fallback all funnel through here.
+        if manager is not None:
+            manager.release(shm_key, journal)
 
     failures: list[tuple[int, str]] = []
     for line_size in pending:

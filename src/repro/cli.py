@@ -6,6 +6,8 @@ Gives the repository's main flows a shell entry point:
   regenerate one paper table/figure and print it;
 * ``explore`` — run the spacewalker on one benchmark and print the
   Pareto frontier;
+* ``sweep`` — exact miss counts for a cache design-space grid (line
+  sizes x sets x associativities) on a benchmark's reference trace;
 * ``dilation`` — print text dilations of the paper processors for one
   benchmark;
 * ``errors`` — estimation-error statistics over a table4-style run;
@@ -19,7 +21,8 @@ Gives the repository's main flows a shell entry point:
 Common options: ``--scale`` (workload footprint multiplier),
 ``--visits`` (emulation budget), ``--benchmarks`` (subset),
 ``--max-workers``/``--job-timeout``/``--job-retries`` (parallel
-priming), ``--journal`` (structured JSON-lines run journal).
+priming), ``--trace-shipping`` (zero-copy shared memory vs per-job
+pickling), ``--journal`` (structured JSON-lines run journal).
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ from repro.experiments.runner import (
     run_table4,
 )
 from repro.machine.presets import PAPER_PROCESSORS
+from repro.runtime.executor import TRACE_SHIPPING_MODES
 from repro.runtime.journal import RunJournal, use_journal
 from repro.workloads.suite import BENCHMARK_NAMES
 
@@ -108,6 +112,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-attempts per failed simulation pass (default: 2)",
     )
     common.add_argument(
+        "--trace-shipping",
+        choices=TRACE_SHIPPING_MODES,
+        default="auto",
+        help=(
+            "how parallel runs ship trace arrays to workers: 'auto' "
+            "prefers zero-copy shared memory, 'shm' requires it, "
+            "'pickle' forces per-job pickling (default: auto)"
+        ),
+    )
+    common.add_argument(
         "--journal",
         default=None,
         metavar="PATH",
@@ -137,6 +151,60 @@ def build_parser() -> argparse.ArgumentParser:
         ("benchmarks", "list the workload suite"),
     ):
         sub.add_parser(name, help=doc, parents=[common])
+    sweep = sub.add_parser(
+        "sweep",
+        help="exact miss counts for a cache design-space grid",
+        parents=[common],
+    )
+    sweep.add_argument(
+        "--role",
+        choices=("icache", "dcache", "unified"),
+        default="unified",
+        help="reference trace to sweep (default: unified)",
+    )
+    sweep.add_argument(
+        "--line-sizes",
+        nargs="+",
+        type=_positive_int,
+        default=[16, 32, 64],
+        metavar="BYTES",
+        help="line sizes of the grid (default: 16 32 64)",
+    )
+    sweep.add_argument(
+        "--sets",
+        nargs="+",
+        type=_positive_int,
+        default=[64, 256, 1024],
+        metavar="N",
+        help="set counts of the grid (default: 64 256 1024)",
+    )
+    sweep.add_argument(
+        "--assocs",
+        nargs="+",
+        type=_positive_int,
+        default=[1, 2, 4],
+        metavar="N",
+        help="associativities of the grid (default: 1 2 4)",
+    )
+    sweep.add_argument(
+        "--strategy",
+        choices=("auto", "designspace", "perline"),
+        default="auto",
+        help=(
+            "in-process engine: one whole-design-space pass "
+            "('designspace'), independent per-line-size passes "
+            "('perline'), or pick automatically (default: auto)"
+        ),
+    )
+    sweep.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSON evaluation-cache file for resumable group-state "
+            "checkpoints (default: no checkpointing)"
+        ),
+    )
     report = sub.add_parser(
         "report", help="assemble bench results into a markdown report"
     )
@@ -219,6 +287,7 @@ def _settings(args: argparse.Namespace) -> RunnerSettings:
         max_workers=args.max_workers,
         job_timeout=args.job_timeout,
         job_retries=args.job_retries,
+        trace_shipping=getattr(args, "trace_shipping", "auto"),
     )
 
 
@@ -264,6 +333,58 @@ def _cmd_explore(args: argparse.Namespace) -> str:
                 f"proc={point.design.processor} "
                 f"I={memory.icache.describe()} D={memory.dcache.describe()} "
                 f"U={memory.unified.describe()}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    from repro.cache.config import CacheConfig
+    from repro.cache.sweep import sweep_design_space
+
+    try:
+        configs = [
+            CacheConfig(sets, assoc, line_size)
+            for line_size in args.line_sizes
+            for sets in args.sets
+            for assoc in args.assocs
+        ]
+    except Exception as exc:  # noqa: BLE001 - CacheConfig validates
+        raise SystemExit(f"infeasible cache configuration: {exc}")
+    checkpoint = None
+    if args.checkpoint:
+        from repro.explore.evalcache import EvaluationCache
+
+        checkpoint = EvaluationCache(args.checkpoint)
+    settings = _settings(args)
+    lines: list[str] = []
+    for bench in _benchmarks(args):
+        trace = get_pipeline(bench, settings).reference_artifacts().trace(
+            args.role
+        )
+        results = sweep_design_space(
+            configs,
+            (trace.starts, trace.sizes),
+            max_workers=args.max_workers,
+            policy=settings.executor_policy(),
+            checkpoint=checkpoint,
+            strategy=args.strategy,
+        )
+        lines.append(
+            f"{bench} {args.role}: {len(trace)} ranges, "
+            f"{len(configs)} configurations"
+        )
+        lines.append(
+            f"  {'line':>5} {'sets':>6} {'assoc':>5} "
+            f"{'misses':>12} {'rate':>8}"
+        )
+        for config in configs:
+            result = results[config]
+            rate = (
+                result.misses / result.accesses if result.accesses else 0.0
+            )
+            lines.append(
+                f"  {config.line_size:>5} {config.sets:>6} "
+                f"{config.assoc:>5} {result.misses:>12} {rate:>8.4f}"
             )
     return "\n".join(lines)
 
@@ -386,6 +507,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         out = run_figure6(settings=settings).render()
     elif args.command == "fig7":
         out = run_figure7(settings=settings).render()
+    elif args.command == "sweep":
+        out = _cmd_sweep(args)
     elif args.command == "dilation":
         out = _cmd_dilation(args)
     elif args.command == "explore":

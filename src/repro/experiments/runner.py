@@ -45,6 +45,8 @@ class RunnerSettings:
     job_timeout: float | None = None
     #: Re-attempts per failed simulation pass before giving up.
     job_retries: int = 2
+    #: How parallel runs ship trace arrays to workers (auto/shm/pickle).
+    trace_shipping: str = "auto"
 
     def executor_policy(self) -> ExecutorPolicy:
         """The fault-tolerance policy these settings describe."""
@@ -52,6 +54,7 @@ class RunnerSettings:
             max_workers=self.max_workers,
             timeout=self.job_timeout,
             retries=self.job_retries,
+            trace_shipping=self.trace_shipping,
         )
 
 

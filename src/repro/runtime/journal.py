@@ -29,6 +29,19 @@ any event type):
 ``checkpoint``
     Sweep checkpointing: ``action`` (``"hit"``/``"miss"``/``"store"``),
     ``key``.
+``designspace``
+    One whole-design-space tower consume (one shared sort serving a
+    ladder of line sizes): ``line_sizes``, ``refs``, ``mode``
+    (``"links"``/``"streams"``), ``sorts``, ``splits``, ``wall_s``.
+``shm_segment``
+    Shared-memory segment lifecycle in the parent: ``action``
+    (``"create"``/``"reuse"``/``"unlink"``), ``key``, ``segment``,
+    ``bytes``, ``refs``.
+``shm_attach`` / ``trace_shipping``
+    Per-job shipping accounting, recorded parent-side at submit:
+    ``shm_attach`` carries ``key``, ``bytes_shipped`` (the pickled
+    handle) and ``bytes_mapped`` (the segment the worker maps);
+    ``trace_shipping`` carries the resolved ``mode`` and ``jobs``.
 ``cache``
     An :class:`~repro.explore.evalcache.EvaluationCache` snapshot:
     ``hits``, ``misses``, ``hit_rate``, ``entries``.
@@ -203,6 +216,31 @@ class RunJournal:
             "fallbacks": _count_by(fallbacks, "reason"),
             "checkpoints": _count_by(checkpoints, "action"),
         }
+        towers = self.select("designspace")
+        if towers:
+            summary["designspace"] = {
+                "towers": len(towers),
+                "line_sizes": sum(
+                    len(e.get("line_sizes", ())) for e in towers
+                ),
+                "sorts": sum(int(e.get("sorts", 0)) for e in towers),
+                "splits": sum(int(e.get("splits", 0)) for e in towers),
+                "wall_s": round(
+                    sum(e.get("wall_s", 0.0) for e in towers), 6
+                ),
+            }
+        attaches = self.select("shm_attach")
+        segments = self.select("shm_segment")
+        if attaches or segments:
+            shipped = sum(int(e.get("bytes_shipped", 0)) for e in attaches)
+            mapped = sum(int(e.get("bytes_mapped", 0)) for e in attaches)
+            summary["trace_shipping"] = {
+                "shm_jobs": len(attaches),
+                "bytes_shipped": shipped,
+                "bytes_mapped": mapped,
+                "bytes_saved": max(0, mapped - shipped),
+                "segments": _count_by(segments, "action"),
+            }
         if caches:
             summary["caches"] = {
                 e.get("label", "evalcache"): {
@@ -250,6 +288,24 @@ class RunJournal:
             f"{j['retries']} retries, {j['timeouts']} timeouts "
             f"({j['wall_s']:.3f} s busy)"
         )
+        ds = s.get("designspace")
+        if ds:
+            lines.append(
+                f"design-space towers: {ds['towers']} "
+                f"({ds['line_sizes']} line sizes, {ds['sorts']} sorts + "
+                f"{ds['splits']} splits, {ds['wall_s']:.3f} s)"
+            )
+        ship = s.get("trace_shipping")
+        if ship:
+            segments = ", ".join(
+                f"{k}={v}" for k, v in sorted(ship["segments"].items())
+            ) or "none"
+            lines.append(
+                f"trace shipping: {ship['shm_jobs']} shm jobs, "
+                f"{ship['bytes_shipped']} B shipped for "
+                f"{ship['bytes_mapped']} B mapped "
+                f"({ship['bytes_saved']} B saved; segments: {segments})"
+            )
         if s["fallbacks"]:
             reasons = ", ".join(
                 f"{k} x{v}" for k, v in sorted(s["fallbacks"].items())

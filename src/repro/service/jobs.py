@@ -37,7 +37,8 @@ Every spec is *content-addressed*: :func:`trace_key` is a digest of the
 canonical spec JSON, so two clients submitting the same trace (however
 phrased) share store entries.
 
-All execution knobs (``max_workers``, ``job_timeout``, ``job_retries``)
+All execution knobs (``max_workers``, ``job_timeout``, ``job_retries``,
+``trace_shipping``)
 route into :class:`repro.runtime.executor.ExecutorPolicy`, so service
 jobs inherit the fault-tolerant runtime: per-pass timeouts, bounded
 retries, fault injection and journal events all carry over.
@@ -254,6 +255,7 @@ def spec_policy(spec: dict[str, Any]) -> ExecutorPolicy:
         max_workers=spec.get("max_workers"),
         timeout=spec.get("job_timeout"),
         retries=int(spec.get("job_retries", 2)),
+        trace_shipping=str(spec.get("trace_shipping", "auto")),
     )
 
 
@@ -376,6 +378,7 @@ def _execute_estimate(
         max_workers=spec.get("max_workers"),
         job_timeout=spec.get("job_timeout"),
         job_retries=int(spec.get("job_retries", 2)),
+        trace_shipping=str(spec.get("trace_shipping", "auto")),
     )
     bench_id = (
         f"{benchmark}:scale={settings.scale:g}:visits={settings.max_visits}"
@@ -460,6 +463,7 @@ def _execute_explore(
         max_workers=spec.get("max_workers"),
         job_timeout=spec.get("job_timeout"),
         job_retries=int(spec.get("job_retries", 2)),
+        trace_shipping=str(spec.get("trace_shipping", "auto")),
     )
     space = _system_space(spec.get("space"))
     try:

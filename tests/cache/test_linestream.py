@@ -91,3 +91,76 @@ class TestLineStream:
         huge = line_stream([2**40], [4], 4, memoize=False)
         assert huge.lines.dtype == np.int64
         assert huge.lines.tolist() == [2**38]
+
+
+class TestCrossLineSizeDerivation:
+    """Coarser streams derive from memoized finer ones, bit-identically."""
+
+    def test_derived_stream_matches_direct_expansion(self):
+        import hypothesis.strategies as st
+        from hypothesis import given, settings
+
+        from repro.cache.linestream import derive_stream
+
+        @settings(max_examples=60, deadline=None)
+        @given(
+            starts=st.lists(
+                st.integers(min_value=0, max_value=1 << 14),
+                min_size=1,
+                max_size=80,
+            ),
+            sizes_seed=st.integers(min_value=0, max_value=2**16),
+            base=st.sampled_from([4, 8, 16]),
+            factor=st.sampled_from([2, 4, 8]),
+        )
+        def check(starts, sizes_seed, base, factor):
+            rng = np.random.default_rng(sizes_seed)
+            sizes = rng.integers(1, 96, len(starts)).tolist()
+            fine = line_stream(starts, sizes, base, memoize=False)
+            derived = derive_stream(
+                fine,
+                factor,
+                np.asarray(starts, dtype=np.int64),
+                np.asarray(sizes, dtype=np.int64),
+                base * factor,
+            )
+            direct = line_stream(starts, sizes, base * factor, memoize=False)
+            assert derived.lines.tolist() == direct.lines.tolist()
+            assert derived.accesses == direct.accesses
+
+        check()
+
+    def test_memo_miss_derives_from_finer_entry(self):
+        from repro.cache import linestream as ls_mod
+
+        clear_line_stream_cache()
+        starts, sizes = [0, 40, 8, 120], [16, 8, 64, 4]
+        fine = line_stream(starts, sizes, 8)
+        calls = []
+        original = ls_mod.expand_lines
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        ls_mod.expand_lines = counting
+        try:
+            coarse = line_stream(starts, sizes, 32)  # 8 divides 32 -> derive
+        finally:
+            ls_mod.expand_lines = original
+        assert calls == []  # no re-expansion
+        direct = line_stream(starts, sizes, 32, memoize=False)
+        assert coarse.lines.tolist() == direct.lines.tolist()
+        assert coarse.accesses == direct.accesses
+        clear_line_stream_cache()
+
+    def test_line_access_count_closed_form(self):
+        from repro.cache.linestream import expand_lines, line_access_count
+
+        starts = np.array([0, 7, 100, 3], dtype=np.int64)
+        sizes = np.array([1, 20, 64, 5], dtype=np.int64)
+        for line_size in (4, 16, 64):
+            assert line_access_count(starts, sizes, line_size) == len(
+                expand_lines(starts, sizes, line_size)
+            )
+        assert line_access_count(starts[:0], sizes[:0], 16) == 0

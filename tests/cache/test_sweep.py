@@ -25,7 +25,7 @@ class TestSweep:
             expected = simulate_trace(config, *small_trace())
             assert results[config].misses == expected.misses
 
-    def test_trace_factory_called_per_line_size(self):
+    def test_trace_factory_called_once_for_design_space(self):
         calls = []
 
         def factory():
@@ -34,6 +34,19 @@ class TestSweep:
 
         configs = [CacheConfig(8, 1, 16), CacheConfig(8, 1, 32)]
         sweep_design_space(configs, factory)
+        # The whole-design-space kernel materializes the trace once and
+        # derives every coarser line size from the finest stream.
+        assert len(calls) == 1
+
+    def test_trace_factory_called_per_line_size_with_perline(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return small_trace()
+
+        configs = [CacheConfig(8, 1, 16), CacheConfig(8, 1, 32)]
+        sweep_design_space(configs, factory, strategy="perline")
         assert len(calls) == 2
 
     def test_passes_required_counts_distinct_line_sizes(self):
