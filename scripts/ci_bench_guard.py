@@ -11,7 +11,9 @@ compares the two headline ratios against the committed repo-root
 * ``kernel_speedup`` — stack-distance kernel vs the scalar survivor loop
   on the survivor-heavy synthetic grids;
 * ``design_space_speedup`` — whole-design-space kernel vs cold
-  per-line-size passes on the full multi-line-size grid.
+  per-line-size passes on the full multi-line-size grid;
+* ``fused_counting_speedup`` — one fused cross-size stack-distance
+  dispatch vs per-problem kernel calls on the fused-counting grid.
 
 Speedups are *ratios* of two timings taken on the same runner, so they
 are far more stable across machines than absolute seconds — but CI
@@ -41,6 +43,7 @@ GUARDED_METRICS = (
     "primary_speedup",
     "kernel_speedup",
     "design_space_speedup",
+    "fused_counting_speedup",
 )
 
 

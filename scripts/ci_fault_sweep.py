@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """CI fault-injection smoke: faulty runs must match fault-free runs.
 
-Runs two comparisons with deterministic worker faults injected through
+Runs four comparisons with deterministic worker faults injected through
 :class:`repro.runtime.FaultPlan`:
 
 1. A small line-size sweep (``sweep_design_space``) where one group's
@@ -11,7 +11,11 @@ Runs two comparisons with deterministic worker faults injected through
    forced: results must stay identical, the journal must show
    ``shm_attach`` events with bytes mapped exceeding bytes shipped, and
    no ``/dev/shm`` segment may survive the sweep.
-3. A small spacewalker exploration where the first attempt of every
+3. A design-space sweep with ``count_parallelism=2`` — per-line-size
+   counting fanned over the pool with shm-shipped streams — where one
+   counting worker is killed: results must match the fault-free
+   designspace sweep and no shared segment may leak.
+4. A small spacewalker exploration where the first attempt of every
    icache priming pass raises: the retried run's Pareto frontier must
    match the fault-free frontier exactly.
 
@@ -130,6 +134,78 @@ def check_shm_sweep(journal: RunJournal) -> None:
     )
 
 
+def check_count_parallel_sweep(journal: RunJournal) -> None:
+    """Multicore counting under faults: identical results, no leaks."""
+    from repro.runtime.executor import segment_manager, shm_available
+    from repro.runtime.journal import use_journal
+
+    if not shm_available():
+        print(
+            "count-parallel sweep: skipped "
+            "(POSIX shared memory unavailable)"
+        )
+        return
+    baseline = sweep_design_space(
+        SWEEP_CONFIGS, sweep_trace(), strategy="designspace"
+    )
+    recoveries_before = len(journal.select("retry")) + len(
+        journal.select("fallback")
+    )
+    policy = ExecutorPolicy(
+        retries=2,
+        backoff=0.0,
+        count_parallelism=2,
+        fault=FaultPlan("exit", match="32", times=1),
+    )
+    # The designspace internals journal through the *active* journal.
+    with use_journal(journal):
+        faulty = sweep_design_space(
+            SWEEP_CONFIGS,
+            sweep_trace(),
+            policy=policy,
+            journal=journal,
+            strategy="designspace",
+        )
+    assert faulty == baseline, (
+        "count-parallel sweep diverged from the designspace baseline"
+    )
+    pool_events = [
+        e for e in journal.select("designspace") if e.get("mode") == "parallel"
+    ]
+    assert pool_events, "journal recorded no parallel designspace event"
+    assert all(e["parallelism"] == 2 for e in pool_events)
+    recoveries = (
+        len(journal.select("retry"))
+        + len(journal.select("fallback"))
+        - recoveries_before
+    )
+    assert recoveries > 0, (
+        "journal recorded neither a retry nor a fallback for the "
+        "killed counting worker"
+    )
+    assert segment_manager().active() == {}, (
+        f"segments still tracked after sweep: {segment_manager().active()}"
+    )
+    from multiprocessing import shared_memory
+
+    for event in journal.select("shm_segment"):
+        if event["action"] != "create":
+            continue
+        try:
+            segment = shared_memory.SharedMemory(name=event["segment"])
+        except FileNotFoundError:
+            continue
+        segment.close()
+        raise AssertionError(
+            f"shm segment {event['segment']} leaked into /dev/shm"
+        )
+    print(
+        f"count-parallel sweep: {len(faulty)} configs identical under "
+        f"injected counting-worker death at parallelism 2, no segment "
+        f"leaked"
+    )
+
+
 def explore_space() -> SystemDesignSpace:
     """A deliberately tiny design space (seconds, not minutes, in CI)."""
     return SystemDesignSpace(
@@ -209,6 +285,7 @@ def main(argv: list[str] | None = None) -> int:
     with RunJournal(args.journal) as journal:
         check_sweep(journal)
         check_shm_sweep(journal)
+        check_count_parallel_sweep(journal)
         check_explore(journal)
         print()
         print(journal.summary_text(title="Fault-injection smoke journal"))

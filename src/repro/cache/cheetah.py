@@ -262,11 +262,43 @@ class CheetahSimulator:
         family carries LRU state from earlier batches (carried state
         splices in synthetic references and re-links internally).
         """
+        journal = active_journal()
+        for prep in self.prepare_consume(stream, links):
+            fam = prep.fam
+            with journal.timed(
+                "stackdist", line_size=self.line_size, nsets=fam.nsets
+            ) as extra:
+                dist, info = stack_distances(
+                    prep.part, prep.seg_lens, fam.max_assoc,
+                    vmax=prep.vmax, links=prep.links,
+                )
+                extra.update(prep.fold(dist, info))
+
+    def prepare_consume(
+        self,
+        stream: LineStream,
+        links: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> list["_PreparedFamily"]:
+        """Stage a batch: per-family counting problems, kernels deferred.
+
+        Runs everything in :meth:`consume` *except* the stack-distance
+        kernels themselves — accesses accounting, the shared value sort,
+        the partition-refinement ladder, synthetic-state splicing and
+        dup compaction — and returns one :class:`_PreparedFamily` per
+        family still awaiting its kernel.  The caller must then run
+        :func:`repro.cache.stackdist.stack_distances` (or one fused
+        dispatch over many simulators' problems, see
+        :mod:`repro.cache.designspace`) on each problem and feed the
+        result to :meth:`_PreparedFamily.fold`.  Small batches that take
+        the scalar path are processed fully here and return ``[]``.
+        Preparation never depends on any deferred fold: the ladder
+        adopts *compacted* streams, which exist before the kernel runs.
+        """
         self._check_unsealed()
         self.accesses += stream.accesses
         n = len(stream.lines)
         if n == 0:
-            return
+            return []
         use_kernel = self.engine == "kernel" or (
             self.engine == "auto" and n > SCALAR_BATCH_LIMIT
         )
@@ -274,9 +306,8 @@ class CheetahSimulator:
             for fam in self._families.values():
                 _ensure_stacks(fam)
                 _process_family(fam, stream)
-            return
+            return []
 
-        journal = active_journal()
         lines = stream.lines
         vmax = stream.max_line if stream.min_line >= 0 else None
         # One value sort serves every family: link each reference to its
@@ -309,6 +340,7 @@ class CheetahSimulator:
         part: np.ndarray | None = None
         seg_lens = seg_sets = order = None
         prev_nsets = 0
+        prepared: list[_PreparedFamily] = []
         for fam in sorted(self._families.values(), key=lambda f: f.nsets):
             nsets = fam.nsets
             if (
@@ -330,22 +362,20 @@ class CheetahSimulator:
                     part, seg_lens, seg_sets, prev_nsets, nsets, order
                 )
             prev_nsets = nsets
-            with journal.timed(
-                "stackdist", line_size=self.line_size, nsets=nsets
-            ) as extra:
-                stats, adopted = _process_family_kernel(
-                    fam, part, seg_lens, seg_sets,
-                    order if ladder is lines else None,
-                    stream_links if ladder is lines else None,
-                    stream.repeats + ladder_dups, vmax,
-                )
-                extra.update(stats)
+            prep, adopted = _prepare_family_kernel(
+                fam, part, seg_lens, seg_sets,
+                order if ladder is lines else None,
+                stream_links if ladder is lines else None,
+                stream.repeats + ladder_dups, vmax,
+            )
+            prepared.append(prep)
             if adopted is not None:
                 part, seg_lens, ndup = adopted
                 ladder = part
                 ladder_dups += ndup
                 order = None
                 stream_links = None
+        return prepared
 
     def misses(self, sets: int, assoc: int) -> int:
         """Misses of cache C(sets, assoc, line_size) on the trace seen so far.
@@ -435,7 +465,64 @@ def _ensure_stacks(fam: _Family) -> None:
             pos += c
 
 
-def _process_family_kernel(
+class _PreparedFamily:
+    """One family's staged counting problem, awaiting its kernel result.
+
+    Produced by :func:`_prepare_family_kernel`; carries exactly the
+    argument tuple the family's :func:`stack_distances` call needs
+    (``part``/``seg_lens`` post splice/compaction, the mapped ``links``
+    or the ``vmax`` for a fresh sort) so callers can run the kernel
+    however they like — per family, or fused across many simulators —
+    and then :meth:`fold` the distances back into the family.
+    """
+
+    __slots__ = ("fam", "part", "seg_lens", "seg_sets", "links", "vmax", "nsyn")
+
+    def __init__(
+        self,
+        fam: _Family,
+        part: np.ndarray,
+        seg_lens: np.ndarray,
+        seg_sets: np.ndarray,
+        links: tuple[np.ndarray, np.ndarray] | None,
+        vmax: int | None,
+        nsyn: int,
+    ):
+        self.fam = fam
+        self.part = part
+        self.seg_lens = seg_lens
+        self.seg_sets = seg_sets
+        self.links = links
+        self.vmax = vmax
+        self.nsyn = nsyn
+
+    def fold(self, dist: np.ndarray, info: dict[str, Any]) -> dict[str, Any]:
+        """Fold one kernel result into the family's histogram and state.
+
+        Returns the telemetry dict journaled as the family's
+        ``stackdist`` (or fused-dispatch per-problem) stats.
+        """
+        fam = self.fam
+        A = fam.max_assoc
+        hist = fam.hist
+        counts = np.bincount(dist, minlength=A + 1)
+        for depth, cnt in enumerate(counts.tolist()):
+            if cnt:
+                hist[depth] += cnt
+        if self.nsyn:
+            hist[A] -= self.nsyn
+        fam.pending = (
+            self.part, self.seg_lens, self.seg_sets, info["recurs_idx"]
+        )
+        return {
+            "refs": int(info["refs"]),
+            "path": info["path"],
+            "window": int(info["window"]),
+            "residues": int(info["residues"]),
+        }
+
+
+def _prepare_family_kernel(
     fam: _Family,
     part: np.ndarray,
     seg_lens: np.ndarray,
@@ -444,8 +531,8 @@ def _process_family_kernel(
     stream_links: tuple[np.ndarray, np.ndarray] | None,
     repeats: int,
     vmax: int | None,
-) -> tuple[dict[str, Any], tuple[np.ndarray, np.ndarray, int] | None]:
-    """Batch-process one family with the offline stack-distance kernel.
+) -> tuple[_PreparedFamily, tuple[np.ndarray, np.ndarray, int] | None]:
+    """Stage one family's batch for the offline stack-distance kernel.
 
     ``part``/``seg_lens``/``seg_sets``/``order`` describe the batch
     partitioned by this family's set bits (shared across families via
@@ -454,19 +541,22 @@ def _process_family_kernel(
     coordinates (``None`` when carried LRU state forces re-linking, or
     when a coarser family already compacted the ladder stream).
 
-    Returns ``(stats, adopted)``: kernel telemetry for the ``stackdist``
-    journal event, and — when this family compacted within-set repeats
-    out of a synthetic-free stream — the compacted
-    ``(part, seg_lens, ndup)`` for the caller to adopt as the ladder
-    stream for finer families, crediting the ``ndup`` removed repeats
-    to their depth-0 buckets
-    (a within-set repeat for ``k`` sets is also one for ``2k`` sets:
-    the finer set class is a subset, so the two references stay
-    adjacent).
+    Everything *except* the kernel itself happens here — repeat
+    crediting, synthetic-state splicing, dup compaction, link mapping —
+    so the returned :class:`_PreparedFamily` can be counted later (and
+    jointly with other families' problems, see
+    :func:`repro.cache.stackdist.stack_distances_fused`).
+
+    Returns ``(prepared, adopted)``: the staged problem, and — when this
+    family compacted within-set repeats out of a synthetic-free stream —
+    the compacted ``(part, seg_lens, ndup)`` for the caller to adopt as
+    the ladder stream for finer families, crediting the ``ndup`` removed
+    repeats to their depth-0 buckets (a within-set repeat for ``k`` sets
+    is also one for ``2k`` sets: the finer set class is a subset, so the
+    two references stay adjacent).
     """
     hist = fam.hist
     hist[0] += repeats
-    A = fam.max_assoc
     nseg = len(seg_lens)
 
     # Carried state from earlier batches/access_line() enters as
@@ -543,20 +633,9 @@ def _process_family_kernel(
     else:
         links = None
 
-    dist, info = stack_distances(part, seg_lens, A, vmax=vmax, links=links)
-    counts = np.bincount(dist, minlength=A + 1)
-    for depth, cnt in enumerate(counts.tolist()):
-        if cnt:
-            hist[depth] += cnt
-    if nsyn:
-        hist[A] -= nsyn
-    fam.pending = (part, seg_lens, seg_sets, info["recurs_idx"])
-    return {
-        "refs": int(info["refs"]),
-        "path": info["path"],
-        "window": int(info["window"]),
-        "residues": int(info["residues"]),
-    }, adopted
+    return _PreparedFamily(
+        fam, part, seg_lens, seg_sets, links, vmax, nsyn
+    ), adopted
 
 
 def _process_family(fam: _Family, stream: LineStream) -> None:

@@ -66,12 +66,18 @@ sweep checkpoints interoperate either way.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.cache._util import as_int64_array
-from repro.cache.cheetah import SCALAR_BATCH_LIMIT, CheetahSimulator
+from repro.cache.cheetah import (
+    SCALAR_BATCH_LIMIT,
+    CheetahSimulator,
+    _ensure_stacks,
+    _PreparedFamily,
+)
 from repro.cache.config import CacheConfig
 from repro.cache.linestream import (
     LineStream,
@@ -80,8 +86,22 @@ from repro.cache.linestream import (
     trace_digest,
 )
 from repro.cache.simulator import MissResult
-from repro.cache.stackdist import radix_argsort, split_value_groups
+from repro.cache.stackdist import (
+    CountProblem,
+    radix_argsort,
+    split_value_groups,
+    stack_distances,
+    stack_distances_fused,
+)
 from repro.errors import ConfigurationError, TraceError
+from repro.runtime.executor import (
+    ExecutorPolicy,
+    Job,
+    SharedArrayHandle,
+    run_jobs,
+    segment_manager,
+    shm_available,
+)
 from repro.runtime.journal import active_journal
 
 __all__ = ["MAX_DERIVE_FACTOR", "TOWER_MODES", "DesignSpaceSimulator"]
@@ -91,8 +111,24 @@ __all__ = ["MAX_DERIVE_FACTOR", "TOWER_MODES", "DesignSpaceSimulator"]
 #: One fresh 16-bit radix sort costs about two single-bit split passes.
 MAX_DERIVE_FACTOR = 4
 
-#: Per-tower plan: ``auto`` picks by the cost model, the others force.
-TOWER_MODES = ("auto", "links", "streams")
+#: Per-tower plan: ``auto``/``fused`` pick links-vs-streams derivation
+#: by the cost model; ``links``/``streams`` force one derivation and
+#: dispatch one stack-distance kernel per (line size, set count);
+#: ``auto`` and ``fused`` additionally concatenate every family's
+#: counting problem of a tower into one fused kernel dispatch
+#: (:func:`repro.cache.stackdist.stack_distances_fused`) — ``auto``
+#: only when the tower stays under :data:`FUSE_MAX_REFS`.
+TOWER_MODES = ("auto", "links", "streams", "fused")
+
+#: Fused-dispatch cost model: concatenating a tower's counting problems
+#: saves one kernel dispatch per (line size, set count), but the scan
+#: streams its uint8 working set once per window offset — and once the
+#: concatenation outgrows the cache that per-problem blocks fit in, the
+#: extra memory traffic outweighs every saved dispatch.  Measured
+#: crossover on this class of machine is ~100k refs (1.7x fused below
+#: 50k refs and 24 problems, 0.6x above 200k); ``auto`` fuses only
+#: under this ceiling, ``fused`` always does.
+FUSE_MAX_REFS = 96 * 1024
 
 #: Cost of one split + link-extraction + remap pass per fine-stream
 #: element, in units of one 16-bit radix-sort pass per element
@@ -114,8 +150,16 @@ class DesignSpaceSimulator:
     mode:
         Tower plan selection — one of :data:`TOWER_MODES`.  ``auto``
         (default) weighs full-length split passes against per-size
-        sorts of the collapsed streams; ``links``/``streams`` force one
-        plan (results are bit-identical either way).
+        sorts of the collapsed streams, and fuses each tower's counting
+        problems into one kernel dispatch when they stay under
+        :data:`FUSE_MAX_REFS`; ``links``/``streams`` force one
+        derivation plan with per-family dispatch; ``fused`` forces the
+        fused dispatch at any size (results are bit-identical every
+        way).
+    policy:
+        Optional :class:`~repro.runtime.executor.ExecutorPolicy`; its
+        ``count_parallelism`` (> 1) fans per-line-size counting out
+        over the fault-tolerant worker pool with shm-backed streams.
     """
 
     def __init__(
@@ -123,6 +167,7 @@ class DesignSpaceSimulator:
         spec: Mapping[int, tuple[Sequence[int], int]],
         engine: str = "auto",
         mode: str = "auto",
+        policy: ExecutorPolicy | None = None,
     ):
         if not spec:
             raise ConfigurationError("design-space spec is empty")
@@ -133,6 +178,7 @@ class DesignSpaceSimulator:
             )
         self.engine = engine
         self.mode = mode
+        self.policy = policy
         self.simulators: dict[int, CheetahSimulator] = {
             int(line_size): CheetahSimulator(
                 int(line_size), set_counts, max_assoc, engine=engine
@@ -152,6 +198,7 @@ class DesignSpaceSimulator:
         configs: Iterable[CacheConfig],
         engine: str = "auto",
         mode: str = "auto",
+        policy: ExecutorPolicy | None = None,
     ) -> "DesignSpaceSimulator":
         """Build from a configuration list (one group per line size)."""
         groups: dict[int, list[CacheConfig]] = {}
@@ -167,6 +214,7 @@ class DesignSpaceSimulator:
             },
             engine=engine,
             mode=mode,
+            policy=policy,
         )
 
     @classmethod
@@ -179,6 +227,7 @@ class DesignSpaceSimulator:
         sim = cls.__new__(cls)
         sim.engine = engine
         sim.mode = "auto"
+        sim.policy = None
         sim.simulators = {
             int(line_size): CheetahSimulator.from_state(
                 int(line_size),
@@ -218,6 +267,19 @@ class DesignSpaceSimulator:
         if len(starts_arr) != len(sizes_arr):
             raise TraceError("starts and sizes must have equal length")
         digest = trace_digest(starts_arr, sizes_arr)
+        policy = self.policy
+        if (
+            policy is not None
+            and policy.count_parallelism > 1
+            and len(self.simulators) > 1
+            and self.engine != "scalar"
+            and shm_available()
+            and not any(
+                sim.carrying_state() for sim in self.simulators.values()
+            )
+            and self._simulate_parallel(starts_arr, sizes_arr, digest)
+        ):
+            return
         for tower in self._towers:
             self._consume_tower(tower, starts_arr, sizes_arr, digest)
 
@@ -246,8 +308,18 @@ class DesignSpaceSimulator:
             )
         )
         use_links = can_link and self.mode != "streams"
+        # Fused dispatch pools every family's counting problem of the
+        # tower into one stack_distances_fused call (one scan/expand/
+        # dominance pass and, for unlinked problems, one shared sort).
+        # It composes with either derivation plan and is bit-identical.
+        # Staging the problems is free (the prepare/fold split defers
+        # the kernels either way), so auto mode collects them and lets
+        # _finish_fused apply the FUSE_MAX_REFS cost model once the
+        # real ref counts are known.
+        fuse = self.mode in ("auto", "fused") and self.engine != "scalar"
+        derive_auto = self.mode in ("auto", "fused")
         coarse: dict[int, LineStream] = {}
-        if can_link and self.mode == "auto" and len(tower) > 1:
+        if can_link and derive_auto and len(tower) > 1:
             # Deriving the coarse streams is a shift + collapse each
             # (memoized), so the cost model can weigh real collapsed
             # lengths: the linked plan splits at the fine length once
@@ -262,18 +334,25 @@ class DesignSpaceSimulator:
             passes = 1 if vmax is not None and vmax < (1 << 16) else 2
             sort_cost = passes * sum(len(s) for s in coarse.values())
             use_links = split_cost < sort_cost
-        elif can_link and self.mode == "auto":
+        elif can_link and derive_auto:
             use_links = False  # one size: its own sort is the shared sort
         journal = active_journal()
+        collect: list[tuple[int, _PreparedFamily]] | None = (
+            [] if fuse else None
+        )
         with journal.timed(
             "designspace",
             line_sizes=list(tower),
             refs=n,
-            mode="links" if use_links else "streams",
         ) as extra:
+            # In the dict, not a timed() field: _finish_fused rewrites
+            # it when the counting cost model rejects the fused plan.
+            extra["mode"] = ("fused-" if fuse else "") + (
+                "links" if use_links else "streams"
+            )
             if use_links:
                 self._consume_tower_linked(
-                    tower, fine, starts, sizes, extra, coarse
+                    tower, fine, starts, sizes, extra, coarse, collect
                 )
             else:
                 for line_size in tower:
@@ -283,7 +362,9 @@ class DesignSpaceSimulator:
                         else coarse.get(line_size)
                         or line_stream(starts, sizes, line_size, digest=digest)
                     )
-                    self._consume(line_size, stream, None)
+                    self._consume(line_size, stream, None, collect)
+            if collect:
+                self._finish_fused(collect, extra)
 
     def _consume_tower_linked(
         self,
@@ -293,6 +374,7 @@ class DesignSpaceSimulator:
         sizes: np.ndarray,
         extra: dict,
         coarse: Mapping[int, LineStream] | None = None,
+        collect: list[tuple[int, _PreparedFamily]] | None = None,
     ) -> None:
         """One sort at the coarsest granularity, bit-splits downward."""
         base = tower[0]
@@ -315,7 +397,10 @@ class DesignSpaceSimulator:
                 same = ~neq
                 if k == 0:
                     self._consume(
-                        line_size, fine, (order[:-1][same], order[1:][same])
+                        line_size,
+                        fine,
+                        (order[:-1][same], order[1:][same]),
+                        collect,
                     )
                 else:
                     keep = np.empty(n, dtype=bool)
@@ -348,6 +433,7 @@ class DesignSpaceSimulator:
                         line_size,
                         stream,
                         (mapped_from[keep_link], mapped_to[keep_link]),
+                        collect,
                     )
             if k > 0:
                 finer = fine_lines if k == 1 else fine_lines >> (k - 1)
@@ -372,10 +458,174 @@ class DesignSpaceSimulator:
         line_size: int,
         stream: LineStream,
         links: tuple[np.ndarray, np.ndarray] | None,
+        collect: list[tuple[int, _PreparedFamily]] | None = None,
     ) -> None:
         t0 = time.perf_counter()
-        self.simulators[line_size].consume(stream, links=links)
+        sim = self.simulators[line_size]
+        if collect is None:
+            sim.consume(stream, links=links)
+        else:
+            for prep in sim.prepare_consume(stream, links):
+                collect.append((line_size, prep))
         self.consume_seconds[line_size] += time.perf_counter() - t0
+
+    def _finish_fused(
+        self, collect: list[tuple[int, _PreparedFamily]], extra: dict
+    ) -> None:
+        """Count every staged family of a tower in one fused dispatch.
+
+        ``auto`` mode applies the :data:`FUSE_MAX_REFS` cost model here,
+        where the real per-family ref counts are known: towers whose
+        concatenated counting problems would outgrow cache fall back to
+        per-family dispatch (bit-identical, journaled as ordinary
+        ``stackdist`` events).  ``mode="fused"`` always fuses.
+        """
+        journal = active_journal()
+        total_refs = sum(len(prep.part) for _, prep in collect)
+        if self.mode != "fused" and total_refs > FUSE_MAX_REFS:
+            extra["mode"] = str(extra["mode"]).replace("fused-", "", 1)
+            for line_size, prep in collect:
+                t0 = time.perf_counter()
+                with journal.timed(
+                    "stackdist", line_size=line_size, nsets=prep.fam.nsets
+                ) as sx:
+                    dist, info = stack_distances(
+                        prep.part,
+                        prep.seg_lens,
+                        prep.fam.max_assoc,
+                        vmax=prep.vmax,
+                        links=prep.links,
+                    )
+                    sx.update(prep.fold(dist, info))
+                self.consume_seconds[line_size] += time.perf_counter() - t0
+            return
+        with journal.timed(
+            "stackdist_fused",
+            line_sizes=sorted({ls for ls, _ in collect}),
+        ) as fx:
+            t0 = time.perf_counter()
+            results, fused_info = stack_distances_fused(
+                [
+                    CountProblem(
+                        prep.part,
+                        prep.seg_lens,
+                        prep.fam.max_assoc,
+                        vmax=prep.vmax,
+                        links=prep.links,
+                    )
+                    for _, prep in collect
+                ]
+            )
+            by_path: dict[str, int] = {}
+            for (_, prep), (dist, info) in zip(collect, results):
+                prep.fold(dist, info)
+                by_path[info["path"]] = by_path.get(info["path"], 0) + 1
+            wall = time.perf_counter() - t0
+            fx.update(fused_info)
+            fx["by_path"] = by_path
+        extra["fused_problems"] = len(collect)
+        # The fused kernel ran outside the per-size _consume timers;
+        # attribute its wall clock by each size's share of the refs.
+        per_size: dict[int, int] = {}
+        for line_size, prep in collect:
+            per_size[line_size] = per_size.get(line_size, 0) + len(prep.part)
+        total = sum(per_size.values()) or 1
+        for line_size, refs in per_size.items():
+            self.consume_seconds[line_size] += wall * refs / total
+
+    def _simulate_parallel(
+        self, starts: np.ndarray, sizes: np.ndarray, digest: bytes
+    ) -> bool:
+        """Fan per-line-size counting out over the worker pool.
+
+        Streams for every line size derive in the parent (memoized
+        cross-size derivation) and ship zero-copy through one shared
+        segment; each worker counts one line size with a fresh
+        :class:`CheetahSimulator` and returns its histograms plus
+        materialized LRU stacks, folded back in ascending line-size
+        order so results are independent of completion order.  Jobs
+        that fail terminally (after the policy's retries) are recounted
+        in-process with the same kernel — bit-identical either way.
+        Returns False (nothing consumed) when the trace is empty.
+        """
+        policy = self.policy
+        assert policy is not None
+        line_sizes = self.line_sizes
+        streams = {
+            ls: line_stream(starts, sizes, ls, digest=digest)
+            for ls in line_sizes
+        }
+        if not any(len(s.lines) for s in streams.values()):
+            return False
+        journal = active_journal()
+        manager = segment_manager()
+        key = f"dscount:{digest.hex()}:{'-'.join(map(str, line_sizes))}"
+        with journal.timed(
+            "designspace",
+            line_sizes=line_sizes,
+            refs=len(streams[line_sizes[0]].lines),
+            mode="parallel",
+            parallelism=policy.count_parallelism,
+        ) as extra:
+            handle = manager.acquire(
+                key,
+                {f"lines_{ls}": streams[ls].lines for ls in line_sizes},
+                journal,
+            )
+            try:
+                jobs = [
+                    Job(
+                        key=ls,
+                        fn=_count_stream_job,
+                        args=(
+                            ls,
+                            list(self.simulators[ls].set_counts),
+                            self.simulators[ls].max_assoc,
+                            self.engine,
+                            handle,
+                            f"lines_{ls}",
+                            streams[ls].accesses,
+                        ),
+                    )
+                    for ls in line_sizes
+                ]
+                t0 = time.perf_counter()
+                outcome = run_jobs(
+                    jobs,
+                    replace(policy, max_workers=policy.count_parallelism),
+                    journal=journal,
+                )
+                wall = time.perf_counter() - t0
+                failed = []
+                for ls in line_sizes:
+                    result = outcome[ls]
+                    if result.ok:
+                        self._fold_counted(ls, result.value)
+                        self.consume_seconds[ls] += result.wall_s
+                    else:
+                        failed.append(ls)
+                for ls in failed:
+                    self._consume(ls, streams[ls], None)
+            finally:
+                manager.release(key, journal)
+            extra["failed"] = len(failed)
+            extra["pool_wall_s"] = wall
+        return True
+
+    def _fold_counted(
+        self,
+        line_size: int,
+        payload: tuple[int, dict[int, tuple[list[int], list[list[int]]]]],
+    ) -> None:
+        """Adopt one worker's counting result for one line size."""
+        accesses, families = payload
+        sim = self.simulators[line_size]
+        sim.accesses += int(accesses)
+        for nsets, (hist, stacks) in families.items():
+            fam = sim._families[int(nsets)]
+            fam.hist = [a + b for a, b in zip(fam.hist, hist)]
+            fam.stacks = [list(stack) for stack in stacks]
+            fam.pending = None
 
     # ------------------------------------------------------------------
     # Queries and state export.
@@ -412,6 +662,39 @@ class DesignSpaceSimulator:
     def states(self) -> dict[int, tuple[int, dict[int, list[int]]]]:
         """Exportable per-line-size states (see :meth:`from_states`)."""
         return {ls: self.simulators[ls].state() for ls in self.line_sizes}
+
+
+def _count_stream_job(
+    line_size: int,
+    set_counts: list[int],
+    max_assoc: int,
+    engine: str,
+    handle: SharedArrayHandle,
+    field: str,
+    accesses: int,
+) -> tuple[int, dict[int, tuple[list[int], list[list[int]]]]]:
+    """Worker: count one line size's stream from a shared segment.
+
+    Returns ``(accesses, {nsets: (hist, stacks)})`` with the LRU stacks
+    materialized — plain lists only, so nothing in the result references
+    the shared segment after the handle closes, and the parent simulator
+    stays appendable (a later batch splices the stacks back in exactly
+    like any carried state).
+    """
+    with handle.open() as arrays:
+        stream = LineStream(lines=arrays[field], accesses=int(accesses))
+        sim = CheetahSimulator(
+            line_size, set_counts, max_assoc, engine=engine
+        )
+        sim.consume(stream)
+        out: dict[int, tuple[list[int], list[list[int]]]] = {}
+        for nsets, fam in sim._families.items():
+            _ensure_stacks(fam)
+            out[nsets] = (
+                list(fam.hist),
+                [[int(line) for line in stack] for stack in fam.stacks],
+            )
+        return sim.accesses, out
 
 
 def _build_towers(line_sizes: list[int]) -> list[list[int]]:

@@ -361,39 +361,50 @@ def sweep_design_space(
         and len(pending) > 1
         and strategy != "designspace"
     )
-    if not parallel and policy.fault is None:
-        if strategy == "designspace" or (
-            strategy == "auto" and len(pending) > 1
-        ):
-            starts, sizes = _materialize(trace)
+    # The whole-design-space simulator runs all pending line sizes from
+    # shared work; with count_parallelism > 1 it also owns the parallel
+    # fan-out of the per-size counting (through the same fault-tolerant
+    # pool), so a fault plan no longer forces the per-group path.
+    use_designspace = (
+        not parallel
+        and (
+            strategy == "designspace"
+            or (strategy == "auto" and len(pending) > 1)
+        )
+        and (policy.fault is None or policy.count_parallelism > 1)
+    )
+    if use_designspace:
+        starts, sizes = _materialize(trace)
+        journal.record(
+            "trace_materialized", line_size="all", trace_ranges=len(starts)
+        )
+        space = DesignSpaceSimulator(
+            {line_size: meta[line_size] for line_size in pending},
+            policy=policy,
+        )
+        space.simulate(starts, sizes)
+        trace_ranges = len(starts)
+        del starts, sizes
+        for line_size in pending:
+            set_counts, max_assoc = meta[line_size]
+            state = space.state(line_size)
             journal.record(
-                "trace_materialized", line_size="all", trace_ranges=len(starts)
+                "pass",
+                role="sweep",
+                line_size=line_size,
+                where="serial",
+                trace_ranges=trace_ranges,
+                wall_s=round(space.consume_seconds[line_size], 6),
             )
-            space = DesignSpaceSimulator(
-                {line_size: meta[line_size] for line_size in pending}
-            )
-            space.simulate(starts, sizes)
-            trace_ranges = len(starts)
-            del starts, sizes
-            for line_size in pending:
-                set_counts, max_assoc = meta[line_size]
-                state = space.state(line_size)
-                journal.record(
-                    "pass",
-                    role="sweep",
-                    line_size=line_size,
-                    where="serial",
-                    trace_ranges=trace_ranges,
-                    wall_s=round(space.consume_seconds[line_size], 6),
-                )
-                if ck is not None:
-                    ck.store(line_size, set_counts, max_assoc, state)
-                _fold_group(
-                    results, groups[line_size], line_size, max_assoc, state
-                )
             if ck is not None:
-                journal.observe_cache(ck.cache, label="sweep-checkpoint")
-            return results
+                ck.store(line_size, set_counts, max_assoc, state)
+            _fold_group(
+                results, groups[line_size], line_size, max_assoc, state
+            )
+        if ck is not None:
+            journal.observe_cache(ck.cache, label="sweep-checkpoint")
+        return results
+    if not parallel and policy.fault is None:
         for line_size in pending:
             set_counts, max_assoc = meta[line_size]
             with journal.timed(

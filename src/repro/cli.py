@@ -22,7 +22,9 @@ Common options: ``--scale`` (workload footprint multiplier),
 ``--visits`` (emulation budget), ``--benchmarks`` (subset),
 ``--max-workers``/``--job-timeout``/``--job-retries`` (parallel
 priming), ``--trace-shipping`` (zero-copy shared memory vs per-job
-pickling), ``--journal`` (structured JSON-lines run journal).
+pickling), ``--count-parallelism`` (multicore per-line-size
+stack-distance counting), ``--journal`` (structured JSON-lines run
+journal).
 """
 
 from __future__ import annotations
@@ -119,6 +121,17 @@ def build_parser() -> argparse.ArgumentParser:
             "how parallel runs ship trace arrays to workers: 'auto' "
             "prefers zero-copy shared memory, 'shm' requires it, "
             "'pickle' forces per-job pickling (default: auto)"
+        ),
+    )
+    common.add_argument(
+        "--count-parallelism",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the per-line-size stack-distance "
+            "counting of multi-line-size sweeps (streams ship zero-copy; "
+            "default: 1, in-process)"
         ),
     )
     common.add_argument(
@@ -288,6 +301,7 @@ def _settings(args: argparse.Namespace) -> RunnerSettings:
         job_timeout=args.job_timeout,
         job_retries=args.job_retries,
         trace_shipping=getattr(args, "trace_shipping", "auto"),
+        count_parallelism=getattr(args, "count_parallelism", 1),
     )
 
 

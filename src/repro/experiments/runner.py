@@ -47,6 +47,8 @@ class RunnerSettings:
     job_retries: int = 2
     #: How parallel runs ship trace arrays to workers (auto/shm/pickle).
     trace_shipping: str = "auto"
+    #: Workers for per-line-size stack-distance counting (1 = in-process).
+    count_parallelism: int = 1
 
     def executor_policy(self) -> ExecutorPolicy:
         """The fault-tolerance policy these settings describe."""
@@ -55,6 +57,7 @@ class RunnerSettings:
             timeout=self.job_timeout,
             retries=self.job_retries,
             trace_shipping=self.trace_shipping,
+            count_parallelism=self.count_parallelism,
         )
 
 

@@ -129,6 +129,13 @@ class ExecutorPolicy:
     legacy per-job pickling path.  The executor itself only validates
     and carries the knob; call sites (e.g.
     :func:`repro.cache.sweep.sweep_design_space`) resolve it.
+
+    ``count_parallelism`` fans the per-line-size stack-distance
+    *counting* of a multi-line-size batch out over this many workers
+    (shm-backed streams, deterministic fold order); 1 keeps counting
+    in-process.  Like ``trace_shipping`` it is carried here and
+    resolved by the call sites
+    (:class:`repro.cache.designspace.DesignSpaceSimulator`).
     """
 
     max_workers: int | None = None
@@ -138,12 +145,17 @@ class ExecutorPolicy:
     serial_fallback: bool = True
     fault: FaultPlan | None = None
     trace_shipping: str = "auto"
+    count_parallelism: int = 1
 
     def __post_init__(self) -> None:
         if self.trace_shipping not in TRACE_SHIPPING_MODES:
             raise RuntimeExecutionError(
                 f"unknown trace shipping mode {self.trace_shipping!r}; "
                 f"expected one of {', '.join(TRACE_SHIPPING_MODES)}"
+            )
+        if self.count_parallelism < 1:
+            raise RuntimeExecutionError(
+                f"count_parallelism must be >= 1, got {self.count_parallelism}"
             )
 
     def fault_kind(self, key: Hashable, attempt: int) -> str | None:

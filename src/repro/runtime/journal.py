@@ -32,7 +32,16 @@ any event type):
 ``designspace``
     One whole-design-space tower consume (one shared sort serving a
     ladder of line sizes): ``line_sizes``, ``refs``, ``mode``
-    (``"links"``/``"streams"``), ``sorts``, ``splits``, ``wall_s``.
+    (``"links"``/``"streams"``, prefixed ``"fused-"`` when the tower's
+    counting ran as one fused dispatch, or ``"parallel"`` when the
+    per-size counting fanned out over workers), ``sorts``, ``splits``,
+    ``wall_s``.
+``stackdist_fused``
+    One fused stack-distance dispatch (every family of a tower counted
+    by one kernel pass, :func:`repro.cache.stackdist.stack_distances_fused`):
+    ``line_sizes``, ``problems``, ``refs``, ``sorted_refs``,
+    ``dominance_refs``, ``window``, ``residues``, ``by_path``, per-tier
+    ``sort_s``/``scan_s``/``expand_s``/``dominance_s``, ``wall_s``.
 ``shm_segment``
     Shared-memory segment lifecycle in the parent: ``action``
     (``"create"``/``"reuse"``/``"unlink"``), ``key``, ``segment``,
@@ -205,6 +214,8 @@ class RunJournal:
                 ),
                 "refs": sum(int(e.get("refs", 0)) for e in kernels),
                 "by_path": _count_by(kernels, "path"),
+                "residues": sum(int(e.get("residues", 0)) for e in kernels),
+                "tiers": _tier_counts(_count_by(kernels, "path")),
             },
             "jobs": {
                 "completed": len(jobs),
@@ -227,6 +238,42 @@ class RunJournal:
                 "splits": sum(int(e.get("splits", 0)) for e in towers),
                 "wall_s": round(
                     sum(e.get("wall_s", 0.0) for e in towers), 6
+                ),
+                "by_mode": _count_by(towers, "mode"),
+            }
+        fused = self.select("stackdist_fused")
+        if fused:
+            merged_paths: dict[str, int] = {}
+            for e in fused:
+                for name, n in e.get("by_path", {}).items():
+                    merged_paths[name] = merged_paths.get(name, 0) + int(n)
+            summary["stackdist_fused"] = {
+                "dispatches": len(fused),
+                "problems": sum(int(e.get("problems", 0)) for e in fused),
+                "refs": sum(int(e.get("refs", 0)) for e in fused),
+                "sorted_refs": sum(
+                    int(e.get("sorted_refs", 0)) for e in fused
+                ),
+                "dominance_refs": sum(
+                    int(e.get("dominance_refs", 0)) for e in fused
+                ),
+                "residues": sum(int(e.get("residues", 0)) for e in fused),
+                "by_path": merged_paths,
+                "tiers": _tier_counts(merged_paths),
+                "sort_s": round(
+                    sum(e.get("sort_s", 0.0) for e in fused), 6
+                ),
+                "scan_s": round(
+                    sum(e.get("scan_s", 0.0) for e in fused), 6
+                ),
+                "expand_s": round(
+                    sum(e.get("expand_s", 0.0) for e in fused), 6
+                ),
+                "dominance_s": round(
+                    sum(e.get("dominance_s", 0.0) for e in fused), 6
+                ),
+                "wall_s": round(
+                    sum(e.get("wall_s", 0.0) for e in fused), 6
                 ),
             }
         attaches = self.select("shm_attach")
@@ -275,12 +322,26 @@ class RunJournal:
         )
         k = s["stackdist"]
         if k["count"]:
-            paths = ", ".join(
-                f"{name} x{n}" for name, n in sorted(k["by_path"].items())
-            ) or "none"
+            tiers = ", ".join(
+                f"{name}={n}" for name, n in k["tiers"].items()
+            )
             lines.append(
                 f"stack-distance kernel: {k['count']} families "
-                f"({k['refs']} refs, {k['wall_s']:.3f} s; {paths})"
+                f"({k['refs']} refs, {k['wall_s']:.3f} s; "
+                f"tiers: {tiers}; residues={k['residues']})"
+            )
+        kf = s.get("stackdist_fused")
+        if kf:
+            tiers = ", ".join(
+                f"{name}={n}" for name, n in kf["tiers"].items()
+            )
+            lines.append(
+                f"fused stack-distance dispatches: {kf['dispatches']} "
+                f"({kf['problems']} problems, {kf['refs']} refs, "
+                f"{kf['wall_s']:.3f} s = sort {kf['sort_s']:.3f} + "
+                f"scan {kf['scan_s']:.3f} + expand {kf['expand_s']:.3f} + "
+                f"dominance {kf['dominance_s']:.3f}; "
+                f"tiers: {tiers}; residues={kf['residues']})"
             )
         j = s["jobs"]
         lines.append(
@@ -393,3 +454,18 @@ def _count_by(events: list[dict[str, Any]], field: str) -> dict[str, int]:
         key = str(event.get(field, "?"))
         counts[key] = counts.get(key, 0) + 1
     return counts
+
+
+def _tier_counts(by_path: dict[str, int]) -> dict[str, int]:
+    """Cumulative kernel-tier usage from per-problem path labels.
+
+    Every problem enters the scan tier; those labeled ``scan+expand``
+    or ``dominance`` escalated into the expansion; ``dominance`` alone
+    reached the fallback recount.
+    """
+    total = sum(by_path.values())
+    dominance = by_path.get("dominance", 0)
+    expand = dominance + sum(
+        n for name, n in by_path.items() if "expand" in name
+    )
+    return {"scan": total, "expand": expand, "dominance": dominance}

@@ -38,7 +38,7 @@ canonical spec JSON, so two clients submitting the same trace (however
 phrased) share store entries.
 
 All execution knobs (``max_workers``, ``job_timeout``, ``job_retries``,
-``trace_shipping``)
+``trace_shipping``, ``count_parallelism``)
 route into :class:`repro.runtime.executor.ExecutorPolicy`, so service
 jobs inherit the fault-tolerant runtime: per-pass timeouts, bounded
 retries, fault injection and journal events all carry over.
@@ -256,6 +256,7 @@ def spec_policy(spec: dict[str, Any]) -> ExecutorPolicy:
         timeout=spec.get("job_timeout"),
         retries=int(spec.get("job_retries", 2)),
         trace_shipping=str(spec.get("trace_shipping", "auto")),
+        count_parallelism=int(spec.get("count_parallelism", 1)),
     )
 
 
@@ -379,6 +380,7 @@ def _execute_estimate(
         job_timeout=spec.get("job_timeout"),
         job_retries=int(spec.get("job_retries", 2)),
         trace_shipping=str(spec.get("trace_shipping", "auto")),
+        count_parallelism=int(spec.get("count_parallelism", 1)),
     )
     bench_id = (
         f"{benchmark}:scale={settings.scale:g}:visits={settings.max_visits}"
@@ -464,6 +466,7 @@ def _execute_explore(
         job_timeout=spec.get("job_timeout"),
         job_retries=int(spec.get("job_retries", 2)),
         trace_shipping=str(spec.get("trace_shipping", "auto")),
+        count_parallelism=int(spec.get("count_parallelism", 1)),
     )
     space = _system_space(spec.get("space"))
     try:

@@ -222,7 +222,11 @@ class TestModes:
             space.simulate(starts, sizes)
         events = journal.select("designspace")
         assert len(events) == 1
-        assert events[0]["mode"] in ("links", "streams")
+        # auto mode fuses the tower's counting into one dispatch
+        assert events[0]["mode"] in ("fused-links", "fused-streams")
+        fused = journal.select("stackdist_fused")
+        assert len(fused) == 1
+        assert fused[0]["problems"] == 3
 
     def test_bad_mode_rejected(self):
         with pytest.raises(ConfigurationError, match="mode"):
