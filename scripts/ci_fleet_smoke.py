@@ -1,0 +1,269 @@
+#!/usr/bin/env python
+"""CI smoke for the worker fleet (leases + fencing + crash recovery).
+
+Boots a broker-mode service (``workers=0`` — the broker executes
+nothing) behind the stdlib HTTP server, attaches three real
+``python -m repro work`` OS processes, and SIGKILLs one of them while
+it holds a lease on a running job.  The smoke then asserts the fleet's
+exactly-once story end to end:
+
+1. every submitted job finishes ``done`` — the killed worker's job is
+   requeued by lease expiry and finished by a survivor;
+2. every per-config miss count is bit-identical to a direct serial
+   ``simulate_trace`` baseline computed in this process;
+3. the broker journal records **exactly one accepted completion per
+   job** and exactly one lease grant per job *except* the killed one
+   (which has exactly two: victim + successor) — i.e. zero double
+   executions anywhere else and exactly one recovery where the kill
+   happened;
+4. the job the victim held was completed by a different worker.
+
+The broker journal goes to ``--journal`` so CI uploads it as an
+artifact.  Exit code 0 means every assertion held.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.cache.config import CacheConfig  # noqa: E402
+from repro.cache.simulator import simulate_trace  # noqa: E402
+from repro.runtime.journal import RunJournal  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.jobs import build_trace_arrays  # noqa: E402
+from repro.service.server import EvalService, make_server  # noqa: E402
+
+CONFIG_GRID = {
+    "sets": [16, 32, 64, 128, 256, 512],
+    "assocs": [1, 2, 4, 8],
+    "line_sizes": [16, 32],
+}
+
+
+def trace_spec(index: int) -> dict:
+    return {
+        "kind": "synthetic",
+        "seed": 4000 + index,
+        "ranges": 60_000,
+        "footprint": 1 << 20,
+        "max_size": 64,
+    }
+
+
+def job_spec(index: int) -> dict:
+    # max_workers=1 keeps execution inside the worker process itself,
+    # so SIGKILL takes down exactly one OS process and nothing leaks.
+    return {
+        "kind": "sweep",
+        "trace": trace_spec(index),
+        "configs": CONFIG_GRID,
+        "max_workers": 1,
+    }
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"FAIL: {message}")
+    print(f"  ok: {message}")
+
+
+def spawn_worker(url: str, worker_id: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "work",
+            "--server",
+            url,
+            "--id",
+            worker_id,
+        ],
+        env=env,
+        cwd=str(REPO),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--db", default="fleet_smoke.sqlite", help="sqlite store path"
+    )
+    parser.add_argument(
+        "--journal",
+        default="JOURNAL_fleet_smoke.jsonl",
+        help="broker journal (JSON lines, uploaded as a CI artifact)",
+    )
+    parser.add_argument("--jobs", type=int, default=9)
+    parser.add_argument("--fleet", type=int, default=3)
+    parser.add_argument(
+        "--lease",
+        type=float,
+        default=2.0,
+        help="lease seconds; short so recovery is fast after the kill",
+    )
+    args = parser.parse_args()
+
+    journal = RunJournal(args.journal)
+    service = EvalService(
+        args.db,
+        workers=0,
+        lease=args.lease,
+        reap_interval=args.lease / 4.0,
+        journal=journal,
+    )
+    server = make_server(service)
+    host, port = server.server_address
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = ServiceClient(f"http://{host}:{port}")
+    url = client.base_url
+    workers: dict[str, subprocess.Popen] = {}
+
+    try:
+        with service:
+            print(f"[fleet smoke] broker on {url}")
+            job_ids = [
+                client.submit(job_spec(i)) for i in range(args.jobs)
+            ]
+            check(
+                len(set(job_ids)) == args.jobs,
+                f"{args.jobs} distinct jobs queued",
+            )
+
+            workers = {
+                f"smoke-w{i}": spawn_worker(url, f"smoke-w{i}")
+                for i in range(args.fleet)
+            }
+            print(f"[fleet smoke] {args.fleet} worker processes attached")
+
+            # Catch any worker holding a live lease and SIGKILL it.
+            victim = victim_job = None
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                for record in client.jobs(state="running"):
+                    if record.owner in workers:
+                        victim, victim_job = record.owner, record.id
+                        break
+                if victim:
+                    break
+                time.sleep(0.01)
+            check(victim is not None, "observed a worker mid-job")
+            workers[victim].kill()
+            workers[victim].wait()
+            print(
+                f"[fleet smoke] SIGKILLed {victim} while it held "
+                f"job {victim_job}"
+            )
+
+            # Survivors must finish everything, including the orphan.
+            deadline = time.monotonic() + 180.0
+            while time.monotonic() < deadline:
+                states = {jid: client.job(jid).state for jid in job_ids}
+                if all(s == "done" for s in states.values()):
+                    break
+                if any(s == "failed" for s in states.values()):
+                    raise SystemExit(f"FAIL: job failed: {states}")
+                time.sleep(0.1)
+            check(
+                all(s == "done" for s in states.values()),
+                "all jobs done after the kill (orphan recovered)",
+            )
+
+            # Bit-identical to a serial in-process baseline.
+            for i, jid in enumerate(job_ids):
+                starts, sizes = build_trace_arrays(trace_spec(i))
+                docs = client.job(jid).result["results"]
+                for doc in docs:
+                    config = CacheConfig(
+                        doc["sets"], doc["assoc"], doc["line_size"]
+                    )
+                    expected = simulate_trace(config, starts, sizes)
+                    if (
+                        doc["misses"] != expected.misses
+                        or doc["accesses"] != expected.accesses
+                    ):
+                        raise SystemExit(
+                            f"FAIL: job {jid} {config.describe()} diverged"
+                        )
+            check(True, "every miss count bit-identical to serial baseline")
+    finally:
+        for proc in workers.values():
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in workers.values():
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        server.shutdown()
+        server.server_close()
+        journal.close()
+
+    # -- journal audit: exactly-once, with one recovery at the kill ----
+    events = [
+        json.loads(line)
+        for line in Path(args.journal).read_text().splitlines()
+        if line.strip()
+    ]
+    done = Counter(
+        e["id"]
+        for e in events
+        if e.get("event") == "service_job" and e.get("state") == "done"
+    )
+    check(
+        done == Counter({jid: 1 for jid in job_ids}),
+        "journal: exactly one accepted completion per job",
+    )
+    grants = Counter(
+        e["id"]
+        for e in events
+        if e.get("event") == "lease" and e.get("action") == "grant"
+    )
+    expected_grants = Counter({jid: 1 for jid in job_ids})
+    expected_grants[victim_job] = 2
+    check(
+        grants == expected_grants,
+        "journal: single lease per job, two only where the kill hit",
+    )
+    expired = [
+        e
+        for e in events
+        if e.get("event") == "lease" and e.get("action") == "expired"
+    ]
+    check(
+        [e["id"] for e in expired] == [victim_job],
+        "journal: exactly the victim's lease expired",
+    )
+    finisher = next(
+        e["owner"]
+        for e in events
+        if e.get("event") == "service_job"
+        and e.get("state") == "done"
+        and e["id"] == victim_job
+    )
+    check(
+        finisher != victim,
+        f"victim's job finished by a survivor ({finisher})",
+    )
+
+    print(f"[fleet smoke] PASS (journal: {args.journal})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Fleet load generator: N workers × M clients, exactly-once audited.
+
+For each requested fleet size, boots a fresh broker-mode service
+(``workers=0``), attaches N ``python -m repro work`` OS processes, and
+drives it with M concurrent client threads.  Each client owns a set of
+distinct sweep specs and submits every one **twice**: the first
+submission must be simulated by the fleet, the resubmission must be
+served entirely from the content-addressed store (``simulated == 0``).
+
+The run is audited for exactly-once execution: summed over every job
+result, the number of configs actually simulated must equal the number
+of *unique* (trace, config) pairs in the workload — not one more, not
+one fewer — and the resubmissions must be pure store hits.
+
+The tool then reports throughput per fleet size (speedup is bounded
+by available CPU cores — on a one-core box a bigger fleet only proves
+correctness, not speed), e.g. on a 4-core machine::
+
+    workers=1  36 jobs  8.52 s  4.2 jobs/s  864 configs simulated once
+    workers=3  36 jobs  3.11 s  11.6 jobs/s  864 configs simulated once
+    speedup workers=3 over workers=1: 2.74x
+
+Usage::
+
+    python scripts/load_gen.py --fleets 1,3 --clients 3 --specs 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.server import EvalService, make_server  # noqa: E402
+
+CONFIG_GRID = {
+    "sets": [16, 32, 64, 128, 256, 512],
+    "assocs": [1, 2, 4],
+    "line_sizes": [16, 32],
+}
+CONFIGS_PER_SPEC = 6 * 3 * 2
+
+
+def sweep_spec(client_index: int, spec_index: int) -> dict:
+    return {
+        "kind": "sweep",
+        "trace": {
+            "kind": "synthetic",
+            "seed": 9000 + client_index * 100 + spec_index,
+            "ranges": 250_000,
+            "footprint": 1 << 20,
+            "max_size": 64,
+        },
+        "configs": CONFIG_GRID,
+        "max_workers": 1,
+    }
+
+
+def spawn_worker(url: str, worker_id: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "work", "--server", url,
+         "--id", worker_id],
+        env=env,
+        cwd=str(REPO),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def run_clients(url: str, clients: int, specs: int) -> list[dict]:
+    """M threads, each submitting its specs twice; returns job results."""
+    results: list[dict] = []
+    lock = threading.Lock()
+    errors: list[BaseException] = []
+
+    def one_client(index: int) -> None:
+        client = ServiceClient(url)
+        try:
+            for round_no in ("fresh", "replay"):
+                ids = [
+                    client.submit(sweep_spec(index, s))
+                    for s in range(specs)
+                ]
+                for jid in ids:
+                    record = client.wait(jid, timeout=600.0)
+                    with lock:
+                        results.append(
+                            {"round": round_no, **record.result}
+                        )
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            with lock:
+                errors.append(exc)
+
+    threads = [
+        threading.Thread(target=one_client, args=(i,), name=f"client-{i}")
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise SystemExit(f"FAIL: client error: {errors[0]!r}")
+    return results
+
+
+def run_fleet(fleet: int, clients: int, specs: int) -> dict:
+    with tempfile.TemporaryDirectory(prefix="load_gen_") as tmp:
+        service = EvalService(
+            Path(tmp) / "load.sqlite", workers=0, lease=10.0
+        )
+        server = make_server(service)
+        host, port = server.server_address
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        url = f"http://{host}:{port}"
+        procs = [
+            spawn_worker(url, f"load-w{i}") for i in range(fleet)
+        ]
+        try:
+            with service:
+                start = time.monotonic()
+                results = run_clients(url, clients, specs)
+                elapsed = time.monotonic() - start
+        finally:
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=10.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+            server.shutdown()
+            server.server_close()
+
+    unique_configs = clients * specs * CONFIGS_PER_SPEC
+    simulated = sum(r["simulated"] for r in results)
+    replay = [r for r in results if r["round"] == "replay"]
+    if simulated != unique_configs:
+        raise SystemExit(
+            f"FAIL: workers={fleet}: {simulated} configs simulated, "
+            f"expected exactly {unique_configs} (exactly-once violated)"
+        )
+    if any(r["simulated"] != 0 or r["from_store"] != r["total"]
+           for r in replay):
+        raise SystemExit(
+            f"FAIL: workers={fleet}: a resubmission was not served "
+            "entirely from the store"
+        )
+    return {
+        "fleet": fleet,
+        "jobs": len(results),
+        "elapsed": elapsed,
+        "throughput": len(results) / elapsed,
+        "simulated": simulated,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fleets",
+        default="1,3",
+        help="comma-separated worker counts to benchmark (default 1,3)",
+    )
+    parser.add_argument("--clients", type=int, default=3)
+    parser.add_argument(
+        "--specs",
+        type=int,
+        default=3,
+        help="distinct sweep specs per client (each submitted twice)",
+    )
+    args = parser.parse_args()
+    fleets = [int(f) for f in args.fleets.split(",") if f.strip()]
+
+    cores = os.cpu_count() or 1
+    print(
+        f"[load gen] {cores} CPU core(s) available — worker speedup "
+        "is bounded by cores, not fleet size"
+    )
+    rows = []
+    for fleet in fleets:
+        print(
+            f"[load gen] workers={fleet}: {args.clients} clients × "
+            f"{args.specs} specs × 2 rounds ...",
+            flush=True,
+        )
+        rows.append(run_fleet(fleet, args.clients, args.specs))
+
+    print()
+    for row in rows:
+        print(
+            f"workers={row['fleet']}  {row['jobs']} jobs  "
+            f"{row['elapsed']:.2f} s  {row['throughput']:.1f} jobs/s  "
+            f"{row['simulated']} configs simulated exactly once"
+        )
+    if len(rows) > 1:
+        base, best = rows[0], rows[-1]
+        print(
+            f"speedup workers={best['fleet']} over "
+            f"workers={base['fleet']}: "
+            f"{best['throughput'] / base['throughput']:.2f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,10 @@ Gives the repository's main flows a shell entry point:
 * ``serve`` — run the evaluation service (durable store + job queue +
   HTTP API) against one sqlite database;
 * ``submit`` — send a job spec to a running service and optionally wait
-  for its result.
+  for its result;
+* ``work`` — run a pull-loop fleet worker against a running service
+  (lease-based claiming with heartbeats; any number of these processes,
+  on any host, scale the service out).
 
 Common options: ``--scale`` (workload footprint multiplier),
 ``--visits`` (emulation budget), ``--benchmarks`` (subset),
@@ -253,10 +256,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--workers",
-        type=_positive_int,
+        type=int,
         default=1,
         metavar="N",
-        help="job worker threads (each job may fan out to processes)",
+        help=(
+            "local job worker threads (each job may fan out to "
+            "processes); 0 = broker mode, all work pulled by remote "
+            "'repro work' processes"
+        ),
+    )
+    serve.add_argument(
+        "--lease",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "job lease duration; workers heartbeat to renew, expired "
+            "leases are requeued (default 30)"
+        ),
     )
     serve.add_argument(
         "--journal",
@@ -289,6 +306,52 @@ def build_parser() -> argparse.ArgumentParser:
         default=600.0,
         metavar="SECONDS",
         help="--wait polling budget (default 600)",
+    )
+    worker = sub.add_parser(
+        "work",
+        help="run a pull-loop fleet worker against a running service",
+    )
+    worker.add_argument(
+        "--server",
+        default="http://127.0.0.1:8321",
+        metavar="URL",
+        help="service base URL (default http://127.0.0.1:8321)",
+    )
+    worker.add_argument(
+        "--tags",
+        nargs="*",
+        default=[],
+        metavar="TAG",
+        help=(
+            "capability tags; only jobs whose 'requires' list these "
+            "tags cover are claimed"
+        ),
+    )
+    worker.add_argument(
+        "--lease",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="requested lease per claim (default: the server's lease)",
+    )
+    worker.add_argument(
+        "--id",
+        default=None,
+        metavar="WORKER_ID",
+        help="worker identity (default: host:pid)",
+    )
+    worker.add_argument(
+        "--max-jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="exit after executing N jobs (default: run until killed)",
+    )
+    worker.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append the worker's JSON-lines run journal to PATH",
     )
     return parser
 
@@ -432,6 +495,7 @@ def _cmd_report(args: argparse.Namespace) -> str:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.queue import DEFAULT_LEASE
     from repro.service.server import serve
 
     serve(
@@ -439,6 +503,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         workers=args.workers,
+        journal_path=args.journal,
+        lease=args.lease if args.lease is not None else DEFAULT_LEASE,
+    )
+    return 0
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from repro.service.worker import work
+
+    work(
+        args.server,
+        tags=args.tags,
+        lease=args.lease,
+        worker_id=args.id,
+        max_jobs=args.max_jobs,
         journal_path=args.journal,
     )
     return 0
@@ -489,6 +568,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "submit":
         print(_cmd_submit(args))
         return 0
+    if args.command == "work":
+        # work owns its journal (it spans the worker's whole lifetime).
+        return _cmd_work(args)
     journal = RunJournal(args.journal) if args.journal else None
     scope = use_journal(journal) if journal is not None else nullcontext()
     with scope:

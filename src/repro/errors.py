@@ -54,3 +54,10 @@ class ServiceError(ReproError):
     """The evaluation service (store, job queue or HTTP API) failed:
     a malformed job spec, an unusable database, a job that exhausted its
     attempts, or a client request the server rejected."""
+
+
+class StaleLeaseError(ServiceError):
+    """A worker acted on a job lease it no longer holds: the lease
+    expired and the job was re-leased (or finished) elsewhere, so the
+    worker's fencing token is stale.  The action is rejected; exactly
+    one execution's effects survive."""

@@ -57,6 +57,18 @@ any event type):
 ``worker_util``
     End-of-run pool accounting: ``workers``, ``busy_s``, ``wall_s``,
     ``utilization``.
+``lease``
+    Job-lease lifecycle in the evaluation service: ``action``
+    (``"grant"``/``"renew"``/``"expired"``), ``id`` (the job),
+    ``owner``, ``token`` (the fencing token), ``expires``.
+``worker``
+    Fleet-worker lifecycle: ``action`` (``"register"``/``"start"``/
+    ``"claimed"``/``"completed"``/``"failed"``/``"stop"``/
+    ``"reaped"``), ``id``, plus action-specific fields.
+``fence_rejected``
+    A stale fencing token was refused: ``id`` (the job), ``token``.
+    The presence of these events is *correct* behaviour under lease
+    expiry — the absence of double execution is what they prove.
 
 The module also keeps a process-wide *active* journal so deep layers
 (sweeps, evaluators, executors) can record events without every caller
@@ -303,6 +315,15 @@ class RunJournal:
                 k: last[k]
                 for k in ("workers", "busy_s", "wall_s", "utilization")
                 if k in last
+            }
+        leases = self.select("lease")
+        fleet = self.select("worker")
+        fences = self.select("fence_rejected")
+        if leases or fleet or fences:
+            summary["fleet"] = {
+                "leases": _count_by(leases, "action"),
+                "workers": _count_by(fleet, "action"),
+                "fence_rejections": len(fences),
             }
         return summary
 

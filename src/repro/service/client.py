@@ -1,20 +1,27 @@
 """Thin stdlib HTTP client for the evaluation service.
 
-Speaks the JSON API of :mod:`repro.service.server`; used by ``repro
-submit`` and by tests/CI.  Only ``urllib.request`` — no new
-dependencies.
+Speaks the JSON API of :mod:`repro.service.server` — both the
+submit/wait surface (``repro submit``, tests, CI) and the worker-fleet
+protocol (register / claim / heartbeat / complete / fail / result
+upload) used by :mod:`repro.service.worker`.  Only ``urllib.request``
+— no new dependencies.
+
+A **409** from a fenced transition surfaces as
+:class:`~repro.errors.StaleLeaseError` so workers can distinguish
+"my lease was lost, abandon the job" from transport failures.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any
+from typing import Any, Iterable, Mapping
 from urllib.parse import urlencode
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, StaleLeaseError
 from repro.service.queue import JobRecord
 
 
@@ -49,10 +56,12 @@ class ServiceClient:
                 detail = json.loads(exc.read()).get("error", "")
             except Exception:  # noqa: BLE001 - body may not be JSON
                 detail = ""
-            raise ServiceError(
-                f"{method} {path} failed: HTTP {exc.code}"
-                + (f" ({detail})" if detail else "")
-            ) from exc
+            message = f"{method} {path} failed: HTTP {exc.code}" + (
+                f" ({detail})" if detail else ""
+            )
+            if exc.code == 409:
+                raise StaleLeaseError(message) from exc
+            raise ServiceError(message) from exc
         except urllib.error.URLError as exc:
             raise ServiceError(
                 f"cannot reach evaluation service at {self.base_url}: "
@@ -89,14 +98,22 @@ class ServiceClient:
         return [_record(item) for item in doc["jobs"]]
 
     def wait(
-        self, job_id: str, timeout: float = 120.0, poll: float = 0.1
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        poll: float = 0.1,
+        poll_max: float = 2.0,
     ) -> JobRecord:
         """Poll until the job is terminal; returns the ``done`` record.
 
-        Raises :class:`ServiceError` when the job fails or the timeout
-        expires (the error message carries the job's stored error).
+        The poll interval starts at ``poll`` and doubles (with jitter)
+        up to ``poll_max``, so many waiting clients do not hammer the
+        server in lockstep at a fixed rate.  Raises
+        :class:`ServiceError` when the job fails or the timeout expires
+        (the error message carries the job's stored error).
         """
         deadline = time.monotonic() + timeout
+        interval = max(poll, 1e-3)
         while True:
             record = self.job(job_id)
             if record.state == "done":
@@ -106,11 +123,18 @@ class ServiceClient:
                     f"job {job_id} failed after {record.attempts} "
                     f"attempt(s): {record.error}"
                 )
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise ServiceError(
                     f"job {job_id} still {record.state} after {timeout}s"
                 )
-            time.sleep(poll)
+            # Jittered bounded exponential backoff, trimmed to the
+            # remaining budget so the final poll lands near the deadline.
+            sleep = min(
+                interval * random.uniform(0.5, 1.0), deadline - now
+            )
+            time.sleep(max(sleep, 0.0))
+            interval = min(interval * 2.0, poll_max)
 
     def results(
         self,
@@ -127,6 +151,108 @@ class ServiceClient:
     def metrics(self) -> dict[str, Any]:
         """The server's /metrics document (journal + store + queue)."""
         return self._request("GET", "/metrics")
+
+    # ------------------------------------------------------------------
+    # Worker-fleet protocol.
+    # ------------------------------------------------------------------
+
+    def register_worker(
+        self,
+        worker_id: str | None = None,
+        tags: Iterable[str] = (),
+        meta: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Register this process as a worker; returns ``{"id","lease"}``."""
+        return self._request(
+            "POST",
+            "/workers",
+            {"id": worker_id, "tags": list(tags), "meta": meta or {}},
+        )
+
+    def workers(self) -> list[dict[str, Any]]:
+        """The server's live worker registry."""
+        return self._request("GET", "/workers")["workers"]
+
+    def claim(
+        self,
+        worker: str,
+        tags: Iterable[str] | None = None,
+        lease: float | None = None,
+    ) -> tuple[JobRecord, int] | None:
+        """Lease the oldest claimable job: ``(record, fencing token)``,
+        or None when the queue has nothing for this worker."""
+        payload: dict[str, Any] = {"worker": worker}
+        if tags is not None:
+            payload["tags"] = list(tags)
+        if lease is not None:
+            payload["lease"] = lease
+        doc = self._request("POST", "/claim", payload)
+        if doc.get("job") is None:
+            return None
+        return _record(doc["job"]), int(doc["token"])
+
+    def heartbeat(
+        self,
+        job_id: str,
+        token: int,
+        worker: str | None = None,
+        lease: float | None = None,
+    ) -> float:
+        """Renew a lease; returns the new deadline.  Raises
+        :class:`StaleLeaseError` when the lease was lost."""
+        payload: dict[str, Any] = {"token": token, "worker": worker}
+        if lease is not None:
+            payload["lease"] = lease
+        doc = self._request("POST", f"/jobs/{job_id}/heartbeat", payload)
+        return float(doc["lease_expires"])
+
+    def complete(
+        self,
+        job_id: str,
+        result: Any,
+        token: int,
+        worker: str | None = None,
+    ) -> None:
+        """Finish a leased job (fenced).  Raises
+        :class:`StaleLeaseError` when another execution won."""
+        self._request(
+            "POST",
+            f"/jobs/{job_id}/complete",
+            {"token": token, "result": result, "worker": worker},
+        )
+
+    def fail(
+        self,
+        job_id: str,
+        error: str,
+        token: int,
+        worker: str | None = None,
+    ) -> str:
+        """Report a failed attempt (fenced); returns the job's state."""
+        doc = self._request(
+            "POST",
+            f"/jobs/{job_id}/fail",
+            {"token": token, "error": error, "worker": worker},
+        )
+        return doc["state"]
+
+    def result(
+        self, key: str, namespace: str = "metrics"
+    ) -> dict[str, Any]:
+        """One stored value: ``{"found": bool, "value": ...}``."""
+        query = urlencode({"key": key, "namespace": namespace})
+        return self._request("GET", f"/result?{query}")
+
+    def put_results(
+        self, items: Mapping[str, Any], namespace: str = "metrics"
+    ) -> int:
+        """Upload values into the shared store; returns count stored."""
+        doc = self._request(
+            "POST",
+            "/results",
+            {"namespace": namespace, "items": dict(items)},
+        )
+        return int(doc["stored"])
 
 
 def _record(doc: dict[str, Any]) -> JobRecord:

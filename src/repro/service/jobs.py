@@ -224,6 +224,14 @@ def validate_spec(spec: Any) -> dict[str, Any]:
         raise ServiceError(
             f"unknown job kind {kind!r}; expected one of {JOB_KINDS}"
         )
+    requires = spec.get("requires")
+    if requires is not None and (
+        not isinstance(requires, list)
+        or not all(isinstance(tag, str) for tag in requires)
+    ):
+        raise ServiceError(
+            "'requires' must be a list of capability tag strings"
+        )
     if kind == "sweep":
         trace_spec = _require(spec, "trace", kind)
         if not isinstance(trace_spec, dict) or "kind" not in trace_spec:

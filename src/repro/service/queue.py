@@ -7,11 +7,33 @@ so retries survive the worker process).  Claiming is one ``BEGIN
 IMMEDIATE`` transaction, so any number of worker threads or processes
 can pull from the same queue without double-claiming.
 
+Leases and fencing
+------------------
+
+A claim is a *lease*, not ownership forever: the claiming transaction
+stamps ``lease_expires = now + lease`` and the worker must renew via
+:meth:`JobQueue.heartbeat` while it runs.  The durable attempt counter
+doubles as a **fencing token** — every claim increments it, so the
+token uniquely identifies one lease of one job.  ``complete()`` /
+``fail()`` / ``heartbeat()`` verify the caller's token against the
+row and raise :class:`~repro.errors.StaleLeaseError` on mismatch: a
+worker that lost its lease (expired mid-run, job re-leased elsewhere)
+cannot overwrite the rightful execution's outcome.
+
 Kill-and-resume: a job claimed by a worker that died stays ``running``
-in the database; :meth:`JobQueue.recover` (called on service startup)
-requeues such orphans at their current attempt count.  Because sweep
-jobs checkpoint per-group state into the shared store, a resumed job
-re-simulates only the groups its predecessor had not finished.
+until its lease expires; :meth:`JobQueue.recover` (called on service
+startup *and* periodically by the service's reaper) requeues only
+lease-expired jobs at their current attempt count — jobs under a live
+lease held by another process are left alone, so any number of service
+processes and remote workers can share one database without double
+execution.  Because sweep jobs checkpoint per-group state into the
+shared store, a resumed job re-simulates only the groups its
+predecessor had not finished.
+
+Workers themselves register in a ``workers`` table with capability
+tags; a job spec may carry ``"requires": [...]`` and is only handed to
+workers whose tags cover it.  Workers that stop checking in are reaped
+by :meth:`JobQueue.reap_workers`.
 """
 
 from __future__ import annotations
@@ -21,13 +43,18 @@ import os
 import time
 import uuid
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable, Sequence
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, StaleLeaseError
 from repro.service.store import ResultStore
 
 #: Legal job states, in lifecycle order.
 JOB_STATES = ("queued", "running", "done", "failed")
+
+#: Default lease duration granted to a claim, seconds.  Workers renew
+#: at a fraction of this; the service reaper requeues jobs whose lease
+#: has been expired for a while.
+DEFAULT_LEASE = 30.0
 
 
 @dataclass(frozen=True)
@@ -45,6 +72,7 @@ class JobRecord:
     submitted: float = 0.0
     started: float | None = None
     finished: float | None = None
+    lease_expires: float | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -55,6 +83,11 @@ class JobRecord:
     def terminal(self) -> bool:
         """True once the job can no longer change state."""
         return self.state in ("done", "failed")
+
+    @property
+    def token(self) -> int:
+        """The fencing token of the *current* lease (the attempt count)."""
+        return self.attempts
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-representable form (the HTTP API's job document)."""
@@ -70,6 +103,7 @@ class JobRecord:
             "submitted": self.submitted,
             "started": self.started,
             "finished": self.finished,
+            "lease_expires": self.lease_expires,
         }
 
 
@@ -86,12 +120,19 @@ def _decode(row) -> JobRecord:
         submitted=row["submitted"],
         started=row["started"],
         finished=row["finished"],
+        lease_expires=row["lease_expires"],
     )
 
 
 def default_owner() -> str:
     """This worker's identity, recorded on claim (host:pid:uuid-ish)."""
     return f"pid={os.getpid()}"
+
+
+def job_requires(spec: dict[str, Any]) -> list[str]:
+    """The capability tags a job spec demands (``[]`` = any worker)."""
+    requires = spec.get("requires") or []
+    return [str(tag) for tag in requires]
 
 
 class JobQueue:
@@ -169,25 +210,79 @@ class JobQueue:
     # Worker protocol.
     # ------------------------------------------------------------------
 
-    def claim(self, owner: str | None = None) -> JobRecord | None:
-        """Atomically claim the oldest queued job, or None when idle."""
+    def claim(
+        self,
+        owner: str | None = None,
+        lease: float = DEFAULT_LEASE,
+        tags: Iterable[str] | None = None,
+    ) -> JobRecord | None:
+        """Atomically lease the oldest claimable queued job, or None.
+
+        The returned record's ``attempts`` is the lease's fencing
+        token; pass it back to :meth:`heartbeat` / :meth:`complete` /
+        :meth:`fail`.  With ``tags`` given, only jobs whose
+        ``requires`` list is covered by the tags are considered.
+        """
+        if lease < 0:
+            raise ServiceError(f"lease must be >= 0, got {lease}")
         owner = owner or default_owner()
+        now = time.time()
         with self.store.transaction() as conn:
-            row = conn.execute(
-                "SELECT * FROM jobs WHERE state = 'queued'"
-                " ORDER BY submitted, id LIMIT 1"
-            ).fetchone()
+            if tags is None:
+                row = conn.execute(
+                    "SELECT * FROM jobs WHERE state = 'queued'"
+                    " ORDER BY submitted, id LIMIT 1"
+                ).fetchone()
+            else:
+                offered = set(tags)
+                row = None
+                for candidate in conn.execute(
+                    "SELECT * FROM jobs WHERE state = 'queued'"
+                    " ORDER BY submitted, id"
+                ):
+                    required = job_requires(json.loads(candidate["spec"]))
+                    if set(required) <= offered:
+                        row = candidate
+                        break
             if row is None:
                 return None
             conn.execute(
                 "UPDATE jobs SET state = 'running', attempts = attempts + 1,"
-                " owner = ?, started = ? WHERE id = ?",
-                (owner, time.time(), row["id"]),
+                " owner = ?, started = ?, lease_expires = ? WHERE id = ?",
+                (owner, now, now + lease, row["id"]),
             )
         return self.get(row["id"])
 
-    def complete(self, job_id: str, result: Any) -> None:
-        """Mark a running job done with its result document."""
+    def heartbeat(
+        self, job_id: str, token: int, lease: float = DEFAULT_LEASE
+    ) -> float:
+        """Renew a running job's lease; returns the new deadline.
+
+        Raises :class:`StaleLeaseError` when the caller's fencing token
+        no longer matches (the lease expired and the job was requeued,
+        re-leased or finished elsewhere) — the worker should abandon
+        the job.
+        """
+        deadline = time.time() + lease
+        with self.store.transaction() as conn:
+            cur = conn.execute(
+                "UPDATE jobs SET lease_expires = ?"
+                " WHERE id = ? AND state = 'running' AND attempts = ?",
+                (deadline, job_id, token),
+            )
+            if cur.rowcount != 1:
+                self._raise_fence(conn, job_id, token, "heartbeat")
+        return deadline
+
+    def complete(
+        self, job_id: str, result: Any, token: int | None = None
+    ) -> None:
+        """Mark a running job done with its result document.
+
+        With ``token`` given the transition is fenced: a stale token
+        (job re-leased or finished by another worker) raises
+        :class:`StaleLeaseError` and the row is untouched.
+        """
         try:
             text = json.dumps(result)
         except (TypeError, ValueError) as exc:
@@ -195,61 +290,118 @@ class JobQueue:
                 f"job result is not JSON-representable: {exc}"
             ) from exc
         with self.store.transaction() as conn:
-            cur = conn.execute(
+            sql = (
                 "UPDATE jobs SET state = 'done', result = ?, error = NULL,"
-                " finished = ? WHERE id = ? AND state = 'running'",
-                (text, time.time(), job_id),
+                " finished = ?, lease_expires = NULL"
+                " WHERE id = ? AND state = 'running'"
             )
-        if cur.rowcount != 1:
-            raise ServiceError(
-                f"job {job_id!r} is not running; cannot complete it"
-            )
+            args: list[Any] = [text, time.time(), job_id]
+            if token is not None:
+                sql += " AND attempts = ?"
+                args.append(token)
+            cur = conn.execute(sql, args)
+            if cur.rowcount != 1:
+                self._raise_fence(conn, job_id, token, "complete")
 
-    def fail(self, job_id: str, error: str) -> str:
+    def fail(
+        self, job_id: str, error: str, token: int | None = None
+    ) -> str:
         """Record a failed attempt; returns the resulting state.
 
         Requeues while attempts remain (``"queued"``); otherwise the
-        job is terminally ``"failed"`` with the error preserved.
+        job is terminally ``"failed"`` with the error preserved.  A
+        requeued row drops its ``owner``/``started``/``lease_expires``
+        (it belongs to nobody until the next claim).  Fenced like
+        :meth:`complete` when ``token`` is given.
         """
         with self.store.transaction() as conn:
-            row = conn.execute(
+            sql = (
                 "SELECT attempts, max_attempts FROM jobs"
-                " WHERE id = ? AND state = 'running'",
-                (job_id,),
-            ).fetchone()
+                " WHERE id = ? AND state = 'running'"
+            )
+            args: list[Any] = [job_id]
+            if token is not None:
+                sql += " AND attempts = ?"
+                args.append(token)
+            row = conn.execute(sql, args).fetchone()
             if row is None:
-                raise ServiceError(
-                    f"job {job_id!r} is not running; cannot fail it"
-                )
+                self._raise_fence(conn, job_id, token, "fail")
             state = (
                 "queued" if row["attempts"] < row["max_attempts"] else "failed"
             )
-            conn.execute(
-                "UPDATE jobs SET state = ?, error = ?, finished = ?"
-                " WHERE id = ?",
-                (
-                    state,
-                    error,
-                    time.time() if state == "failed" else None,
-                    job_id,
-                ),
-            )
+            if state == "queued":
+                # A requeued row belongs to nobody until the next
+                # claim: stale owner/started would misattribute it in
+                # /jobs listings and to the reaper.
+                conn.execute(
+                    "UPDATE jobs SET state = 'queued', error = ?,"
+                    " finished = NULL, owner = NULL, started = NULL,"
+                    " lease_expires = NULL WHERE id = ?",
+                    (error, job_id),
+                )
+            else:
+                # Terminal failure keeps owner/started: accurate
+                # history of which worker spent the last attempt.
+                conn.execute(
+                    "UPDATE jobs SET state = 'failed', error = ?,"
+                    " finished = ?, lease_expires = NULL WHERE id = ?",
+                    (error, time.time(), job_id),
+                )
         return state
 
-    def recover(self, owner: str | None = None) -> int:
-        """Requeue ``running`` jobs whose worker died (kill-and-resume).
+    def _raise_fence(
+        self, conn, job_id: str, token: int | None, action: str
+    ) -> None:
+        """Diagnose why a fenced transition matched no row and raise."""
+        row = conn.execute(
+            "SELECT state, attempts FROM jobs WHERE id = ?", (job_id,)
+        ).fetchone()
+        if row is None:
+            raise ServiceError(f"unknown job id {job_id!r}")
+        if token is not None and (
+            row["state"] != "running" or row["attempts"] != token
+        ):
+            raise StaleLeaseError(
+                f"stale fencing token for job {job_id!r}: cannot {action}"
+                f" with token {token} (job is {row['state']} at attempt"
+                f" {row['attempts']})"
+            )
+        raise ServiceError(
+            f"job {job_id!r} is not running; cannot {action} it"
+        )
 
-        With ``owner`` given, only that owner's jobs are recovered;
-        otherwise every running job is treated as orphaned (correct at
-        service startup, before any worker of this process has claimed).
+    # ------------------------------------------------------------------
+    # Lease reaping (kill-and-resume).
+    # ------------------------------------------------------------------
+
+    def recover(
+        self, owner: str | None = None, grace: float = 0.0
+    ) -> list[str]:
+        """Requeue ``running`` jobs whose lease has expired.
+
+        Safe to call from any process at any time: jobs under a live
+        lease (a worker somewhere is executing and heartbeating) are
+        never touched, so two service processes sharing one database
+        do not steal each other's in-flight work.  Rows with no lease
+        at all (claimed by a pre-lease build) are treated as expired.
+
+        With ``owner`` given, that owner's running jobs are requeued
+        *regardless* of lease — the caller is asserting it knows the
+        owner is gone (e.g. its own crashed predecessor).  ``grace``
+        widens the expiry test (a lease must be expired for at least
+        that long), absorbing clock skew between hosts.
+
         Jobs whose attempt budget is already spent become ``failed``.
-        Returns the number of jobs transitioned.
+        Returns the transitioned job ids.
         """
+        now = time.time()
         with self.store.transaction() as conn:
             if owner is None:
                 rows = conn.execute(
                     "SELECT id, attempts, max_attempts FROM jobs"
-                    " WHERE state = 'running'"
+                    " WHERE state = 'running' AND (lease_expires IS NULL"
+                    " OR lease_expires < ?)",
+                    (now - grace,),
                 ).fetchall()
             else:
                 rows = conn.execute(
@@ -258,17 +410,99 @@ class JobQueue:
                     (owner,),
                 ).fetchall()
             for row in rows:
-                exhausted = row["attempts"] >= row["max_attempts"]
-                conn.execute(
-                    "UPDATE jobs SET state = ?, error = ?, finished = ?"
-                    " WHERE id = ?",
-                    (
-                        "failed" if exhausted else "queued",
-                        "worker died mid-run (recovered)"
-                        if exhausted
-                        else None,
-                        time.time() if exhausted else None,
-                        row["id"],
-                    ),
+                if row["attempts"] >= row["max_attempts"]:
+                    conn.execute(
+                        "UPDATE jobs SET state = 'failed', error = ?,"
+                        " finished = ?, lease_expires = NULL WHERE id = ?",
+                        (
+                            "lease expired; worker presumed dead"
+                            " (recovered)",
+                            time.time(),
+                            row["id"],
+                        ),
+                    )
+                else:
+                    conn.execute(
+                        "UPDATE jobs SET state = 'queued', error = NULL,"
+                        " finished = NULL, owner = NULL, started = NULL,"
+                        " lease_expires = NULL WHERE id = ?",
+                        (row["id"],),
+                    )
+        return [row["id"] for row in rows]
+
+    # ------------------------------------------------------------------
+    # Worker registry.
+    # ------------------------------------------------------------------
+
+    def register_worker(
+        self,
+        worker_id: str | None = None,
+        tags: Sequence[str] = (),
+        meta: dict[str, Any] | None = None,
+    ) -> str:
+        """Register (or refresh) a worker; returns its id.
+
+        ``tags`` are the worker's capability tags, matched against job
+        specs' ``requires`` lists at claim time.
+        """
+        worker_id = worker_id or f"worker-{uuid.uuid4().hex[:12]}"
+        now = time.time()
+        with self.store.transaction() as conn:
+            conn.execute(
+                "INSERT INTO workers (id, tags, meta, registered, last_seen)"
+                " VALUES (?, ?, ?, ?, ?)"
+                " ON CONFLICT (id) DO UPDATE SET tags = excluded.tags,"
+                " meta = excluded.meta, last_seen = excluded.last_seen",
+                (
+                    worker_id,
+                    json.dumps([str(t) for t in tags]),
+                    json.dumps(meta or {}),
+                    now,
+                    now,
+                ),
+            )
+        return worker_id
+
+    def worker_seen(self, worker_id: str) -> None:
+        """Refresh a worker's liveness stamp (claim/heartbeat traffic)."""
+        with self.store.transaction() as conn:
+            conn.execute(
+                "UPDATE workers SET last_seen = ? WHERE id = ?",
+                (time.time(), worker_id),
+            )
+
+    def workers(self) -> list[dict[str, Any]]:
+        """Registered workers, most recently seen first."""
+        rows = self.store.connection().execute(
+            "SELECT * FROM workers ORDER BY last_seen DESC"
+        ).fetchall()
+        return [
+            {
+                "id": row["id"],
+                "tags": json.loads(row["tags"]),
+                "meta": json.loads(row["meta"]),
+                "registered": row["registered"],
+                "last_seen": row["last_seen"],
+            }
+            for row in rows
+        ]
+
+    def reap_workers(self, ttl: float) -> list[str]:
+        """Drop workers not seen for ``ttl`` seconds; returns their ids.
+
+        Their in-flight jobs are *not* touched here — lease expiry
+        (:meth:`recover`) requeues those independently, so a worker
+        that merely lost registry contact cannot be double-executed.
+        """
+        cutoff = time.time() - ttl
+        with self.store.transaction() as conn:
+            rows = conn.execute(
+                "SELECT id FROM workers WHERE last_seen < ?", (cutoff,)
+            ).fetchall()
+            ids = [row["id"] for row in rows]
+            if ids:
+                conn.executemany(
+                    "DELETE FROM workers WHERE id = ?",
+                    [(wid,) for wid in ids],
                 )
-        return len(rows)
+        return ids

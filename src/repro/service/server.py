@@ -3,23 +3,36 @@
 :class:`EvalService` owns the store, the job queue, the journal and a
 pool of worker *threads* that claim queued jobs and execute them (each
 job may itself fan out to worker *processes* through the fault-tolerant
-executor, per its spec).  :func:`make_server` wraps a service in a
-``ThreadingHTTPServer`` speaking a small JSON API:
+executor, per its spec).  With ``workers=0`` the service runs in pure
+**broker mode**: it executes nothing itself and all work is pulled by
+remote worker processes (``repro work``) over the HTTP fleet protocol.
 
-==========================  ===========================================
-``POST /jobs``              submit a job spec → ``{"id", "state"}``
-``GET /jobs``               recent jobs (``?state=`` filter)
-``GET /jobs/<id>``          one job's status, attempts and result
-``GET /results``            query stored metrics (``?prefix=``,
-                            ``?namespace=``, ``?limit=``)
-``GET /metrics``            journal-derived counters, store stats and
-                            queue depths
-``GET /healthz``            liveness probe
-==========================  ===========================================
+:func:`make_server` wraps a service in a ``ThreadingHTTPServer``
+speaking a small JSON API:
 
-Errors are JSON too: ``{"error": "..."}`` with a 4xx/5xx status.
-``repro serve`` is the CLI entry point; tests and the CI smoke job run
-:func:`make_server` on an ephemeral port in-process.
+===============================  ======================================
+``POST /jobs``                   submit a job spec → ``{"id", "state"}``
+``GET /jobs``                    recent jobs (``?state=`` filter)
+``GET /jobs/<id>``               one job's status, attempts and result
+``POST /workers``                register a worker (capability tags)
+``GET /workers``                 the live worker registry
+``POST /claim``                  lease the oldest claimable job
+``POST /jobs/<id>/heartbeat``    renew a lease (fenced by token)
+``POST /jobs/<id>/complete``     finish a job (fenced by token)
+``POST /jobs/<id>/fail``         fail an attempt (fenced by token)
+``GET /result``                  one stored value (``?key=&namespace=``)
+``POST /results``                upload stored values (worker results)
+``GET /results``                 query stored metrics (``?prefix=``,
+                                 ``?namespace=``, ``?limit=``)
+``GET /metrics``                 journal counters, store stats, queue
+                                 depths and worker registry size
+``GET /healthz``                 liveness probe
+===============================  ======================================
+
+Stale fencing tokens answer **409**; other errors are JSON too:
+``{"error": "..."}`` with a 4xx/5xx status.  ``repro serve`` is the CLI
+entry point; tests and the CI smoke/fleet jobs run :func:`make_server`
+on an ephemeral port in-process.
 """
 
 from __future__ import annotations
@@ -32,18 +45,30 @@ from pathlib import Path
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, StaleLeaseError
 from repro.runtime.journal import RunJournal, resolve_journal, use_journal
 from repro.service.jobs import execute_job, validate_spec
-from repro.service.queue import JobQueue
+from repro.service.queue import DEFAULT_LEASE, JobQueue
 from repro.service.store import ResultStore
 
-#: Request body ceiling (1 MiB of JSON is a very large job spec).
-MAX_BODY_BYTES = 1 << 20
+#: Request body ceiling (8 MiB: result uploads carry whole sweep grids).
+MAX_BODY_BYTES = 8 << 20
+
+#: Longest lease a client may request over HTTP (a runaway value would
+#: park a job un-reapable for that long after a worker death).
+MAX_LEASE = 15 * 60.0
 
 
 class EvalService:
-    """The long-lived service: store + queue + journal + job workers."""
+    """The long-lived service: store + queue + journal + job workers.
+
+    ``lease`` is the lease duration for local worker threads and the
+    default offered to remote claims; ``reap_interval`` is how often
+    the reaper thread renews local leases and requeues expired ones
+    (default: ``lease / 3``); ``worker_ttl`` is how long a registered
+    remote worker may go silent before it is dropped from the registry
+    (default: ``4 * lease``).
+    """
 
     def __init__(
         self,
@@ -51,27 +76,51 @@ class EvalService:
         workers: int = 1,
         journal: RunJournal | None = None,
         poll_interval: float = 0.05,
+        lease: float = DEFAULT_LEASE,
+        reap_interval: float | None = None,
+        worker_ttl: float | None = None,
     ):
-        if workers < 1:
-            raise ServiceError(f"workers must be >= 1, got {workers}")
+        if workers < 0:
+            raise ServiceError(f"workers must be >= 0, got {workers}")
+        if lease <= 0:
+            raise ServiceError(f"lease must be > 0, got {lease}")
         self.store = ResultStore(db_path)
         self.queue = JobQueue(self.store)
         self.journal = resolve_journal(journal)
         self.poll_interval = poll_interval
+        self.lease = lease
+        self.reap_interval = (
+            reap_interval if reap_interval is not None else lease / 3.0
+        )
+        self.worker_ttl = (
+            worker_ttl if worker_ttl is not None else 4.0 * lease
+        )
         self._workers = workers
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
-        self._wake = threading.Event()
+        # Condition + version counter: submit() bumps the version and
+        # notifies everyone, idle workers re-check the version before
+        # waiting, so no wakeup is ever swallowed by another worker.
+        self._cond = threading.Condition()
+        self._queue_version = 0
+        # Jobs being executed by *this* process's threads, job id →
+        # fencing token; the reaper renews their leases.
+        self._active: dict[str, int] = {}
+        self._active_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle.
     # ------------------------------------------------------------------
 
     def start(self) -> "EvalService":
-        """Recover orphaned jobs and start the worker threads."""
+        """Reap expired leases and start the worker + reaper threads."""
         recovered = self.queue.recover()
+        for job_id in recovered:
+            self.journal.record(
+                "lease", action="expired", id=job_id, where="startup"
+            )
         if recovered:
-            self.journal.record("service_recover", jobs=recovered)
+            self.journal.record("service_recover", jobs=len(recovered))
         self._stop.clear()
         for index in range(self._workers):
             thread = threading.Thread(
@@ -81,6 +130,11 @@ class EvalService:
             )
             thread.start()
             self._threads.append(thread)
+        reaper = threading.Thread(
+            target=self._reaper_loop, name="eval-reaper", daemon=True
+        )
+        reaper.start()
+        self._threads.append(reaper)
         self.journal.record(
             "service_start", workers=self._workers, db=str(self.store.path)
         )
@@ -89,7 +143,8 @@ class EvalService:
     def stop(self, timeout: float = 10.0) -> None:
         """Signal the workers and join them."""
         self._stop.set()
-        self._wake.set()
+        with self._cond:
+            self._cond.notify_all()
         for thread in self._threads:
             thread.join(timeout=timeout)
         self._threads.clear()
@@ -106,23 +161,48 @@ class EvalService:
     # ------------------------------------------------------------------
 
     def submit(self, spec: dict[str, Any], max_attempts: int = 3) -> str:
-        """Validate and enqueue a job; wakes an idle worker."""
+        """Validate and enqueue a job; wakes every idle worker."""
         validate_spec(spec)
         job_id = self.queue.submit(spec, max_attempts=max_attempts)
         self.journal.record(
             "service_job", id=job_id, state="queued", kind=spec.get("kind")
         )
-        self._wake.set()
+        self._notify_queued()
         return job_id
+
+    def _notify_queued(self) -> None:
+        with self._cond:
+            self._queue_version += 1
+            self._cond.notify_all()
 
     def _worker_loop(self) -> None:
         owner = f"thread={threading.current_thread().name}"
         while not self._stop.is_set():
-            job = self.queue.claim(owner)
+            with self._cond:
+                version = self._queue_version
+            job = self.queue.claim(owner, lease=self.lease)
             if job is None:
-                self._wake.wait(timeout=self.poll_interval)
-                self._wake.clear()
+                with self._cond:
+                    # Only wait if nothing was submitted since the
+                    # failed claim: a missed notify cannot strand a
+                    # queued job with an idle worker.
+                    if (
+                        self._queue_version == version
+                        and not self._stop.is_set()
+                    ):
+                        self._cond.wait(timeout=self.poll_interval)
                 continue
+            token = job.token
+            with self._active_lock:
+                self._active[job.id] = token
+            self.journal.record(
+                "lease",
+                action="grant",
+                id=job.id,
+                owner=owner,
+                token=token,
+                expires=job.lease_expires,
+            )
             self.journal.record(
                 "service_job",
                 id=job.id,
@@ -133,22 +213,82 @@ class EvalService:
             try:
                 result = execute_job(job.spec, self.store, self.journal)
             except Exception as exc:  # noqa: BLE001 - job code may raise anything
-                state = self.queue.fail(job.id, repr(exc))
-                self.journal.record(
-                    "service_job",
-                    id=job.id,
-                    state=state,
-                    attempt=job.attempts,
-                    error=repr(exc),
-                )
+                self._finish(job, token, error=repr(exc))
             else:
-                self.queue.complete(job.id, result)
+                self._finish(job, token, result=result)
+
+    def _finish(
+        self,
+        job,
+        token: int,
+        result: Any = None,
+        error: str | None = None,
+    ) -> None:
+        """Report one local execution's outcome through the fence."""
+        try:
+            if error is None:
+                self.queue.complete(job.id, result, token=token)
                 self.journal.record(
                     "service_job",
                     id=job.id,
                     state="done",
                     attempt=job.attempts,
                 )
+            else:
+                state = self.queue.fail(job.id, error, token=token)
+                self.journal.record(
+                    "service_job",
+                    id=job.id,
+                    state=state,
+                    attempt=job.attempts,
+                    error=error,
+                )
+                if state == "queued":
+                    self._notify_queued()
+        except StaleLeaseError as exc:
+            # The lease expired mid-run and the job moved on without
+            # us; the other execution's outcome stands.
+            self.journal.record(
+                "fence_rejected", id=job.id, token=token, detail=str(exc)
+            )
+        finally:
+            with self._active_lock:
+                self._active.pop(job.id, None)
+
+    def _reaper_loop(self) -> None:
+        """Renew local leases; requeue expired ones; drop dead workers."""
+        while not self._stop.wait(self.reap_interval):
+            with self._active_lock:
+                active = dict(self._active)
+            for job_id, token in active.items():
+                try:
+                    expires = self.queue.heartbeat(
+                        job_id, token, lease=self.lease
+                    )
+                    self.journal.record(
+                        "lease",
+                        action="renew",
+                        id=job_id,
+                        token=token,
+                        expires=expires,
+                    )
+                except ServiceError:
+                    # Lost or finished; the executing thread's fenced
+                    # complete()/fail() settles it.
+                    pass
+            try:
+                reaped = self.queue.recover()
+            except ServiceError:
+                continue
+            for job_id in reaped:
+                self.journal.record(
+                    "lease", action="expired", id=job_id, where="reaper"
+                )
+            if reaped:
+                self._notify_queued()
+            dead = self.queue.reap_workers(self.worker_ttl)
+            for worker_id in dead:
+                self.journal.record("worker", action="reaped", id=worker_id)
 
     def drain(self, timeout: float = 60.0) -> bool:
         """Block until no jobs are queued or running (True on success)."""
@@ -159,7 +299,10 @@ class EvalService:
             counts = self.queue.counts()
             if counts["queued"] == 0 and counts["running"] == 0:
                 return True
-            time.sleep(self.poll_interval)
+            # Bounded below poll_interval: drain is a progress check,
+            # not a claim loop, and must stay responsive even when the
+            # workers' idle poll is configured long.
+            time.sleep(min(self.poll_interval, 0.05))
         return False
 
     # ------------------------------------------------------------------
@@ -170,6 +313,7 @@ class EvalService:
         """Journal counters, store stats and queue depths, one document."""
         return {
             "jobs": self.queue.counts(),
+            "workers": len(self.queue.workers()),
             "store": self.store.stats(),
             "journal": self.journal.summary(),
         }
@@ -234,6 +378,20 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json({"jobs": [r.to_dict() for r in records]})
             elif len(parts) == 2 and parts[0] == "jobs":
                 self._send_json(service.queue.get(parts[1]).to_dict())
+            elif parts == ["workers"]:
+                self._send_json({"workers": service.queue.workers()})
+            elif parts == ["result"]:
+                key = query.get("key")
+                if not key:
+                    raise ServiceError("GET /result needs a ?key=")
+                namespace = query.get("namespace", "metrics")
+                found = service.store.contains(key, namespace=namespace)
+                value = (
+                    service.store.get(key, namespace=namespace)
+                    if found
+                    else None
+                )
+                self._send_json({"found": found, "value": value})
             elif parts == ["results"]:
                 limit = query.get("limit")
                 items = service.store.items(
@@ -253,29 +411,187 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         try:
             url = urlparse(self.path)
-            if url.path != "/jobs":
-                self._send_error(f"no such resource: {url.path}", 404)
-                return
-            payload = self._read_json()
-            if (
-                isinstance(payload, dict)
-                and "spec" in payload
-                and "kind" not in payload
+            parts = [p for p in url.path.split("/") if p]
+            if parts == ["jobs"]:
+                self._post_job()
+            elif parts == ["workers"]:
+                self._post_worker()
+            elif parts == ["claim"]:
+                self._post_claim()
+            elif parts == ["results"]:
+                self._post_results()
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] in (
+                "heartbeat",
+                "complete",
+                "fail",
             ):
-                spec = payload["spec"]
-                max_attempts = int(payload.get("max_attempts", 3))
+                self._post_job_transition(parts[1], parts[2])
             else:
-                spec = payload
-                max_attempts = 3
-            job_id = self.server.service.submit(
-                spec, max_attempts=max_attempts
+                self._send_error(f"no such resource: {url.path}", 404)
+        except StaleLeaseError as exc:
+            parts = [p for p in urlparse(self.path).path.split("/") if p]
+            self.server.service.journal.record(
+                "fence_rejected",
+                id=parts[1] if len(parts) == 3 else None,
+                where="http",
+                detail=str(exc),
             )
-            self._send_json({"id": job_id, "state": "queued"}, status=201)
+            self._send_error(str(exc), 409)
         except ServiceError as exc:
-            self._send_error(str(exc), 400)
+            status = 404 if "unknown job id" in str(exc) else 400
+            self._send_error(str(exc), status)
         except Exception as exc:  # noqa: BLE001 - keep the server alive
             traceback.print_exc()
             self._send_error(f"internal error: {exc!r}", 500)
+
+    # -- POST bodies ----------------------------------------------------
+
+    def _post_job(self) -> None:
+        payload = self._read_json()
+        if (
+            isinstance(payload, dict)
+            and "spec" in payload
+            and "kind" not in payload
+        ):
+            spec = payload["spec"]
+            max_attempts = int(payload.get("max_attempts", 3))
+        else:
+            spec = payload
+            max_attempts = 3
+        job_id = self.server.service.submit(spec, max_attempts=max_attempts)
+        self._send_json({"id": job_id, "state": "queued"}, status=201)
+
+    def _post_worker(self) -> None:
+        payload = self._read_json()
+        if not isinstance(payload, dict):
+            raise ServiceError("worker registration must be a JSON object")
+        service = self.server.service
+        worker_id = service.queue.register_worker(
+            worker_id=payload.get("id"),
+            tags=payload.get("tags") or (),
+            meta=payload.get("meta"),
+        )
+        service.journal.record(
+            "worker",
+            action="register",
+            id=worker_id,
+            tags=payload.get("tags") or [],
+        )
+        self._send_json(
+            {"id": worker_id, "lease": service.lease}, status=201
+        )
+
+    def _post_claim(self) -> None:
+        payload = self._read_json()
+        if not isinstance(payload, dict):
+            raise ServiceError("claim request must be a JSON object")
+        service = self.server.service
+        worker = payload.get("worker")
+        if not worker:
+            raise ServiceError("claim request needs a 'worker' id")
+        lease = _clamped_lease(payload.get("lease"), service.lease)
+        tags = payload.get("tags")
+        service.queue.worker_seen(worker)
+        job = service.queue.claim(
+            owner=worker,
+            lease=lease,
+            tags=tags if tags is not None else None,
+        )
+        if job is None:
+            self._send_json({"job": None})
+            return
+        service.journal.record(
+            "lease",
+            action="grant",
+            id=job.id,
+            owner=worker,
+            token=job.token,
+            expires=job.lease_expires,
+        )
+        service.journal.record(
+            "service_job",
+            id=job.id,
+            state="running",
+            attempt=job.attempts,
+            kind=job.spec.get("kind"),
+            owner=worker,
+        )
+        self._send_json(
+            {"job": job.to_dict(), "token": job.token, "lease": lease}
+        )
+
+    def _post_results(self) -> None:
+        payload = self._read_json()
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("items"), dict
+        ):
+            raise ServiceError(
+                "result upload must be {'namespace': ..., 'items': {...}}"
+            )
+        service = self.server.service
+        namespace = str(payload.get("namespace", "metrics"))
+        items = payload["items"]
+        service.store.put_many(items, namespace=namespace)
+        self._send_json({"stored": len(items), "namespace": namespace})
+
+    def _post_job_transition(self, job_id: str, action: str) -> None:
+        payload = self._read_json()
+        if not isinstance(payload, dict):
+            raise ServiceError(f"{action} request must be a JSON object")
+        service = self.server.service
+        token = payload.get("token")
+        if token is None:
+            raise ServiceError(f"{action} request needs a fencing 'token'")
+        token = int(token)
+        worker = payload.get("worker")
+        if worker:
+            service.queue.worker_seen(worker)
+        if action == "heartbeat":
+            lease = _clamped_lease(payload.get("lease"), service.lease)
+            expires = service.queue.heartbeat(job_id, token, lease=lease)
+            service.journal.record(
+                "lease",
+                action="renew",
+                id=job_id,
+                owner=worker,
+                token=token,
+                expires=expires,
+            )
+            self._send_json({"ok": True, "lease_expires": expires})
+        elif action == "complete":
+            service.queue.complete(job_id, payload.get("result"), token=token)
+            service.journal.record(
+                "service_job",
+                id=job_id,
+                state="done",
+                attempt=token,
+                owner=worker,
+            )
+            self._send_json({"id": job_id, "state": "done"})
+        else:  # fail
+            error = str(payload.get("error") or "worker reported failure")
+            state = service.queue.fail(job_id, error, token=token)
+            service.journal.record(
+                "service_job",
+                id=job_id,
+                state=state,
+                attempt=token,
+                error=error,
+                owner=worker,
+            )
+            if state == "queued":
+                service._notify_queued()
+            self._send_json({"id": job_id, "state": state})
+
+
+def _clamped_lease(value: Any, default: float) -> float:
+    """A client-requested lease bounded to (0, MAX_LEASE]."""
+    if value is None:
+        return default
+    lease = float(value)
+    if lease <= 0:
+        raise ServiceError(f"lease must be > 0, got {lease}")
+    return min(lease, MAX_LEASE)
 
 
 class _Server(ThreadingHTTPServer):
@@ -299,15 +615,22 @@ def serve(
     port: int = 8321,
     workers: int = 1,
     journal_path: str | Path | None = None,
+    lease: float = DEFAULT_LEASE,
 ) -> None:
     """Blocking entry point behind ``repro serve``."""
     journal = RunJournal(journal_path) if journal_path else RunJournal()
     with use_journal(journal):
-        service = EvalService(db_path, workers=workers, journal=journal)
+        service = EvalService(
+            db_path, workers=workers, journal=journal, lease=lease
+        )
         server = make_server(service, host, port)
         with service:
             address = f"http://{server.server_address[0]}:{server.server_address[1]}"
-            print(f"[repro serve] listening on {address} (db: {db_path})")
+            print(
+                f"[repro serve] listening on {address} (db: {db_path},"
+                f" local workers: {workers})",
+                flush=True,
+            )
             try:
                 server.serve_forever()
             except KeyboardInterrupt:

@@ -58,20 +58,35 @@ CREATE TABLE IF NOT EXISTS results (
     PRIMARY KEY (namespace, key)
 );
 CREATE TABLE IF NOT EXISTS jobs (
-    id           TEXT PRIMARY KEY,
-    spec         TEXT NOT NULL,
-    state        TEXT NOT NULL,
-    attempts     INTEGER NOT NULL DEFAULT 0,
-    max_attempts INTEGER NOT NULL DEFAULT 3,
-    result       TEXT,
-    error        TEXT,
-    owner        TEXT,
-    submitted    REAL NOT NULL,
-    started      REAL,
-    finished     REAL
+    id            TEXT PRIMARY KEY,
+    spec          TEXT NOT NULL,
+    state         TEXT NOT NULL,
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    max_attempts  INTEGER NOT NULL DEFAULT 3,
+    result        TEXT,
+    error         TEXT,
+    owner         TEXT,
+    submitted     REAL NOT NULL,
+    started       REAL,
+    finished      REAL,
+    lease_expires REAL
 );
 CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, submitted);
+CREATE TABLE IF NOT EXISTS workers (
+    id         TEXT PRIMARY KEY,
+    tags       TEXT NOT NULL DEFAULT '[]',
+    meta       TEXT NOT NULL DEFAULT '{}',
+    registered REAL NOT NULL,
+    last_seen  REAL NOT NULL
+);
 """
+
+#: Columns added after the first released schema; applied as ALTERs so
+#: databases created by older builds keep working (sqlite has no
+#: ADD COLUMN IF NOT EXISTS).
+_MIGRATIONS = (
+    "ALTER TABLE jobs ADD COLUMN lease_expires REAL",
+)
 
 
 class ResultStore:
@@ -155,7 +170,14 @@ class ResultStore:
         # executescript manages its own transaction (it commits any open
         # one first), so it must not run inside self.transaction().
         try:
-            self.connection().executescript(_SCHEMA)
+            conn = self.connection()
+            conn.executescript(_SCHEMA)
+            for statement in _MIGRATIONS:
+                try:
+                    conn.execute(statement)
+                except sqlite3.OperationalError as exc:
+                    if "duplicate column" not in str(exc).lower():
+                        raise
         except sqlite3.Error as exc:
             raise EvaluationCacheError(
                 f"cannot initialize result store {self.path}: {exc}"

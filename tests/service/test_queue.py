@@ -1,8 +1,10 @@
-"""Unit tests for repro.service.queue."""
+"""Unit tests for repro.service.queue (leases, fencing, recovery)."""
+
+import time
 
 import pytest
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, StaleLeaseError
 from repro.service.queue import JobQueue
 from repro.service.store import ResultStore
 
@@ -113,42 +115,231 @@ class TestRetries:
             queue.submit({"bad": object()})
 
 
-class TestRecovery:
-    """Kill-and-resume: orphaned running jobs requeue on startup."""
+class TestLeases:
+    """Claims are leases: deadline + fencing token, renewed by heartbeat."""
 
-    def test_recover_requeues_orphans(self, tmp_path):
+    def test_claim_stamps_lease_deadline(self, queue):
+        queue.submit(SPEC)
+        before = time.time()
+        job = queue.claim("w1", lease=30.0)
+        assert job.lease_expires is not None
+        assert before + 25.0 < job.lease_expires < time.time() + 35.0
+        assert job.token == job.attempts == 1
+
+    def test_heartbeat_extends_lease(self, queue):
+        queue.submit(SPEC)
+        job = queue.claim("w1", lease=5.0)
+        deadline = queue.heartbeat(job.id, job.token, lease=60.0)
+        assert deadline > job.lease_expires
+        assert queue.get(job.id).lease_expires == deadline
+
+    def test_heartbeat_with_stale_token_raises(self, queue):
+        job_id = queue.submit(SPEC)
+        job = queue.claim("w1")
+        with pytest.raises(StaleLeaseError, match="stale fencing token"):
+            queue.heartbeat(job_id, job.token + 1)
+
+    def test_heartbeat_on_finished_job_raises(self, queue):
+        job_id = queue.submit(SPEC)
+        job = queue.claim("w1")
+        queue.complete(job_id, {}, token=job.token)
+        with pytest.raises(StaleLeaseError):
+            queue.heartbeat(job_id, job.token)
+
+    def test_complete_with_correct_token(self, queue):
+        job_id = queue.submit(SPEC)
+        job = queue.claim("w1")
+        queue.complete(job_id, {"ok": True}, token=job.token)
+        record = queue.get(job_id)
+        assert record.finished_ok
+        assert record.lease_expires is None
+
+    def test_complete_with_stale_token_is_fenced(self, queue):
+        job_id = queue.submit(SPEC)
+        job = queue.claim("w1")
+        with pytest.raises(StaleLeaseError, match="cannot complete"):
+            queue.complete(job_id, {"ok": False}, token=job.token + 7)
+        # The rightful holder is unaffected.
+        queue.complete(job_id, {"ok": True}, token=job.token)
+        assert queue.get(job_id).result == {"ok": True}
+
+    def test_fail_with_stale_token_is_fenced(self, queue):
+        job_id = queue.submit(SPEC)
+        job = queue.claim("w1")
+        with pytest.raises(StaleLeaseError, match="cannot fail"):
+            queue.fail(job_id, "boom", token=job.token + 1)
+        assert queue.get(job_id).state == "running"
+
+    def test_requeue_after_fail_clears_ownership(self, queue):
+        """A row returned to queued belongs to nobody (no stale
+        owner/started/lease misattributing it in /jobs listings)."""
+        job_id = queue.submit(SPEC, max_attempts=3)
+        job = queue.claim("w1")
+        assert queue.fail(job_id, "boom", token=job.token) == "queued"
+        record = queue.get(job_id)
+        assert record.owner is None
+        assert record.started is None
+        assert record.lease_expires is None
+
+    def test_terminal_fail_keeps_owner_for_history(self, queue):
+        job_id = queue.submit(SPEC, max_attempts=1)
+        job = queue.claim("w1")
+        assert queue.fail(job_id, "boom", token=job.token) == "failed"
+        record = queue.get(job_id)
+        assert record.owner == "w1"
+        assert record.lease_expires is None
+
+    def test_negative_lease_rejected(self, queue):
+        queue.submit(SPEC)
+        with pytest.raises(ServiceError, match="lease"):
+            queue.claim("w1", lease=-1.0)
+
+
+class TestCapabilityTags:
+    def test_claim_skips_jobs_requiring_missing_tags(self, queue):
+        gpu = queue.submit({**SPEC, "requires": ["gpu"]})
+        plain = queue.submit({**SPEC, "tag": "plain"})
+        # An untagged worker gets the untagged job, not the gpu one.
+        job = queue.claim("w1", tags=[])
+        assert job.id == plain
+        assert queue.claim("w1", tags=[]) is None
+        # A gpu-capable worker picks it up.
+        assert queue.claim("w2", tags=["gpu", "bigmem"]).id == gpu
+
+    def test_claim_without_tags_takes_anything(self, queue):
+        tagged = queue.submit({**SPEC, "requires": ["gpu"]})
+        assert queue.claim("w1").id == tagged
+
+
+class TestRecovery:
+    """Kill-and-resume: only *lease-expired* running jobs requeue."""
+
+    def test_recover_requeues_expired_lease(self, tmp_path):
         path = tmp_path / "service.sqlite"
         queue = JobQueue(ResultStore(path))
         job_id = queue.submit(SPEC)
-        queue.claim("dead-worker")
+        queue.claim("dead-worker", lease=0.0)  # expires immediately
         # "New process": a fresh queue over the same database.
         restarted = JobQueue(ResultStore(path))
-        assert restarted.recover() == 1
+        assert restarted.recover() == [job_id]
         record = restarted.get(job_id)
         assert record.state == "queued"
         assert record.attempts == 1  # the dead attempt stays counted
+        assert record.owner is None
+        assert record.started is None
         # The job is claimable again and can finish normally.
-        assert restarted.claim().id == job_id
-        restarted.complete(job_id, {"resumed": True})
+        job = restarted.claim()
+        assert job.id == job_id
+        restarted.complete(job_id, {"resumed": True}, token=job.token)
         assert restarted.get(job_id).finished_ok
+
+    def test_recover_leaves_live_leases_alone(self, tmp_path):
+        """The double-execution hazard: a second service process
+        sharing the database must NOT requeue jobs a live process is
+        still executing."""
+        path = tmp_path / "service.sqlite"
+        queue = JobQueue(ResultStore(path))
+        job_id = queue.submit(SPEC)
+        queue.claim("live-worker", lease=60.0)
+        second = JobQueue(ResultStore(path))
+        assert second.recover() == []
+        record = second.get(job_id)
+        assert record.state == "running"
+        assert record.owner == "live-worker"
 
     def test_recover_fails_exhausted_jobs(self, queue):
         job_id = queue.submit(SPEC, max_attempts=1)
-        queue.claim()
-        assert queue.recover() == 1
+        queue.claim(lease=0.0)
+        assert queue.recover() == [job_id]
         record = queue.get(job_id)
         assert record.state == "failed"
-        assert "worker died" in record.error
+        assert "lease expired" in record.error
 
-    def test_recover_scoped_to_owner(self, queue):
+    def test_recover_scoped_to_owner_ignores_lease(self, queue):
         mine = queue.submit({**SPEC, "tag": "mine"})
         theirs = queue.submit({**SPEC, "tag": "theirs"})
-        queue.claim("me")
-        queue.claim("them")
-        assert queue.recover(owner="me") == 1
+        queue.claim("me", lease=60.0)
+        queue.claim("them", lease=60.0)
+        assert queue.recover(owner="me") == [mine]
         assert queue.get(mine).state == "queued"
         assert queue.get(theirs).state == "running"
 
+    def test_recover_treats_leaseless_rows_as_expired(self, queue):
+        """Rows claimed by a pre-lease build (lease_expires NULL) are
+        orphans by definition."""
+        job_id = queue.submit(SPEC)
+        queue.claim("old-build")
+        with queue.store.transaction() as conn:
+            conn.execute(
+                "UPDATE jobs SET lease_expires = NULL WHERE id = ?",
+                (job_id,),
+            )
+        assert queue.recover() == [job_id]
+        assert queue.get(job_id).state == "queued"
+
+    def test_recover_grace_delays_reaping(self, queue):
+        job_id = queue.submit(SPEC)
+        queue.claim("w1", lease=0.0)
+        assert queue.recover(grace=60.0) == []
+        assert queue.recover() == [job_id]
+
     def test_recover_noop_when_clean(self, queue):
         queue.submit(SPEC)
-        assert queue.recover() == 0
+        assert queue.recover() == []
+
+
+class TestFencingEndToEnd:
+    """The full lease-loss story: expired mid-run, re-leased, finished
+    elsewhere — the stale worker's complete() must be rejected and the
+    store must hold exactly one result for the config."""
+
+    def test_stale_complete_rejected_single_result(self, tmp_path):
+        store = ResultStore(tmp_path / "service.sqlite")
+        queue = JobQueue(store)
+        job_id = queue.submit(SPEC)
+
+        slow = queue.claim("slow-worker", lease=0.0)  # lease dead on arrival
+        assert queue.recover() == [job_id]  # reaper requeues it
+
+        fast = queue.claim("fast-worker", lease=60.0)
+        assert fast.token == slow.token + 1
+        store.put("misses:spec=x:S8A1L16", {"misses": 42, "accesses": 100})
+        queue.complete(job_id, {"misses": 42}, token=fast.token)
+
+        # The slow worker limps back with its stale token.
+        with pytest.raises(StaleLeaseError):
+            queue.complete(job_id, {"misses": 41}, token=slow.token)
+        with pytest.raises(StaleLeaseError):
+            queue.fail(job_id, "late crash", token=slow.token)
+
+        record = queue.get(job_id)
+        assert record.result == {"misses": 42}  # fast worker's outcome
+        assert record.attempts == fast.token
+        assert len(store.keys(prefix="misses:spec=x:")) == 1
+
+
+class TestWorkerRegistry:
+    def test_register_list_and_reap(self, queue):
+        wid = queue.register_worker(tags=["gpu"], meta={"pid": 123})
+        listed = queue.workers()
+        assert [w["id"] for w in listed] == [wid]
+        assert listed[0]["tags"] == ["gpu"]
+        assert listed[0]["meta"] == {"pid": 123}
+        assert queue.reap_workers(ttl=60.0) == []
+        assert queue.reap_workers(ttl=0.0) == [wid]
+        assert queue.workers() == []
+
+    def test_register_refreshes_existing(self, queue):
+        wid = queue.register_worker(worker_id="w-fixed", tags=["a"])
+        assert wid == "w-fixed"
+        queue.register_worker(worker_id="w-fixed", tags=["a", "b"])
+        workers = queue.workers()
+        assert len(workers) == 1
+        assert workers[0]["tags"] == ["a", "b"]
+
+    def test_worker_seen_bumps_liveness(self, queue):
+        wid = queue.register_worker()
+        stamp = queue.workers()[0]["last_seen"]
+        time.sleep(0.01)
+        queue.worker_seen(wid)
+        assert queue.workers()[0]["last_seen"] > stamp
