@@ -13,7 +13,12 @@ compares the two headline ratios against the committed repo-root
 * ``design_space_speedup`` — whole-design-space kernel vs cold
   per-line-size passes on the full multi-line-size grid;
 * ``fused_counting_speedup`` — one fused cross-size stack-distance
-  dispatch vs per-problem kernel calls on the fused-counting grid.
+  dispatch vs per-problem kernel calls on the fused-counting grid;
+* ``streaming_overhead`` — in-memory sweep seconds over chunked-trace
+  sweep seconds (higher is better; 0.5 means streaming costs 2x);
+* ``sampling_accuracy`` — 1 minus the max relative miss error of the
+  interval-sampled sweep on the capacity-bound sampling grid
+  (deterministic, so it ratchets tightly).
 
 Speedups are *ratios* of two timings taken on the same runner, so they
 are far more stable across machines than absolute seconds — but CI
@@ -44,6 +49,8 @@ GUARDED_METRICS = (
     "kernel_speedup",
     "design_space_speedup",
     "fused_counting_speedup",
+    "streaming_overhead",
+    "sampling_accuracy",
 )
 
 

@@ -26,19 +26,28 @@ from repro.cache.linestream import (
     collapse_repeats,
     expand_lines,
     line_stream,
+    line_stream_cache_stats,
+    set_line_stream_cache_budget,
 )
-from repro.cache.simulator import CacheSimulator, MissResult, simulate_trace
-from repro.cache.sweep import sweep_design_space
+from repro.cache.simulator import (
+    CacheSimulator,
+    MissResult,
+    SampledMissResult,
+    simulate_trace,
+)
+from repro.cache.sweep import sampled_sweep_design_space, sweep_design_space
 from repro.cache.writepolicy import WriteResult, simulate_write_policy
 
 __all__ = [
     "CacheConfig",
     "CacheSimulator",
     "MissResult",
+    "SampledMissResult",
     "simulate_trace",
     "CheetahSimulator",
     "simulate_many",
     "sweep_design_space",
+    "sampled_sweep_design_space",
     "satisfies_inclusion",
     "cache_cost",
     "simulate_write_policy",
@@ -48,4 +57,6 @@ __all__ = [
     "expand_lines",
     "collapse_repeats",
     "clear_line_stream_cache",
+    "line_stream_cache_stats",
+    "set_line_stream_cache_budget",
 ]

@@ -191,6 +191,54 @@ class CheetahSimulator:
             nsets: list(fam.hist) for nsets, fam in self._families.items()
         }
 
+    def full_state(self) -> tuple[int, dict[int, dict]]:
+        """Exportable mid-trace snapshot including the LRU stacks.
+
+        Unlike :meth:`state`, a simulator rebuilt from this snapshot
+        (:meth:`from_full_state`) can keep consuming references — the
+        hook chunk-at-a-time sweeps use to checkpoint between chunks.
+        Deferred stacks are materialized first, so this is not free;
+        call it at chunk boundaries, not per batch.
+        """
+        out: dict[int, dict] = {}
+        for nsets, fam in self._families.items():
+            _ensure_stacks(fam)
+            out[nsets] = {
+                "hist": list(fam.hist),
+                "stacks": [list(stack) for stack in fam.stacks],
+            }
+        return self.accesses, out
+
+    @classmethod
+    def from_full_state(
+        cls,
+        line_size: int,
+        max_assoc: int,
+        accesses: int,
+        families: Mapping[int, Mapping],
+        engine: str = "auto",
+    ) -> "CheetahSimulator":
+        """Rebuild a *resumable* simulator from :meth:`full_state`."""
+        sim = cls(line_size, list(families), max_assoc, engine=engine)
+        sim.accesses = accesses
+        for nsets, snap in families.items():
+            fam = sim._families[nsets]
+            hist = list(snap["hist"])
+            if len(hist) != max_assoc + 1:
+                raise ConfigurationError(
+                    f"histogram for {nsets} sets has {len(hist)} buckets, "
+                    f"expected {max_assoc + 1}"
+                )
+            stacks = snap["stacks"]
+            if len(stacks) != nsets:
+                raise ConfigurationError(
+                    f"snapshot for {nsets} sets carries {len(stacks)} "
+                    "stacks"
+                )
+            fam.hist = [int(h) for h in hist]
+            fam.stacks = [[int(line) for line in stack] for stack in stacks]
+        return sim
+
     @property
     def set_counts(self) -> list[int]:
         return list(self._families)

@@ -15,7 +15,11 @@ count back into their access totals (and depth-0 histogram buckets).
 Expanded streams are memoized per ``(trace fingerprint, line_size)`` so
 one expansion is shared by every stack family, by repeated
 :class:`~repro.cache.cheetah.CheetahSimulator` passes over the same
-trace, and by :func:`~repro.cache.sweep.sweep_design_space`.
+trace, and by :func:`~repro.cache.sweep.sweep_design_space`.  The memo
+is LRU-bounded by entries *and* bytes (default 256 MiB,
+:func:`set_line_stream_cache_budget`), with evictions counted in
+:func:`line_stream_cache_stats` and journaled, so long-lived fleet
+workers seeing an endless stream of distinct traces stay bounded.
 
 The memo also derives across line sizes: the line stream at size ``L``
 is a deterministic coarsening of the stream at any divisor ``L'`` —
@@ -43,8 +47,80 @@ from repro.errors import TraceError
 #: Maximum number of memoized (trace, line size) expansions held at once.
 _CACHE_ENTRIES = 32
 
+#: Maximum bytes of line data the memo may hold.  Long-lived ``repro
+#: work`` fleet workers see an unbounded stream of distinct traces; an
+#: entry cap alone still lets 32 epic-sized expansions pin gigabytes.
+_DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
 _cache: OrderedDict[tuple[bytes, int], "LineStream"] = OrderedDict()
 _cache_lock = threading.Lock()
+_cache_bytes = 0
+_cache_budget = _DEFAULT_CACHE_BYTES
+_cache_stats = {
+    "hits": 0,
+    "misses": 0,
+    "evictions": 0,
+    "evicted_bytes": 0,
+}
+
+
+def _stream_nbytes(stream: "LineStream") -> int:
+    return int(stream.lines.nbytes)
+
+
+def _evict_to_budget_locked() -> None:
+    """Pop LRU entries until the cache fits; caller holds the lock."""
+    global _cache_bytes
+    evicted = evicted_bytes = 0
+    while _cache and (
+        len(_cache) > _CACHE_ENTRIES or _cache_bytes > _cache_budget
+    ):
+        _, stream = _cache.popitem(last=False)
+        nbytes = _stream_nbytes(stream)
+        _cache_bytes -= nbytes
+        evicted += 1
+        evicted_bytes += nbytes
+    if evicted:
+        _cache_stats["evictions"] += evicted
+        _cache_stats["evicted_bytes"] += evicted_bytes
+        # Lazy import: journal lives above the cache layer.
+        from repro.runtime.journal import active_journal
+
+        active_journal().record(
+            "linestream_evict",
+            entries=evicted,
+            bytes=evicted_bytes,
+            resident_entries=len(_cache),
+            resident_bytes=_cache_bytes,
+        )
+
+
+def set_line_stream_cache_budget(max_bytes: int) -> int:
+    """Set the memo's byte budget; returns the previous budget.
+
+    Oversized entries (a single stream larger than the budget) are still
+    admitted and evicted on the next insert — the cache never refuses a
+    stream, it just does not keep it long.
+    """
+    global _cache_budget
+    if max_bytes < 0:
+        raise TraceError(f"cache budget must be >= 0, got {max_bytes}")
+    with _cache_lock:
+        previous = _cache_budget
+        _cache_budget = max_bytes
+        _evict_to_budget_locked()
+    return previous
+
+
+def line_stream_cache_stats() -> dict[str, int]:
+    """Point-in-time memo statistics (hits/misses/evictions/residency)."""
+    with _cache_lock:
+        return {
+            **_cache_stats,
+            "resident_entries": len(_cache),
+            "resident_bytes": _cache_bytes,
+            "budget_bytes": _cache_budget,
+        }
 
 
 @dataclass(frozen=True)
@@ -230,7 +306,9 @@ def line_stream(
             cached = _cache.get(key)
             if cached is not None:
                 _cache.move_to_end(key)
+                _cache_stats["hits"] += 1
                 return cached
+            _cache_stats["misses"] += 1
             base = _derivation_base(key[0], line_size)
 
     if base is not None:
@@ -252,13 +330,21 @@ def line_stream(
 
     if key is not None:
         with _cache_lock:
+            global _cache_bytes
+            previous = _cache.pop(key, None)
+            if previous is not None:
+                _cache_bytes -= _stream_nbytes(previous)
             _cache[key] = stream
-            while len(_cache) > _CACHE_ENTRIES:
-                _cache.popitem(last=False)
+            _cache_bytes += _stream_nbytes(stream)
+            _evict_to_budget_locked()
     return stream
 
 
 def clear_line_stream_cache() -> None:
     """Drop all memoized expansions (mainly for tests and benchmarks)."""
+    global _cache_bytes
     with _cache_lock:
         _cache.clear()
+        _cache_bytes = 0
+        for stat in _cache_stats:
+            _cache_stats[stat] = 0

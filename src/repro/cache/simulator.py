@@ -19,6 +19,7 @@ from repro.cache._util import as_int64_array, as_int_list
 from repro.cache.config import CacheConfig
 from repro.cache.linestream import line_stream
 from repro.errors import TraceError
+from repro.trace.sampling import SamplePlan, extrapolate, plan_windows
 
 #: Backwards-compatible alias; the helper now lives in repro.cache._util
 #: so repro.cache.cheetah no longer imports simulator internals.
@@ -43,6 +44,37 @@ class MissResult:
         if self.accesses == 0:
             return 0.0
         return self.misses / self.accesses
+
+    @property
+    def estimated(self) -> bool:
+        """Whether the counts are a sampled extrapolation, not exact."""
+        return False
+
+
+@dataclass(frozen=True)
+class SampledMissResult(MissResult):
+    """Extrapolated outcome of an interval-sampled simulation.
+
+    ``accesses`` and ``misses`` are scaled from the measured windows to
+    the whole trace by the sampled fraction; ``error`` is the relative
+    standard error of the miss estimate across intervals (``None`` when
+    one interval or zero misses leave no spread to estimate from).
+    """
+
+    error: float | None = None
+    intervals: int = 1
+    sampled_ranges: int = 0
+    total_ranges: int = 0
+
+    @property
+    def estimated(self) -> bool:
+        return True
+
+    @property
+    def sampled_fraction(self) -> float:
+        if self.total_ranges == 0:
+            return 1.0
+        return self.sampled_ranges / self.total_ranges
 
 
 class CacheSimulator:
@@ -111,34 +143,12 @@ class CacheSimulator:
         return MissResult(self.config, self.accesses, self.misses)
 
 
-def simulate_trace(
-    config: CacheConfig,
-    starts: Sequence[int] | Iterable[int],
-    sizes: Sequence[int] | Iterable[int],
-) -> MissResult:
-    """Simulate a full range trace on a single cache configuration.
-
-    This is the hot path for "actual" and "dilated" miss measurement.
-    The byte ranges are expanded to a line stream by the vectorized
-    :func:`repro.cache.linestream.line_stream` kernel (which also drops
-    immediate repeats — guaranteed depth-0 hits with no LRU effect), so
-    the Python loop below only sees distinct consecutive lines.
-    """
-    starts_arr = as_int64_array(starts)
-    sizes_arr = as_int64_array(sizes)
-    if len(starts_arr) != len(sizes_arr):
-        raise TraceError(
-            f"starts ({len(starts_arr)}) and sizes ({len(sizes_arr)}) "
-            "must have equal length"
-        )
-    stream = line_stream(starts_arr, sizes_arr, config.line_size)
-
-    nsets = config.sets
-    assoc = config.assoc
-    sets: list[list[int]] = [[] for _ in range(nsets)]
+def _lru_consume(
+    sets: list[list[int]], nsets: int, assoc: int, lines: Sequence[int]
+) -> int:
+    """Feed a collapsed line stream through LRU state; return misses."""
     misses = 0
-
-    for line in stream.lines.tolist():
+    for line in lines:
         lru = sets[line % nsets]
         if line in lru:
             if lru[-1] != line:
@@ -149,5 +159,76 @@ def simulate_trace(
             if len(lru) >= assoc:
                 del lru[0]
             lru.append(line)
+    return misses
 
-    return MissResult(config, stream.accesses, misses)
+
+def simulate_trace(
+    config: CacheConfig,
+    starts: Sequence[int] | Iterable[int],
+    sizes: Sequence[int] | Iterable[int],
+    *,
+    sample: SamplePlan | None = None,
+) -> MissResult:
+    """Simulate a full range trace on a single cache configuration.
+
+    This is the hot path for "actual" and "dilated" miss measurement.
+    The byte ranges are expanded to a line stream by the vectorized
+    :func:`repro.cache.linestream.line_stream` kernel (which also drops
+    immediate repeats — guaranteed depth-0 hits with no LRU effect), so
+    the Python loop below only sees distinct consecutive lines.
+
+    With ``sample`` (a :class:`~repro.trace.sampling.SamplePlan`), only
+    the plan's windows are simulated — each warmed by its warm-up prefix
+    with LRU state carried into the measured stretch — and the result is
+    a :class:`SampledMissResult` extrapolating the counts to the whole
+    trace with a cross-interval error estimate.
+    """
+    starts_arr = as_int64_array(starts)
+    sizes_arr = as_int64_array(sizes)
+    if len(starts_arr) != len(sizes_arr):
+        raise TraceError(
+            f"starts ({len(starts_arr)}) and sizes ({len(sizes_arr)}) "
+            "must have equal length"
+        )
+    nsets = config.sets
+    assoc = config.assoc
+
+    if sample is None:
+        stream = line_stream(starts_arr, sizes_arr, config.line_size)
+        sets: list[list[int]] = [[] for _ in range(nsets)]
+        misses = _lru_consume(sets, nsets, assoc, stream.lines.tolist())
+        return MissResult(config, stream.accesses, misses)
+
+    total = len(starts_arr)
+    windows = plan_windows(total, sample)
+    if not windows:
+        return SampledMissResult(config, 0, 0, error=None, intervals=0)
+    per_interval: list[tuple[int, int, int]] = []
+    for w in windows:
+        sets = [[] for _ in range(nsets)]
+        if w.warm_lo < w.lo:
+            warm = line_stream(
+                starts_arr[w.warm_lo : w.lo],
+                sizes_arr[w.warm_lo : w.lo],
+                config.line_size,
+                memoize=False,
+            )
+            _lru_consume(sets, nsets, assoc, warm.lines.tolist())
+        stream = line_stream(
+            starts_arr[w.lo : w.hi],
+            sizes_arr[w.lo : w.hi],
+            config.line_size,
+            memoize=False,
+        )
+        misses = _lru_consume(sets, nsets, assoc, stream.lines.tolist())
+        per_interval.append((w.measured, stream.accesses, misses))
+    est = extrapolate(per_interval, total)
+    return SampledMissResult(
+        config,
+        est.accesses,
+        est.misses,
+        error=est.error,
+        intervals=est.intervals,
+        sampled_ranges=est.sampled_ranges,
+        total_ranges=est.total_ranges,
+    )

@@ -51,7 +51,7 @@ from repro.cache._util import as_int64_array
 from repro.cache.cheetah import CheetahSimulator
 from repro.cache.config import CacheConfig
 from repro.cache.designspace import DesignSpaceSimulator
-from repro.cache.simulator import MissResult
+from repro.cache.simulator import MissResult, SampledMissResult
 from repro.errors import ConfigurationError, RuntimeExecutionError
 from repro.runtime.executor import (
     ExecutorPolicy,
@@ -62,6 +62,8 @@ from repro.runtime.executor import (
     shm_available,
 )
 from repro.runtime.journal import RunJournal, resolve_journal
+from repro.trace.chunkstore import ChunkedTrace
+from repro.trace.sampling import SamplePlan, extrapolate, plan_windows
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.explore.evalcache import EvaluationCache
@@ -71,8 +73,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 #: lazily per pass instead of held resident.
 TraceFactory = Callable[[], tuple[Sequence[int], Sequence[int]]]
 
-#: A trace argument: either the (starts, sizes) pair or a factory.
-Trace = "tuple[Sequence[int], Sequence[int]] | TraceFactory"
+#: A trace argument: the (starts, sizes) pair, a factory, or an on-disk
+#: chunked trace fed to the engines chunk-at-a-time.
+Trace = "tuple[Sequence[int], Sequence[int]] | TraceFactory | ChunkedTrace"
 
 
 def simulate_group_state(
@@ -135,7 +138,34 @@ def simulate_group_from_shm(
         )
 
 
+def simulate_group_from_chunks(
+    line_size: int,
+    set_counts: Sequence[int],
+    max_assoc: int,
+    path: str,
+    digest: str,
+) -> tuple[int, dict[int, list[int]]]:
+    """Worker-side variant: mmap an on-disk chunked trace by path.
+
+    Ships only the path and expected content digest (a few hundred
+    bytes); the worker maps the file and feeds the engine one chunk at a
+    time, so neither side ever holds the whole trace decoded.
+    """
+    with ChunkedTrace(path) as ctrace:
+        if ctrace.digest != digest:
+            raise RuntimeExecutionError(
+                f"chunked trace at {path} has digest {ctrace.digest}, "
+                f"job expected {digest}"
+            )
+        sim = CheetahSimulator(line_size, set_counts, max_assoc)
+        for starts, sizes in ctrace.iter_chunks():
+            sim.simulate(starts, sizes)
+        return sim.state()
+
+
 def _materialize(trace: Trace) -> tuple[np.ndarray, np.ndarray]:
+    if isinstance(trace, ChunkedTrace):
+        return trace.materialize()
     starts, sizes = trace() if callable(trace) else trace
     return as_int64_array(starts), as_int64_array(sizes)
 
@@ -211,6 +241,42 @@ def decode_group_state(value) -> tuple[int, dict[int, list[int]]] | None:
     return None
 
 
+def encode_chunk_state(
+    next_chunk: int, full_state: tuple[int, dict[int, dict]]
+) -> list:
+    """JSON form of a mid-trace snapshot (histograms **and** LRU stacks).
+
+    Stored between chunks of a chunked-trace sweep so a killed run
+    resumes from the last finished chunk rather than the last finished
+    group.  The stacks are truncated at ``max_assoc`` per set, so the
+    payload is bounded by the design space, not the trace.
+    """
+    accesses, families = full_state
+    return [
+        int(next_chunk),
+        int(accesses),
+        {
+            str(nsets): [list(snap["hist"]), [list(s) for s in snap["stacks"]]]
+            for nsets, snap in families.items()
+        },
+    ]
+
+
+def decode_chunk_state(value) -> tuple[int, int, dict[int, dict]] | None:
+    """Inverse of :func:`encode_chunk_state`; None for foreign values."""
+    if (
+        not isinstance(value, (list, tuple))
+        or len(value) != 3
+        or not isinstance(value[2], dict)
+    ):
+        return None
+    families = {
+        int(nsets): {"hist": list(snap[0]), "stacks": [list(s) for s in snap[1]]}
+        for nsets, snap in value[2].items()
+    }
+    return int(value[0]), int(value[1]), families
+
+
 class _SweepCheckpoint:
     """Group-state checkpointing through an EvaluationCache.
 
@@ -231,6 +297,10 @@ class _SweepCheckpoint:
         self.journal = journal
         if trace_key is not None:
             self.trace_id = f"key={trace_key}"
+        elif isinstance(trace, ChunkedTrace):
+            # The chunk index already carries a content digest; no need
+            # to materialize anything.
+            self.trace_id = trace.trace_id
         else:
             # All line-size groups share one trace, so one digest
             # identifies the whole sweep; materialize once and drop.
@@ -264,6 +334,40 @@ class _SweepCheckpoint:
         with self.cache.bulk():
             self.cache.put(key, encode_group_state(state))
         self.journal.record("checkpoint", action="store", key=key)
+
+    def chunk_key(
+        self, line_size: int, set_counts: Sequence[int], max_assoc: int
+    ) -> str:
+        return group_state_key(
+            self.trace_id, line_size, set_counts, max_assoc, prefix="sweepchunk"
+        )
+
+    def lookup_chunk(
+        self, line_size: int, set_counts: Sequence[int], max_assoc: int
+    ) -> tuple[int, int, dict[int, dict]] | None:
+        key = self.chunk_key(line_size, set_counts, max_assoc)
+        state = decode_chunk_state(self.cache.get(key))
+        if state is not None:
+            self.journal.record(
+                "checkpoint", action="chunk_hit", key=key, chunk=state[0]
+            )
+            return state
+        return None
+
+    def store_chunk(
+        self,
+        line_size: int,
+        set_counts: Sequence[int],
+        max_assoc: int,
+        next_chunk: int,
+        full_state: tuple[int, dict[int, dict]],
+    ) -> None:
+        key = self.chunk_key(line_size, set_counts, max_assoc)
+        with self.cache.bulk():
+            self.cache.put(key, encode_chunk_state(next_chunk, full_state))
+        self.journal.record(
+            "checkpoint", action="chunk_store", key=key, chunk=next_chunk
+        )
 
 
 def sweep_design_space(
@@ -354,6 +458,16 @@ def sweep_design_space(
         if ck is not None:
             journal.observe_cache(ck.cache, label="sweep-checkpoint")
         return results
+
+    if isinstance(trace, ChunkedTrace):
+        # Chunked traces bypass the whole-design-space kernel (it wants
+        # the full arrays); each group streams the chunks through one
+        # carrying CheetahSimulator instead, and parallel groups ship
+        # only the file path.  Results are bit-identical either way.
+        return _sweep_chunked(
+            trace, groups, meta, pending, results, policy, journal, ck,
+            on_error,
+        )
 
     parallel = (
         policy.max_workers is not None
@@ -563,6 +677,234 @@ def sweep_design_space(
         raise RuntimeExecutionError(
             f"{len(failures)} line-size group(s) failed after retries "
             f"(first: line {line_size}: {error})"
+        )
+    return results
+
+
+def _sweep_chunked(
+    ctrace: ChunkedTrace,
+    groups: dict[int, list[CacheConfig]],
+    meta: dict[int, tuple[list[int], int]],
+    pending: list[int],
+    results: dict[CacheConfig, MissResult],
+    policy: ExecutorPolicy,
+    journal: RunJournal,
+    ck: "_SweepCheckpoint | None",
+    on_error: str,
+) -> dict[CacheConfig, MissResult]:
+    """Run the pending groups of a sweep over an on-disk chunked trace.
+
+    Serial groups stream chunk-at-a-time through one carrying simulator,
+    snapshotting full state (histograms + LRU stacks) into the
+    checkpoint between chunks so a killed run resumes mid-trace.
+    Parallel groups ship ``(path, digest)`` to the workers — a few
+    hundred bytes per job — and each worker mmaps the file itself.
+    """
+    parallel = (
+        policy.max_workers is not None
+        and policy.max_workers > 1
+        and len(pending) > 1
+    )
+    if not parallel and policy.fault is None:
+        for line_size in pending:
+            set_counts, max_assoc = meta[line_size]
+            with journal.timed(
+                "pass", role="sweep", line_size=line_size, where="serial"
+            ) as extra:
+                sim = None
+                first_chunk = 0
+                if ck is not None:
+                    resume = ck.lookup_chunk(line_size, set_counts, max_assoc)
+                    if resume is not None and 0 < resume[0] <= ctrace.n_chunks:
+                        first_chunk, accesses, families = resume
+                        if sorted(families) == list(set_counts):
+                            sim = CheetahSimulator.from_full_state(
+                                line_size, max_assoc, accesses, families
+                            )
+                        else:
+                            first_chunk = 0
+                if sim is None:
+                    sim = CheetahSimulator(line_size, set_counts, max_assoc)
+                for index in range(first_chunk, ctrace.n_chunks):
+                    starts, sizes = ctrace.chunk(index)
+                    sim.simulate(starts, sizes)
+                    del starts, sizes
+                    if ck is not None and index + 1 < ctrace.n_chunks:
+                        ck.store_chunk(
+                            line_size,
+                            set_counts,
+                            max_assoc,
+                            index + 1,
+                            sim.full_state(),
+                        )
+                state = sim.state()
+                extra["trace_ranges"] = ctrace.n_ranges
+                extra["chunks"] = ctrace.n_chunks
+                if first_chunk:
+                    extra["resumed_at_chunk"] = first_chunk
+            del sim
+            if ck is not None:
+                ck.store(line_size, set_counts, max_assoc, state)
+            _fold_group(results, groups[line_size], line_size, max_assoc, state)
+        if ck is not None:
+            journal.observe_cache(ck.cache, label="sweep-checkpoint")
+        return results
+
+    jobs = []
+    for line_size in pending:
+        set_counts, max_assoc = meta[line_size]
+        jobs.append(
+            Job(
+                key=line_size,
+                fn=simulate_group_from_chunks,
+                args=(
+                    line_size,
+                    set_counts,
+                    max_assoc,
+                    str(ctrace.path),
+                    ctrace.digest,
+                ),
+            )
+        )
+    journal.record(
+        "trace_shipping",
+        mode="chunkpath",
+        jobs=len(jobs),
+        trace_ranges=ctrace.n_ranges,
+        chunks=ctrace.n_chunks,
+    )
+    outcomes = run_jobs(jobs, policy, journal)
+
+    failures: list[tuple[int, str]] = []
+    for line_size in pending:
+        outcome = outcomes[line_size]
+        set_counts, max_assoc = meta[line_size]
+        if not outcome.ok:
+            failures.append((line_size, outcome.error or "unknown error"))
+            journal.record(
+                "group_failed",
+                line_size=line_size,
+                configs=len(groups[line_size]),
+                error=outcome.error,
+            )
+            continue
+        journal.record(
+            "pass",
+            role="sweep",
+            line_size=line_size,
+            where=outcome.where,
+            wall_s=round(outcome.wall_s, 6),
+        )
+        if ck is not None:
+            ck.store(line_size, set_counts, max_assoc, outcome.value)
+        _fold_group(
+            results, groups[line_size], line_size, max_assoc, outcome.value
+        )
+    if ck is not None:
+        journal.observe_cache(ck.cache, label="sweep-checkpoint")
+    if failures and on_error == "raise":
+        line_size, error = failures[0]
+        raise RuntimeExecutionError(
+            f"{len(failures)} line-size group(s) failed after retries "
+            f"(first: line {line_size}: {error})"
+        )
+    return results
+
+
+def sampled_sweep_design_space(
+    configs: Iterable[CacheConfig],
+    trace: "tuple[Sequence[int], Sequence[int]] | TraceFactory | ChunkedTrace",
+    plan: SamplePlan,
+    *,
+    journal: RunJournal | None = None,
+) -> dict[CacheConfig, SampledMissResult]:
+    """Estimate every configuration's misses from sampled intervals.
+
+    Groups by line size like :func:`sweep_design_space`, but simulates
+    only the plan's windows: per window, a fresh single-pass simulator
+    is warmed on the warm-up prefix (its counts discarded) and then
+    measures the window, and per-config misses extrapolate to the whole
+    trace by the sampled fraction with a cross-interval error estimate.
+
+    Over a :class:`~repro.trace.chunkstore.ChunkedTrace` each window
+    reads only the chunks it overlaps, so a sampled sweep of an
+    arbitrarily long on-disk trace stays in bounded memory.  Results are
+    estimates — they are never written into exact-result checkpoints.
+    """
+    journal = resolve_journal(journal)
+    groups: dict[int, list[CacheConfig]] = {}
+    for config in configs:
+        groups.setdefault(config.line_size, []).append(config)
+    if not groups:
+        return {}
+
+    if isinstance(trace, ChunkedTrace):
+        total = trace.n_ranges
+        read = trace.window
+    else:
+        starts, sizes = _materialize(trace)
+        total = len(starts)
+
+        def read(lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
+            return starts[lo:hi], sizes[lo:hi]
+
+    windows = plan_windows(total, plan)
+    results: dict[CacheConfig, SampledMissResult] = {}
+    if not windows:  # empty trace
+        for group in groups.values():
+            for config in group:
+                results[config] = SampledMissResult(
+                    config, 0, 0, error=None, intervals=0
+                )
+        return results
+    for line_size in sorted(groups):
+        group = groups[line_size]
+        set_counts = sorted({c.sets for c in group})
+        max_assoc = max(c.assoc for c in group)
+        per_interval: list[tuple[int, int, dict]] = []
+        with journal.timed(
+            "pass", role="sampled-sweep", line_size=line_size, where="serial"
+        ) as extra:
+            for w in windows:
+                sim = CheetahSimulator(line_size, set_counts, max_assoc)
+                if w.warm_lo < w.lo:
+                    sim.simulate(*read(w.warm_lo, w.lo))
+                acc0, hists0 = sim.state()
+                sim.simulate(*read(w.lo, w.hi))
+                acc1, hists1 = sim.state()
+                delta = {
+                    nsets: [
+                        b - a for a, b in zip(hists0[nsets], hists1[nsets])
+                    ]
+                    for nsets in hists1
+                }
+                per_interval.append((w.measured, acc1 - acc0, delta))
+            extra["intervals"] = len(windows)
+            extra["sampled_ranges"] = sum(w.measured for w in windows)
+            extra["trace_ranges"] = total
+        for config in group:
+            tuples = []
+            for ranges, accesses, delta in per_interval:
+                hist = delta[config.sets]
+                hits = sum(hist[: config.assoc])
+                tuples.append((ranges, accesses, accesses - hits))
+            est = extrapolate(tuples, total)
+            results[config] = SampledMissResult(
+                config,
+                est.accesses,
+                est.misses,
+                error=est.error,
+                intervals=est.intervals,
+                sampled_ranges=est.sampled_ranges,
+                total_ranges=est.total_ranges,
+            )
+        journal.record(
+            "sampled_pass",
+            line_size=line_size,
+            intervals=len(windows),
+            sampled_ranges=sum(w.measured for w in windows),
+            trace_ranges=total,
+            configs=len(group),
         )
     return results
 

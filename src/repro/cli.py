@@ -221,6 +221,64 @@ def build_parser() -> argparse.ArgumentParser:
             "checkpoints (default: no checkpointing)"
         ),
     )
+    sweep.add_argument(
+        "--trace-format",
+        choices=("memory", "chunked"),
+        default="memory",
+        help=(
+            "'chunked' spools the trace to an on-disk chunked store and "
+            "streams it chunk-at-a-time (bounded memory; workers receive "
+            "the file path, not the arrays; default: memory)"
+        ),
+    )
+    sweep.add_argument(
+        "--chunk-ranges",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "ranges per chunk with --trace-format chunked "
+            "(default: 262144)"
+        ),
+    )
+    sweep.add_argument(
+        "--sample-intervals",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help=(
+            "interval-sample the sweep: simulate K windows and report "
+            "extrapolated misses with an error estimate instead of "
+            "simulating the whole trace (default: exact)"
+        ),
+    )
+    sweep.add_argument(
+        "--sample-interval-ranges",
+        type=_positive_int,
+        default=4096,
+        metavar="N",
+        help="ranges per sampled window (default: 4096)",
+    )
+    sweep.add_argument(
+        "--sample-warmup",
+        type=int,
+        default=1024,
+        metavar="N",
+        help=(
+            "ranges simulated before each window to warm LRU state, "
+            "excluded from the counts (default: 1024)"
+        ),
+    )
+    sweep.add_argument(
+        "--sample-mode",
+        choices=("uniform", "strided", "first"),
+        default="uniform",
+        help=(
+            "window placement: evenly spread ('uniform'), fixed stride "
+            "('strided') or an initial segment ('first'; the paper's "
+            "truncation sampling) (default: uniform)"
+        ),
+    )
     report = sub.add_parser(
         "report", help="assemble bench results into a markdown report"
     )
@@ -416,7 +474,10 @@ def _cmd_explore(args: argparse.Namespace) -> str:
 
 def _cmd_sweep(args: argparse.Namespace) -> str:
     from repro.cache.config import CacheConfig
-    from repro.cache.sweep import sweep_design_space
+    from repro.cache.sweep import (
+        sampled_sweep_design_space,
+        sweep_design_space,
+    )
 
     try:
         configs = [
@@ -432,37 +493,96 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         from repro.explore.evalcache import EvaluationCache
 
         checkpoint = EvaluationCache(args.checkpoint)
+    plan = None
+    if args.sample_intervals:
+        from repro.trace.sampling import SamplePlan
+
+        try:
+            plan = SamplePlan(
+                intervals=args.sample_intervals,
+                interval_ranges=args.sample_interval_ranges,
+                warmup_ranges=args.sample_warmup,
+                mode=args.sample_mode,
+            )
+        except Exception as exc:  # noqa: BLE001 - SamplePlan validates
+            raise SystemExit(f"bad sampling plan: {exc}")
     settings = _settings(args)
     lines: list[str] = []
     for bench in _benchmarks(args):
         trace = get_pipeline(bench, settings).reference_artifacts().trace(
             args.role
         )
-        results = sweep_design_space(
-            configs,
-            (trace.starts, trace.sizes),
-            max_workers=args.max_workers,
-            policy=settings.executor_policy(),
-            checkpoint=checkpoint,
-            strategy=args.strategy,
-        )
-        lines.append(
+        trace_arg = (trace.starts, trace.sizes)
+        tmpdir = None
+        if args.trace_format == "chunked":
+            import tempfile
+
+            from repro.trace.chunkstore import write_chunked
+
+            tmpdir = tempfile.TemporaryDirectory(prefix="repro-chunked-")
+            kwargs = (
+                {"chunk_ranges": args.chunk_ranges}
+                if args.chunk_ranges
+                else {}
+            )
+            trace_arg = write_chunked(
+                f"{tmpdir.name}/{bench}-{args.role}.rct",
+                trace.starts,
+                trace.sizes,
+                **kwargs,
+            )
+        try:
+            if plan is not None:
+                results = sampled_sweep_design_space(
+                    configs, trace_arg, plan
+                )
+            else:
+                results = sweep_design_space(
+                    configs,
+                    trace_arg,
+                    max_workers=args.max_workers,
+                    policy=settings.executor_policy(),
+                    checkpoint=checkpoint,
+                    strategy=args.strategy,
+                )
+        finally:
+            if tmpdir is not None:
+                trace_arg.close()
+                tmpdir.cleanup()
+        header = (
             f"{bench} {args.role}: {len(trace)} ranges, "
             f"{len(configs)} configurations"
         )
-        lines.append(
+        if plan is not None:
+            any_result = next(iter(results.values()))
+            header += (
+                f" (sampled: {any_result.intervals} intervals, "
+                f"{any_result.sampled_fraction:.1%} of the trace)"
+            )
+        lines.append(header)
+        columns = (
             f"  {'line':>5} {'sets':>6} {'assoc':>5} "
             f"{'misses':>12} {'rate':>8}"
         )
+        if plan is not None:
+            columns += f" {'error':>8}"
+        lines.append(columns)
         for config in configs:
             result = results[config]
             rate = (
                 result.misses / result.accesses if result.accesses else 0.0
             )
-            lines.append(
+            row = (
                 f"  {config.line_size:>5} {config.sets:>6} "
                 f"{config.assoc:>5} {result.misses:>12} {rate:>8.4f}"
             )
+            if plan is not None:
+                error = (
+                    f"{result.error:.2%}" if result.error is not None
+                    else "n/a"
+                )
+                row += f" {error:>8}"
+            lines.append(row)
     return "\n".join(lines)
 
 

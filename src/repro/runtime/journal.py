@@ -325,6 +325,52 @@ class RunJournal:
                 "workers": _count_by(fleet, "action"),
                 "fence_rejections": len(fences),
             }
+        shippings = self.select("trace_shipping")
+        chunked = [e for e in shippings if e.get("mode") == "chunkpath"]
+        chunk_passes = [e for e in passes if "chunks" in e]
+        if chunked or chunk_passes:
+            summary["streaming"] = {
+                "chunked_passes": len(chunk_passes),
+                "chunks": sum(int(e.get("chunks", 0)) for e in chunk_passes),
+                "resumed_passes": sum(
+                    1 for e in chunk_passes if e.get("resumed_at_chunk")
+                ),
+                "chunkpath_jobs": sum(
+                    int(e.get("jobs", 0)) for e in chunked
+                ),
+            }
+        sampled = self.select("sampled_pass")
+        if sampled:
+            summary["sampling"] = {
+                "passes": len(sampled),
+                "intervals": sum(int(e.get("intervals", 0)) for e in sampled),
+                "sampled_ranges": sum(
+                    int(e.get("sampled_ranges", 0)) for e in sampled
+                ),
+                "trace_ranges": sum(
+                    int(e.get("trace_ranges", 0)) for e in sampled
+                ),
+            }
+        evictions = self.select("linestream_evict")
+        rss = self.select("rss")
+        if evictions or rss:
+            summary["memory"] = {
+                "linestream_evictions": sum(
+                    int(e.get("entries", 0)) for e in evictions
+                ),
+                "linestream_evicted_bytes": sum(
+                    int(e.get("bytes", 0)) for e in evictions
+                ),
+            }
+            if rss:
+                last = rss[-1]
+                summary["memory"]["max_rss_bytes"] = int(
+                    last.get("max_rss_bytes", 0)
+                )
+                if "budget_bytes" in last:
+                    summary["memory"]["rss_budget_bytes"] = int(
+                        last["budget_bytes"]
+                    )
         return summary
 
     def summary_text(self, title: str = "Run journal summary") -> str:
@@ -414,6 +460,38 @@ class RunJournal:
                 f"{util.get('busy_s', 0.0):.3f} s busy / "
                 f"{util.get('wall_s', 0.0):.3f} s wall)"
             )
+        stream = s.get("streaming")
+        if stream:
+            lines.append(
+                f"streaming: {stream['chunked_passes']} chunked passes "
+                f"({stream['chunks']} chunks, "
+                f"{stream['resumed_passes']} resumed, "
+                f"{stream['chunkpath_jobs']} path-shipped jobs)"
+            )
+        samp = s.get("sampling")
+        if samp:
+            frac = (
+                samp["sampled_ranges"] / samp["trace_ranges"]
+                if samp["trace_ranges"]
+                else 1.0
+            )
+            lines.append(
+                f"sampling: {samp['passes']} sampled passes "
+                f"({samp['intervals']} intervals, "
+                f"{samp['sampled_ranges']}/{samp['trace_ranges']} ranges "
+                f"= {frac:.1%})"
+            )
+        mem = s.get("memory")
+        if mem:
+            text = (
+                f"memory: {mem['linestream_evictions']} linestream "
+                f"evictions ({mem['linestream_evicted_bytes']} B)"
+            )
+            if "max_rss_bytes" in mem:
+                text += f", max RSS {mem['max_rss_bytes']} B"
+                if "rss_budget_bytes" in mem:
+                    text += f" of {mem['rss_budget_bytes']} B budget"
+            lines.append(text)
         return "\n".join(lines)
 
 

@@ -31,7 +31,19 @@ Trace specs (for ``sweep``):
   re-materialize anywhere (workers rebuild it from the spec);
 * ``{"kind": "benchmark", "benchmark": "085.gcc", "role": "icache",
   "scale": 1.0, "visits": 60000}`` — a real workload's reference trace
-  via the experiment pipeline.
+  via the experiment pipeline;
+* ``{"kind": "chunked", "path": "/data/trace.rct", "digest": "..."}`` —
+  an on-disk chunked trace (see :mod:`repro.trace.chunkstore`), opened
+  by path and fed to the engines chunk-at-a-time; workers receive the
+  path, never the arrays.  ``digest`` (optional) pins the expected
+  content.
+
+Sweep specs may also carry ``"sample"``, an interval-sampling plan
+(:meth:`repro.trace.sampling.SamplePlan.from_spec`: ``{"intervals": 16,
+"interval_ranges": 4096, "warmup_ranges": 1024, "mode": "uniform"}``).
+Sampled results are *estimates*: they are stored under sample-specific
+keys (never mixed with exact results) and flagged ``"estimated": true``
+with their extrapolation error.
 
 Every spec is *content-addressed*: :func:`trace_key` is a digest of the
 canonical spec JSON, so two clients submitting the same trace (however
@@ -53,14 +65,19 @@ from typing import Any
 import numpy as np
 
 from repro.cache.config import CacheConfig
-from repro.cache.sweep import sweep_design_space
+from repro.cache.sweep import sampled_sweep_design_space, sweep_design_space
 from repro.errors import ReproError, ServiceError
 from repro.runtime.executor import ExecutorPolicy
 from repro.runtime.journal import RunJournal, resolve_journal
 from repro.service.store import ResultStore, StoreEvaluationCache
+from repro.trace.chunkstore import ChunkedTrace
+from repro.trace.sampling import SamplePlan
 
 #: Job kinds the queue accepts.
 JOB_KINDS = ("sweep", "estimate", "explore")
+
+#: Trace kinds a sweep spec accepts.
+TRACE_KINDS = ("ranges", "synthetic", "benchmark", "chunked")
 
 #: Store namespaces used by job execution.
 NS_METRICS = "metrics"
@@ -177,10 +194,39 @@ def build_trace_arrays(trace_spec: dict[str, Any]) -> tuple[Any, Any]:
     if kind == "benchmark":
         trace = _benchmark_trace(trace_spec)
         return trace.starts, trace.sizes
+    if kind == "chunked":
+        return _open_chunked(trace_spec).materialize()
     raise ServiceError(
-        f"unknown trace kind {kind!r}; expected 'ranges', 'synthetic' "
-        "or 'benchmark'"
+        f"unknown trace kind {kind!r}; expected one of {TRACE_KINDS}"
     )
+
+
+def _open_chunked(trace_spec: dict[str, Any]) -> ChunkedTrace:
+    path = _require(trace_spec, "path", "chunked trace")
+    try:
+        ctrace = ChunkedTrace(path)
+    except ReproError as exc:
+        raise ServiceError(f"cannot open chunked trace: {exc}") from exc
+    expected = trace_spec.get("digest")
+    if expected and ctrace.digest != expected:
+        ctrace.close()
+        raise ServiceError(
+            f"chunked trace at {path} has digest {ctrace.digest}, "
+            f"spec pinned {expected}"
+        )
+    return ctrace
+
+
+def sweep_trace(trace_spec: dict[str, Any]):
+    """The trace argument a sweep should pass to the cache layer.
+
+    Chunked specs open the on-disk store (the sweep streams it and ships
+    only the path to workers); everything else becomes a picklable
+    factory so workers materialize the arrays themselves.
+    """
+    if trace_spec.get("kind") == "chunked":
+        return _open_chunked(trace_spec)
+    return SpecTraceFactory(trace_spec)
 
 
 def _benchmark_trace(trace_spec: dict[str, Any]):
@@ -232,15 +278,29 @@ def validate_spec(spec: Any) -> dict[str, Any]:
         raise ServiceError(
             "'requires' must be a list of capability tag strings"
         )
+    sample = spec.get("sample")
+    if sample is not None:
+        if not isinstance(sample, dict):
+            raise ServiceError("'sample' must be a sampling plan object")
+        try:
+            SamplePlan.from_spec(sample)
+        except ReproError as exc:
+            raise ServiceError(f"bad sample plan: {exc}") from exc
     if kind == "sweep":
         trace_spec = _require(spec, "trace", kind)
         if not isinstance(trace_spec, dict) or "kind" not in trace_spec:
             raise ServiceError("sweep trace spec must be an object with a 'kind'")
-        if trace_spec["kind"] not in ("ranges", "synthetic", "benchmark"):
+        if trace_spec["kind"] not in TRACE_KINDS:
             raise ServiceError(
                 f"unknown trace kind {trace_spec['kind']!r}"
             )
-        if trace_spec["kind"] != "benchmark":
+        if trace_spec["kind"] == "chunked":
+            # Shape only: the file may live on the workers' filesystem,
+            # not the submitter's.
+            path = _require(trace_spec, "path", "chunked trace")
+            if not isinstance(path, str) or not path:
+                raise ServiceError("chunked trace 'path' must be a string")
+        elif trace_spec["kind"] != "benchmark":
             build_trace_arrays(trace_spec)  # cheap: validates eagerly
         parse_configs(_require(spec, "configs", kind))
     elif kind == "estimate":
@@ -312,13 +372,22 @@ def _execute_sweep(
     trace_spec = spec["trace"]
     configs = parse_configs(spec["configs"])
     tkey = trace_key(trace_spec)
+    sample_spec = spec.get("sample")
+    plan = SamplePlan.from_spec(sample_spec) if sample_spec else None
+    if plan is not None:
+        # Estimates live under sample-specific keys so they can never
+        # shadow (or be shadowed by) exact results for the same trace.
+        rkey_trace = f"{tkey}:sample={trace_key(plan.to_spec())[5:]}"
+    else:
+        rkey_trace = tkey
 
-    # Result-level de-duplication: configs whose exact misses are
-    # already stored are served without any simulation.
+    # Result-level de-duplication: configs whose misses are already
+    # stored (for this exact trace + sampling identity) are served
+    # without any simulation.
     stored: dict[CacheConfig, Any] = {}
     missing: list[CacheConfig] = []
     for config in configs:
-        value = store.get(result_key(tkey, config), namespace=NS_METRICS)
+        value = store.get(result_key(rkey_trace, config), namespace=NS_METRICS)
         if (
             isinstance(value, dict)
             and "misses" in value
@@ -330,29 +399,54 @@ def _execute_sweep(
 
     simulated: dict[CacheConfig, Any] = {}
     if missing:
-        # Group-level de-duplication: the sweep checkpoints each
-        # line-size group's single-pass state into the shared store, so
-        # even a *partially* overlapping grid reuses whole passes.
-        checkpoint = StoreEvaluationCache(store, namespace=NS_EVALCACHE)
-        results = sweep_design_space(
-            missing,
-            SpecTraceFactory(trace_spec),
-            policy=spec_policy(spec),
-            journal=journal,
-            checkpoint=checkpoint,
-            trace_key=tkey,
-        )
-        fresh = {}
-        for config, miss in results.items():
-            doc = {"accesses": miss.accesses, "misses": miss.misses}
-            simulated[config] = doc
-            fresh[result_key(tkey, config)] = doc
-        store.put_many(fresh, namespace=NS_METRICS)
+        trace = sweep_trace(trace_spec)
+        try:
+            fresh = {}
+            if plan is not None:
+                results = sampled_sweep_design_space(
+                    missing, trace, plan, journal=journal
+                )
+                for config, miss in results.items():
+                    doc = {
+                        "accesses": miss.accesses,
+                        "misses": miss.misses,
+                        "estimated": True,
+                        "error": miss.error,
+                        "intervals": miss.intervals,
+                        "sampled_ranges": miss.sampled_ranges,
+                        "total_ranges": miss.total_ranges,
+                    }
+                    simulated[config] = doc
+                    fresh[result_key(rkey_trace, config)] = doc
+            else:
+                # Group-level de-duplication: the sweep checkpoints each
+                # line-size group's single-pass state into the shared
+                # store, so even a *partially* overlapping grid reuses
+                # whole passes.
+                checkpoint = StoreEvaluationCache(
+                    store, namespace=NS_EVALCACHE
+                )
+                results = sweep_design_space(
+                    missing,
+                    trace,
+                    policy=spec_policy(spec),
+                    journal=journal,
+                    checkpoint=checkpoint,
+                    trace_key=tkey,
+                )
+                for config, miss in results.items():
+                    doc = {"accesses": miss.accesses, "misses": miss.misses}
+                    simulated[config] = doc
+                    fresh[result_key(rkey_trace, config)] = doc
+            store.put_many(fresh, namespace=NS_METRICS)
+        finally:
+            if isinstance(trace, ChunkedTrace):
+                trace.close()
 
     journal.record(
         "service_dedup",
         kind="sweep",
-        trace_key=tkey,
+        trace_key=rkey_trace,
         from_store=len(stored),
         simulated=len(simulated),
     )
@@ -364,10 +458,11 @@ def _execute_sweep(
         docs.append(_config_doc(config, **doc, source=source))
     return {
         "kind": "sweep",
-        "trace_key": tkey,
+        "trace_key": rkey_trace,
         "total": len(configs),
         "from_store": len(stored),
         "simulated": len(simulated),
+        "sampled": plan is not None,
         "results": docs,
     }
 
@@ -404,6 +499,9 @@ def _execute_estimate(
         StoreEvaluationCache(store, namespace=NS_EVALCACHE),
         trace_keys={r: f"{bench_id}:{r}" for r in ("icache", "dcache", "unified")},
     )
+    sample_spec = spec.get("sample")
+    if sample_spec:
+        evaluator.set_sample_plan(SamplePlan.from_spec(sample_spec))
     grid = evaluator.misses_batch(
         role, configs, dilations, max_workers=spec.get("max_workers")
     )
@@ -413,6 +511,7 @@ def _execute_estimate(
         "benchmark": benchmark,
         "role": role,
         "dilations": dilations,
+        "sampled": bool(sample_spec),
         "results": [
             _config_doc(
                 config,
@@ -489,6 +588,9 @@ def _execute_explore(
         StoreEvaluationCache(store, namespace=NS_EVALCACHE),
         trace_keys={r: f"{bench_id}:{r}" for r in ("icache", "dcache", "unified")},
     )
+    sample_spec = spec.get("sample")
+    if sample_spec:
+        evaluator.set_sample_plan(SamplePlan.from_spec(sample_spec))
     pareto = Spacewalker(
         space,
         pipeline,
@@ -508,7 +610,13 @@ def _execute_explore(
         for point in pareto.frontier()
     ]
     frontier_id = hashlib.sha256(
-        canonical({"benchmark": bench_id, "space": spec.get("space")}).encode()
+        canonical(
+            {
+                "benchmark": bench_id,
+                "space": spec.get("space"),
+                "sample": sample_spec or None,
+            }
+        ).encode()
     ).hexdigest()[:16]
     store.put(
         f"pareto:{bench_id}:space={frontier_id}",

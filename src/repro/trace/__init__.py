@@ -12,10 +12,18 @@ The pipeline mirrors the paper's memory simulation system (Figure 3):
   joint (unified) *address traces*.
 * :mod:`repro.trace.ranges` defines the compact range-trace representation
   consumed by the cache simulators and the AHH modeler.
-* :mod:`repro.trace.sampling` implements initial-segment trace sampling
-  (Section 5.2's "sampling an initial segment of the trace").
+* :mod:`repro.trace.sampling` implements trace sampling: the paper's
+  initial-segment truncation (Section 5.2) plus interval sampling with
+  warm-up and extrapolation (arXiv 2402.00649).
+* :mod:`repro.trace.chunkstore` is the chunked, compressed, mmap-able
+  on-disk trace format for traces larger than memory.
 """
 
+from repro.trace.chunkstore import (
+    ChunkedTrace,
+    ChunkedTraceWriter,
+    write_chunked,
+)
 from repro.trace.datamodel import DataAddressModel, StreamSpec
 from repro.trace.emulator import Emulator, emulate
 from repro.trace.events import EventKind, EventTrace
@@ -27,7 +35,15 @@ from repro.trace.io import (
     save_range_trace,
 )
 from repro.trace.ranges import KIND_DATA, KIND_INSTR, RangeTrace
-from repro.trace.sampling import sample_events
+from repro.trace.sampling import (
+    SampledEstimate,
+    SamplePlan,
+    SampleWindow,
+    extrapolate,
+    plan_windows,
+    sample_events,
+    sample_events_plan,
+)
 
 __all__ = [
     "EventKind",
@@ -41,8 +57,17 @@ __all__ = [
     "KIND_INSTR",
     "KIND_DATA",
     "sample_events",
+    "sample_events_plan",
+    "SamplePlan",
+    "SampleWindow",
+    "SampledEstimate",
+    "plan_windows",
+    "extrapolate",
     "save_events",
     "load_events",
     "save_range_trace",
     "load_range_trace",
+    "ChunkedTrace",
+    "ChunkedTraceWriter",
+    "write_chunked",
 ]

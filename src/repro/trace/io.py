@@ -5,11 +5,23 @@ pipeline; persisting traces lets separate processes (or later sessions)
 re-run cache studies without regenerating.  The format is a plain numpy
 ``.npz`` archive plus a small JSON block table, versioned for forward
 compatibility.
+
+Version 2 archives additionally store a blake2b digest over the payload
+columns, verified on load; version 1 archives (no digest) still load.
+Every load-path failure — missing file, truncated or corrupt zip, a
+foreign ``.npz`` — surfaces as a :class:`~repro.errors.TraceError`
+naming the offending path, never a raw ``zipfile``/``KeyError``.
+
+For traces too large to hold in memory at all, see
+:mod:`repro.trace.chunkstore`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -19,7 +31,32 @@ from repro.trace.events import EventTrace
 from repro.trace.ranges import RangeTrace
 
 #: Format version written into every archive.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions :func:`load_events` / :func:`load_range_trace` accept.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Archive columns hashed into the stored digest, per kind, in order.
+_DIGEST_COLUMNS = {
+    b"events": (
+        "visit_blocks",
+        "data_addrs",
+        "data_streams",
+        "data_offsets",
+        "data_writes",
+    ),
+    b"ranges": ("starts", "sizes", "kinds"),
+}
+
+
+def _payload_digest(kind: bytes, columns) -> str:
+    """blake2b-16 over the payload columns (length-prefixed, in order)."""
+    h = hashlib.blake2b(digest_size=16)
+    for name in _DIGEST_COLUMNS[kind]:
+        arr = np.ascontiguousarray(columns[name])
+        h.update(len(arr).to_bytes(8, "little"))
+        h.update(arr.tobytes())
+    return h.hexdigest()
 
 
 def save_events(events: EventTrace, path: str | Path) -> Path:
@@ -27,78 +64,130 @@ def save_events(events: EventTrace, path: str | Path) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     blocks_json = json.dumps([list(key) for key in events.blocks])
+    columns = {
+        "visit_blocks": events.visit_blocks,
+        "data_addrs": events.data_addrs,
+        "data_streams": events.data_streams,
+        "data_offsets": events.data_offsets,
+        "data_writes": events.data_writes,
+    }
     np.savez_compressed(
         path,
         version=np.int64(FORMAT_VERSION),
         kind=np.bytes_(b"events"),
+        digest=np.bytes_(_payload_digest(b"events", columns).encode()),
         blocks=np.bytes_(blocks_json.encode()),
-        visit_blocks=events.visit_blocks,
-        data_addrs=events.data_addrs,
-        data_streams=events.data_streams,
-        data_offsets=events.data_offsets,
-        data_writes=events.data_writes,
+        **columns,
     )
     return path
 
 
 def load_events(path: str | Path) -> EventTrace:
     """Read an event trace written by :func:`save_events`."""
-    with np.load(Path(path)) as archive:
+    with _open(path) as archive:
         _check(archive, b"events", path)
-        blocks_json = bytes(archive["blocks"]).decode()
-        blocks = tuple(
-            (str(name), int(block_id))
-            for name, block_id in json.loads(blocks_json)
-        )
-        return EventTrace(
-            blocks=blocks,
-            visit_blocks=archive["visit_blocks"],
-            data_addrs=archive["data_addrs"],
-            data_streams=archive["data_streams"],
-            data_offsets=archive["data_offsets"],
-            data_writes=archive["data_writes"],
-        )
+        try:
+            blocks_json = bytes(archive["blocks"]).decode()
+            blocks = tuple(
+                (str(name), int(block_id))
+                for name, block_id in json.loads(blocks_json)
+            )
+            return EventTrace(
+                blocks=blocks,
+                visit_blocks=archive["visit_blocks"],
+                data_addrs=archive["data_addrs"],
+                data_streams=archive["data_streams"],
+                data_offsets=archive["data_offsets"],
+                data_writes=archive["data_writes"],
+            )
+        except TraceError:
+            raise
+        except Exception as exc:
+            raise TraceError(
+                f"{path}: corrupt event trace archive ({exc})"
+            ) from exc
 
 
 def save_range_trace(trace: RangeTrace, path: str | Path) -> Path:
     """Write a range trace to ``path`` (``.npz``)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    columns = {
+        "starts": trace.starts,
+        "sizes": trace.sizes,
+        "kinds": trace.kinds,
+    }
     np.savez_compressed(
         path,
         version=np.int64(FORMAT_VERSION),
         kind=np.bytes_(b"ranges"),
-        starts=trace.starts,
-        sizes=trace.sizes,
-        kinds=trace.kinds,
+        digest=np.bytes_(_payload_digest(b"ranges", columns).encode()),
+        **columns,
     )
     return path
 
 
 def load_range_trace(path: str | Path) -> RangeTrace:
     """Read a range trace written by :func:`save_range_trace`."""
-    with np.load(Path(path)) as archive:
+    with _open(path) as archive:
         _check(archive, b"ranges", path)
-        return RangeTrace(
-            starts=archive["starts"],
-            sizes=archive["sizes"],
-            kinds=archive["kinds"],
-        )
+        try:
+            return RangeTrace(
+                starts=archive["starts"],
+                sizes=archive["sizes"],
+                kinds=archive["kinds"],
+            )
+        except TraceError:
+            raise
+        except Exception as exc:
+            raise TraceError(
+                f"{path}: corrupt range trace archive ({exc})"
+            ) from exc
+
+
+def _open(path: str | Path):
+    """``np.load`` with every failure mode mapped to :class:`TraceError`.
+
+    A truncated or flipped-byte ``.npz`` raises raw ``zipfile.BadZipFile``
+    / ``OSError`` / ``ValueError`` from deep inside numpy; callers should
+    see one exception type with the path attached.
+    """
+    try:
+        return np.load(Path(path))
+    except FileNotFoundError as exc:
+        raise TraceError(f"{path}: no such trace archive") from exc
+    except (zipfile.BadZipFile, zlib.error, OSError, EOFError, ValueError) as exc:
+        raise TraceError(
+            f"{path}: corrupt or truncated trace archive ({exc})"
+        ) from exc
 
 
 def _check(archive, expected_kind: bytes, path) -> None:
     try:
         version = int(archive["version"])
         kind = bytes(archive["kind"])
-    except KeyError as exc:
+    except (KeyError, zipfile.BadZipFile, zlib.error, OSError, EOFError, ValueError) as exc:
         raise TraceError(f"{path} is not a repro trace archive") from exc
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise TraceError(
             f"{path}: unsupported trace format version {version} "
-            f"(expected {FORMAT_VERSION})"
+            f"(expected one of {SUPPORTED_VERSIONS})"
         )
     if kind != expected_kind:
         raise TraceError(
             f"{path}: archive holds {kind.decode()!r}, "
             f"expected {expected_kind.decode()!r}"
         )
+    if version >= 2:
+        try:
+            stored = bytes(archive["digest"]).decode()
+            actual = _payload_digest(kind, archive)
+        except (KeyError, zipfile.BadZipFile, zlib.error, OSError, EOFError, ValueError) as exc:
+            raise TraceError(
+                f"{path}: corrupt or truncated trace archive ({exc})"
+            ) from exc
+        if stored != actual:
+            raise TraceError(
+                f"{path}: payload digest mismatch (stored {stored}, "
+                f"computed {actual}) — archive is corrupt"
+            )

@@ -1,15 +1,60 @@
-"""Initial-segment trace sampling (Section 5.2).
+"""Trace sampling: first-N truncation and interval sampling.
 
-"In order to permit faster evaluation, we also allow sampling an initial
-segment of the trace to evaluate memory hierarchy performance."  Sampling
-operates on the event trace so that every derived address trace
-(instruction, data, unified, dilated) sees the same truncated execution.
+The paper's Section 5.2 allows "sampling an initial segment of the trace"
+for faster evaluation (:func:`sample_events`, the original behaviour).
+Initial segments are cheap but unrepresentative for long executions —
+program phases far from the start never contribute.  The interval layer
+here instead selects ``k`` fixed-size **windows** spread across the whole
+trace ("Improving the Representativeness of Simulation Intervals for the
+Cache Memory System", arXiv 2402.00649): each window carries a *warm-up*
+prefix whose references prime the simulator's LRU state but are excluded
+from the measured counts, mitigating the cold-start bias that makes naive
+window sampling over-count misses.  Consumers simulate only the sampled
+windows and extrapolate totals by the sampled fraction, with a
+cross-interval error estimate (:func:`extrapolate`).
+
+This module owns the *selection and estimation* math, which is pure index
+arithmetic — the simulation of the windows lives with the engines
+(:func:`repro.cache.sweep.sampled_sweep_design_space`,
+:func:`repro.cache.simulator.simulate_trace`).  Windows address *ranges*
+(the unit every engine consumes), so the same plan drives in-memory
+arrays and :class:`~repro.trace.chunkstore.ChunkedTrace` readers alike —
+a sampled run over a chunked trace touches only the chunks its windows
+overlap.
+
+``mode="first"`` degenerates to the original first-N truncation (one
+contiguous prefix, no extrapolation bias correction beyond the fraction
+scale) and is oracle-tested against :func:`sample_events`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+import numpy as np
+
 from repro.errors import TraceError
 from repro.trace.events import EventTrace
+
+#: Window placement modes.
+SAMPLE_MODES = ("first", "uniform", "strided")
+
+
+def _check_offsets(events: EventTrace) -> np.ndarray:
+    """Validate the visit offset index before any slicing uses it.
+
+    A malformed (non-monotonic, or out-of-bounds) ``data_offsets`` would
+    make window slices silently overlap or reverse; surface it as a
+    :class:`~repro.errors.TraceError` instead.
+    """
+    offsets = events.data_offsets
+    if len(offsets) == 0 or int(offsets[0]) != 0:
+        raise TraceError("data_offsets must start at 0")
+    if len(offsets) > 1 and int(np.diff(offsets).min()) < 0:
+        raise TraceError("data_offsets must be monotonically non-decreasing")
+    if int(offsets[-1]) > len(events.data_addrs):
+        raise TraceError("data_offsets exceeds the data reference arrays")
+    return offsets
 
 
 def sample_events(events: EventTrace, max_visits: int) -> EventTrace:
@@ -18,18 +63,282 @@ def sample_events(events: EventTrace, max_visits: int) -> EventTrace:
     Returns the original trace unchanged when it is already short enough
     (mirroring the paper's behaviour of simulating to completion when the
     sampling limit is not reached, in which case result checking stays
-    enabled).
+    enabled).  This is the trivial ``mode="first"`` case of the interval
+    layer, kept as its oracle.
     """
     if max_visits < 1:
         raise TraceError(f"max_visits must be >= 1, got {max_visits}")
+    offsets = _check_offsets(events)
     if events.n_visits <= max_visits:
         return events
-    cut = int(events.data_offsets[max_visits])
+    cut = int(offsets[max_visits])
     return EventTrace(
         blocks=events.blocks,
         visit_blocks=events.visit_blocks[:max_visits],
         data_addrs=events.data_addrs[:cut],
         data_streams=events.data_streams[:cut],
-        data_offsets=events.data_offsets[: max_visits + 1],
+        data_offsets=offsets[: max_visits + 1],
         data_writes=events.data_writes[:cut],
+    )
+
+
+@dataclass(frozen=True)
+class SamplePlan:
+    """How to pick simulation intervals out of a long trace.
+
+    Attributes
+    ----------
+    intervals:
+        Number of measured windows.
+    interval_ranges:
+        Length of each measured window, in trace units (ranges for range
+        traces, block visits for event traces).
+    warmup_ranges:
+        Units simulated *before* each window to prime LRU state; their
+        hits/misses are excluded from the measured counts.
+    mode:
+        ``"uniform"`` spreads the windows evenly across the trace
+        (first at the start, last flush with the end); ``"strided"``
+        places them every ``stride_ranges`` units from the start;
+        ``"first"`` takes one contiguous prefix (the paper's original
+        initial-segment sampling, split into ``intervals`` windows).
+    stride_ranges:
+        ``"strided"`` placement period; defaults to ``total //
+        intervals`` (an even comb) when omitted.
+    """
+
+    intervals: int
+    interval_ranges: int
+    warmup_ranges: int = 0
+    mode: str = "uniform"
+    stride_ranges: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.intervals < 1:
+            raise TraceError(
+                f"intervals must be >= 1, got {self.intervals}"
+            )
+        if self.interval_ranges < 1:
+            raise TraceError(
+                f"interval_ranges must be >= 1, got {self.interval_ranges}"
+            )
+        if self.warmup_ranges < 0:
+            raise TraceError(
+                f"warmup_ranges must be >= 0, got {self.warmup_ranges}"
+            )
+        if self.mode not in SAMPLE_MODES:
+            raise TraceError(
+                f"unknown sample mode {self.mode!r}; "
+                f"expected one of {SAMPLE_MODES}"
+            )
+        if self.stride_ranges is not None and self.stride_ranges < 1:
+            raise TraceError(
+                f"stride_ranges must be >= 1, got {self.stride_ranges}"
+            )
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "SamplePlan":
+        """Build a plan from a JSON-style dict (service job specs)."""
+        try:
+            return cls(
+                intervals=int(spec["intervals"]),
+                interval_ranges=int(spec["interval_ranges"]),
+                warmup_ranges=int(spec.get("warmup_ranges", 0)),
+                mode=str(spec.get("mode", "uniform")),
+                stride_ranges=(
+                    int(spec["stride_ranges"])
+                    if spec.get("stride_ranges") is not None
+                    else None
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceError(f"malformed sample spec: {exc}") from exc
+
+    def to_spec(self) -> dict:
+        """JSON-representable form (inverse of :meth:`from_spec`)."""
+        spec = {
+            "intervals": self.intervals,
+            "interval_ranges": self.interval_ranges,
+            "warmup_ranges": self.warmup_ranges,
+            "mode": self.mode,
+        }
+        if self.stride_ranges is not None:
+            spec["stride_ranges"] = self.stride_ranges
+        return spec
+
+
+@dataclass(frozen=True)
+class SampleWindow:
+    """One planned interval: ``[warm_lo, lo)`` warms, ``[lo, hi)`` counts."""
+
+    warm_lo: int
+    lo: int
+    hi: int
+
+    @property
+    def measured(self) -> int:
+        return self.hi - self.lo
+
+
+def plan_windows(total: int, plan: SamplePlan) -> list[SampleWindow]:
+    """Place the plan's windows over a trace of ``total`` units.
+
+    Windows are clipped to the trace, deduplicated and returned in
+    ascending order; they never overlap (placements that would are
+    advanced past the previous window's end).  A trace shorter than one
+    window yields a single whole-trace window — sampling a trace that
+    already fits is just simulating it.
+    """
+    if total < 0:
+        raise TraceError(f"total must be >= 0, got {total}")
+    if total == 0:
+        return []
+    length = plan.interval_ranges
+    if plan.mode == "first" or total <= length:
+        span = min(total, plan.intervals * length)
+        out = []
+        for lo in range(0, span, length):
+            out.append(
+                SampleWindow(
+                    warm_lo=max(0, lo - plan.warmup_ranges),
+                    lo=lo,
+                    hi=min(span, lo + length),
+                )
+            )
+        return out
+    if plan.mode == "strided":
+        stride = plan.stride_ranges or max(1, total // plan.intervals)
+        raw = [i * stride for i in range(plan.intervals)]
+    else:  # uniform
+        if plan.intervals == 1:
+            raw = [(total - length) // 2]  # a single centred window
+        else:
+            span = total - length
+            raw = [
+                round(i * span / (plan.intervals - 1))
+                for i in range(plan.intervals)
+            ]
+    windows: list[SampleWindow] = []
+    cursor = 0
+    for lo in raw:
+        lo = max(lo, cursor)
+        if lo >= total:
+            break
+        hi = min(total, lo + length)
+        windows.append(
+            SampleWindow(
+                warm_lo=max(0, lo - plan.warmup_ranges), lo=lo, hi=hi
+            )
+        )
+        cursor = hi
+    return windows
+
+
+def sample_events_plan(events: EventTrace, plan: SamplePlan) -> EventTrace:
+    """Concatenate the plan's measured windows of an event trace.
+
+    Windows address block visits; each window's visits bring their data
+    references along.  With ``mode="first"`` this is exactly
+    :func:`sample_events` of ``intervals * interval_ranges`` visits —
+    the property the tests pin.
+    """
+    offsets = _check_offsets(events)
+    windows = plan_windows(events.n_visits, plan)
+    if not windows:
+        return events
+    if (
+        len(windows) >= 1
+        and windows[0].lo == 0
+        and windows[-1].hi == events.n_visits
+        and all(
+            w.lo == prev.hi for prev, w in zip(windows, windows[1:])
+        )
+    ):
+        return events  # plan covers everything contiguously
+    visit_parts, addr_parts, stream_parts, write_parts = [], [], [], []
+    counts_parts = []
+    for w in windows:
+        cut_lo, cut_hi = int(offsets[w.lo]), int(offsets[w.hi])
+        visit_parts.append(events.visit_blocks[w.lo : w.hi])
+        addr_parts.append(events.data_addrs[cut_lo:cut_hi])
+        stream_parts.append(events.data_streams[cut_lo:cut_hi])
+        write_parts.append(events.data_writes[cut_lo:cut_hi])
+        counts_parts.append(np.diff(offsets[w.lo : w.hi + 1]))
+    counts = (
+        np.concatenate(counts_parts)
+        if counts_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    new_offsets = np.concatenate(
+        ([0], np.cumsum(counts, dtype=np.int64))
+    )
+    return EventTrace(
+        blocks=events.blocks,
+        visit_blocks=np.concatenate(visit_parts),
+        data_addrs=np.concatenate(addr_parts),
+        data_streams=np.concatenate(stream_parts),
+        data_offsets=new_offsets,
+        data_writes=np.concatenate(write_parts),
+    )
+
+
+@dataclass(frozen=True)
+class SampledEstimate:
+    """Extrapolated totals from a set of simulated intervals.
+
+    ``error`` is the relative standard error of the miss estimate across
+    intervals (sample std of per-interval miss densities over sqrt(k),
+    relative to the mean density); ``None`` when fewer than two intervals
+    were measured or no misses occurred — there is no spread to estimate
+    from.
+    """
+
+    misses: int
+    accesses: int
+    error: float | None
+    intervals: int
+    sampled_ranges: int
+    total_ranges: int
+
+    @property
+    def sampled_fraction(self) -> float:
+        if self.total_ranges == 0:
+            return 1.0
+        return self.sampled_ranges / self.total_ranges
+
+
+def extrapolate(
+    per_interval: list[tuple[int, int, int]], total_ranges: int
+) -> SampledEstimate:
+    """Scale per-interval ``(ranges, accesses, misses)`` to the full trace.
+
+    The estimator is the sampled-fraction scale: totals over the measured
+    windows divided by the fraction of the trace they cover.  The error
+    bar comes from the spread of per-interval miss densities.
+    """
+    if not per_interval:
+        raise TraceError("cannot extrapolate from zero intervals")
+    sampled_ranges = sum(r for r, _, _ in per_interval)
+    if sampled_ranges == 0:
+        raise TraceError("cannot extrapolate from empty intervals")
+    if total_ranges < sampled_ranges:
+        raise TraceError(
+            f"total_ranges {total_ranges} < sampled {sampled_ranges}"
+        )
+    accesses = sum(a for _, a, _ in per_interval)
+    misses = sum(m for _, _, m in per_interval)
+    scale = total_ranges / sampled_ranges
+    densities = [m / r for r, _, m in per_interval if r > 0]
+    error: float | None = None
+    mean = misses / sampled_ranges
+    if len(densities) >= 2 and mean > 0:
+        spread = float(np.std(densities, ddof=1)) / np.sqrt(len(densities))
+        error = spread / mean
+    return SampledEstimate(
+        misses=round(misses * scale),
+        accesses=round(accesses * scale),
+        error=error,
+        intervals=len(per_interval),
+        sampled_ranges=sampled_ranges,
+        total_ranges=total_ranges,
     )

@@ -164,3 +164,104 @@ class TestCrossLineSizeDerivation:
                 expand_lines(starts, sizes, line_size)
             )
         assert line_access_count(starts[:0], sizes[:0], 16) == 0
+
+
+class TestBoundedMemoCache:
+    """The memo cache holds a bounded byte budget, evicting LRU-first."""
+
+    def setup_method(self):
+        clear_line_stream_cache()
+
+    def teardown_method(self):
+        from repro.cache.linestream import (
+            _DEFAULT_CACHE_BYTES,
+            set_line_stream_cache_budget,
+        )
+
+        clear_line_stream_cache()
+        set_line_stream_cache_budget(_DEFAULT_CACHE_BYTES)
+
+    def _fill(self, n, ranges=200):
+        streams = []
+        for i in range(n):
+            starts = list(range(i * 10_000, i * 10_000 + ranges * 8, 8))
+            streams.append(line_stream(starts, [4] * ranges, 4))
+        return streams
+
+    def test_stats_track_hits_misses(self):
+        from repro.cache.linestream import line_stream_cache_stats
+
+        self._fill(2)
+        line_stream(list(range(0, 1600, 8)), [4] * 200, 4)  # re-hit entry 0
+        stats = line_stream_cache_stats()
+        assert stats["misses"] >= 2
+        assert stats["hits"] >= 1
+        assert stats["resident_entries"] == 2
+        assert stats["resident_bytes"] > 0
+        assert stats["resident_bytes"] <= stats["budget_bytes"]
+
+    def test_byte_budget_evicts_lru(self):
+        from repro.cache.linestream import (
+            line_stream_cache_stats,
+            set_line_stream_cache_budget,
+        )
+
+        per_entry = self._fill(1)[0].lines.nbytes
+        clear_line_stream_cache()
+        budget = 3 * per_entry  # room for exactly three entries
+        set_line_stream_cache_budget(budget)
+        self._fill(6)
+        stats = line_stream_cache_stats()
+        assert stats["evictions"] >= 3
+        assert stats["evicted_bytes"] > 0
+        assert stats["resident_bytes"] <= budget
+        # Most-recent entries survive: re-requesting the last stream is
+        # a hit, re-requesting the first (evicted) one is a miss.
+        before = line_stream_cache_stats()
+        i = 5
+        line_stream(
+            list(range(i * 10_000, i * 10_000 + 200 * 8, 8)), [4] * 200, 4
+        )
+        line_stream(list(range(0, 200 * 8, 8)), [4] * 200, 4)
+        after = line_stream_cache_stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"] + 1
+
+    def test_zero_budget_caches_nothing(self):
+        from repro.cache.linestream import (
+            line_stream_cache_stats,
+            set_line_stream_cache_budget,
+        )
+
+        set_line_stream_cache_budget(0)
+        self._fill(3)
+        assert line_stream_cache_stats()["resident_entries"] == 0
+
+    def test_negative_budget_rejected(self):
+        from repro.cache.linestream import set_line_stream_cache_budget
+
+        with pytest.raises(TraceError, match="budget"):
+            set_line_stream_cache_budget(-1)
+
+    def test_budget_setter_returns_previous(self):
+        from repro.cache.linestream import set_line_stream_cache_budget
+
+        prev = set_line_stream_cache_budget(1024)
+        assert set_line_stream_cache_budget(prev) == 1024
+
+    def test_eviction_journaled(self):
+        from repro.cache.linestream import set_line_stream_cache_budget
+        from repro.runtime.journal import RunJournal, use_journal
+
+        per_entry = self._fill(1)[0].lines.nbytes
+        clear_line_stream_cache()
+        set_line_stream_cache_budget(per_entry)  # one entry's worth
+        journal = RunJournal()
+        with use_journal(journal):
+            self._fill(3)
+        events = [
+            e for e in journal.events if e["event"] == "linestream_evict"
+        ]
+        assert events
+        summary = journal.summary()
+        assert summary["memory"]["linestream_evictions"] >= 1

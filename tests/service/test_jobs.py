@@ -266,3 +266,94 @@ class TestEstimateAndExplore:
         }
         with pytest.raises(ServiceError, match="cannot build"):
             execute_job(spec, store)
+
+
+class TestChunkedTraceKind:
+    def _chunked_spec(self, tmp_path, **overrides):
+        from repro.trace.chunkstore import write_chunked
+
+        starts, sizes = build_trace_arrays(SYNTH)
+        path = tmp_path / "trace.rct"
+        with write_chunked(path, starts, sizes, chunk_ranges=64) as trace:
+            digest = trace.digest
+        spec = sweep_spec(
+            trace={"kind": "chunked", "path": str(path), "digest": digest}
+        )
+        spec.update(overrides)
+        return spec
+
+    def test_results_match_in_memory_sweep(self, store, tmp_path):
+        result = execute_job(self._chunked_spec(tmp_path), store)
+        assert result["simulated"] == 4
+        starts, sizes = build_trace_arrays(SYNTH)
+        for doc in result["results"]:
+            config = CacheConfig(doc["sets"], doc["assoc"], doc["line_size"])
+            expected = simulate_trace(config, starts, sizes)
+            assert doc["misses"] == expected.misses
+
+    def test_digest_pin_rejects_changed_file(self, store, tmp_path):
+        from repro.trace.chunkstore import write_chunked
+
+        spec = self._chunked_spec(tmp_path)
+        starts, sizes = build_trace_arrays(SYNTH)
+        write_chunked(
+            tmp_path / "trace.rct", starts[:50], sizes[:50]
+        ).close()  # rewrite the file behind the pinned digest
+        with pytest.raises(ServiceError, match="digest"):
+            execute_job(spec, store)
+
+    def test_validate_requires_path(self):
+        with pytest.raises(ServiceError, match="path"):
+            validate_spec(sweep_spec(trace={"kind": "chunked"}))
+
+    def test_missing_file_is_service_error(self, store, tmp_path):
+        spec = sweep_spec(
+            trace={"kind": "chunked", "path": str(tmp_path / "nope.rct")}
+        )
+        with pytest.raises(ServiceError):
+            execute_job(spec, store)
+
+
+class TestSampledSweepJobs:
+    SAMPLE = {"intervals": 4, "interval_ranges": 30, "warmup_ranges": 10}
+
+    def test_sampled_results_flagged_and_plausible(self, store):
+        result = execute_job(sweep_spec(sample=self.SAMPLE), store)
+        assert result["sampled"] is True
+        assert ":sample=" in result["trace_key"]
+        exact = execute_job(sweep_spec(), store)
+        by_config = {
+            (d["sets"], d["assoc"], d["line_size"]): d
+            for d in exact["results"]
+        }
+        for doc in result["results"]:
+            assert doc["estimated"] is True
+            assert doc["intervals"] >= 1
+            true = by_config[(doc["sets"], doc["assoc"], doc["line_size"])]
+            assert doc["misses"] == pytest.approx(true["misses"], rel=0.5)
+
+    def test_sampled_and_exact_keys_never_collide(self, store):
+        execute_job(sweep_spec(), store)
+        sampled = execute_job(sweep_spec(sample=self.SAMPLE), store)
+        assert sampled["from_store"] == 0  # exact results not reused
+        again = execute_job(sweep_spec(sample=self.SAMPLE), store)
+        assert again["from_store"] == 4  # same plan: reused
+        exact = execute_job(sweep_spec(), store)
+        assert exact["from_store"] == 4  # exact results untouched
+
+    def test_different_plans_are_distinct(self, store):
+        execute_job(sweep_spec(sample=self.SAMPLE), store)
+        other = execute_job(
+            sweep_spec(sample={**self.SAMPLE, "intervals": 2}), store
+        )
+        assert other["from_store"] == 0
+
+    def test_validate_rejects_bad_sample(self):
+        with pytest.raises(ServiceError, match="sample"):
+            validate_spec(sweep_spec(sample={"intervals": 4}))
+        with pytest.raises(ServiceError, match="sample"):
+            validate_spec(sweep_spec(sample="first"))
+        with pytest.raises(ServiceError):
+            validate_spec(
+                sweep_spec(sample={**self.SAMPLE, "mode": "random"})
+            )

@@ -1,0 +1,208 @@
+"""Unit and property tests for repro.trace.chunkstore."""
+
+import pickle
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import TraceError
+from repro.trace.chunkstore import (
+    ChunkedTrace,
+    ChunkedTraceWriter,
+    write_chunked,
+)
+
+
+def random_trace(n, seed=0):
+    rng = np.random.default_rng(seed)
+    starts = rng.integers(0, 1 << 20, n, dtype=np.int64)
+    sizes = rng.integers(1, 128, n, dtype=np.int64)
+    return starts, sizes
+
+
+class TestRoundTrip:
+    def test_round_trip_property(self, tmp_path):
+        @settings(max_examples=40, deadline=None)
+        @given(
+            n=st.integers(min_value=0, max_value=600),
+            chunk_ranges=st.integers(min_value=1, max_value=97),
+            codec=st.sampled_from(["zlib", "raw"]),
+            seed=st.integers(min_value=0, max_value=2**16),
+        )
+        def check(n, chunk_ranges, codec, seed):
+            starts, sizes = random_trace(n, seed)
+            path = tmp_path / f"t-{n}-{chunk_ranges}-{codec}-{seed}.rct"
+            with write_chunked(
+                path, starts, sizes, chunk_ranges=chunk_ranges, codec=codec
+            ) as trace:
+                assert trace.n_ranges == n
+                expected_chunks = -(-n // chunk_ranges)  # ceil
+                assert trace.n_chunks == expected_chunks
+                got_starts, got_sizes = trace.materialize()
+                assert np.array_equal(got_starts, starts)
+                assert np.array_equal(got_sizes, sizes)
+                # every chunk except possibly the last is full size
+                sizes_seen = [len(trace.chunk(i)[0]) for i in range(trace.n_chunks)]
+                assert all(s == chunk_ranges for s in sizes_seen[:-1])
+                assert sum(sizes_seen) == n
+
+        check()
+
+    def test_empty_trace(self, tmp_path):
+        with write_chunked(tmp_path / "e.rct", [], []) as trace:
+            assert trace.n_ranges == 0
+            assert trace.n_chunks == 0
+            starts, sizes = trace.materialize()
+            assert starts.size == 0 and sizes.size == 0
+            trace.verify()
+
+    def test_single_chunk(self, tmp_path):
+        starts, sizes = random_trace(10, 3)
+        with write_chunked(tmp_path / "one.rct", starts, sizes) as trace:
+            assert trace.n_chunks == 1
+            got = trace.chunk(0)
+            assert np.array_equal(got[0], starts)
+            assert np.array_equal(got[1], sizes)
+
+    def test_incremental_append_matches_one_shot(self, tmp_path):
+        starts, sizes = random_trace(500, 5)
+        with ChunkedTraceWriter(tmp_path / "inc.rct", chunk_ranges=64) as w:
+            for lo in range(0, 500, 37):  # uneven append batches
+                w.append(starts[lo : lo + 37], sizes[lo : lo + 37])
+        oneshot = write_chunked(
+            tmp_path / "once.rct", starts, sizes, chunk_ranges=64
+        )
+        with ChunkedTrace(tmp_path / "inc.rct") as inc, oneshot:
+            assert inc.digest == oneshot.digest
+            assert np.array_equal(inc.materialize()[0], starts)
+
+
+class TestWindow:
+    def test_window_matches_array_slice(self, tmp_path):
+        starts, sizes = random_trace(300, 9)
+        with write_chunked(
+            tmp_path / "w.rct", starts, sizes, chunk_ranges=41
+        ) as trace:
+            for lo, hi in [(0, 300), (0, 1), (40, 42), (41, 82), (299, 300),
+                           (100, 100), (0, 41), (37, 250)]:
+                ws, zs = trace.window(lo, hi)
+                assert np.array_equal(ws, starts[lo:hi]), (lo, hi)
+                assert np.array_equal(zs, sizes[lo:hi]), (lo, hi)
+
+    def test_window_bounds_checked(self, tmp_path):
+        with write_chunked(tmp_path / "b.rct", [0, 8], [4, 4]) as trace:
+            with pytest.raises(TraceError, match="window"):
+                trace.window(0, 3)
+            with pytest.raises(TraceError, match="window"):
+                trace.window(-1, 1)
+
+
+class TestIdentity:
+    def test_digest_independent_of_codec(self, tmp_path):
+        starts, sizes = random_trace(200, 11)
+        a = write_chunked(
+            tmp_path / "a.rct", starts, sizes, chunk_ranges=50, codec="zlib"
+        )
+        b = write_chunked(
+            tmp_path / "b.rct", starts, sizes, chunk_ranges=50, codec="raw"
+        )
+        with a, b:
+            assert a.digest == b.digest
+            assert a.trace_id == b.trace_id
+            assert a.trace_id.startswith("chunked=")
+
+    def test_digest_depends_on_chunk_geometry(self, tmp_path):
+        starts, sizes = random_trace(200, 11)
+        a = write_chunked(tmp_path / "a.rct", starts, sizes, chunk_ranges=50)
+        b = write_chunked(tmp_path / "b.rct", starts, sizes, chunk_ranges=60)
+        with a, b:
+            assert a.digest != b.digest
+
+    def test_pickle_ships_path_not_arrays(self, tmp_path):
+        starts, sizes = random_trace(100, 13)
+        with write_chunked(tmp_path / "p.rct", starts, sizes) as trace:
+            blob = pickle.dumps(trace)
+            assert len(blob) < 1000  # path + digest, not the arrays
+            clone = pickle.loads(blob)
+            try:
+                assert clone.digest == trace.digest
+                assert np.array_equal(clone.materialize()[0], starts)
+            finally:
+                clone.close()
+
+    def test_pickle_detects_content_change(self, tmp_path):
+        starts, sizes = random_trace(100, 13)
+        with write_chunked(tmp_path / "m.rct", starts, sizes) as trace:
+            blob = pickle.dumps(trace)
+        write_chunked(tmp_path / "m.rct", starts[:50], sizes[:50]).close()
+        with pytest.raises(TraceError, match="content changed"):
+            pickle.loads(blob)
+
+
+class TestCorruption:
+    def _write(self, tmp_path, codec="zlib"):
+        starts, sizes = random_trace(250, 17)
+        path = tmp_path / "c.rct"
+        write_chunked(path, starts, sizes, chunk_ranges=64, codec=codec).close()
+        return path
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = self._write(tmp_path)
+        data = path.read_bytes()
+        for cut in (0, 4, len(data) // 2, len(data) - 3):
+            path.write_bytes(data[:cut])
+            with pytest.raises(TraceError, match=str(path.name)):
+                ChunkedTrace(path)
+
+    def test_flipped_payload_byte_detected(self, tmp_path):
+        path = self._write(tmp_path, codec="raw")
+        data = bytearray(path.read_bytes())
+        data[len(b"RPROCHT1") + 5] ^= 0xFF  # inside chunk 0's payload
+        path.write_bytes(bytes(data))
+        trace = ChunkedTrace(path)  # footer still intact
+        try:
+            with pytest.raises(TraceError, match="digest mismatch"):
+                trace.chunk(0)
+            with pytest.raises(TraceError, match="digest mismatch"):
+                trace.verify()
+        finally:
+            trace.close()
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = self._write(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceError, match="bad magic"):
+            ChunkedTrace(path)
+
+    def test_interrupted_writer_leaves_truncated_file(self, tmp_path):
+        path = tmp_path / "i.rct"
+        with pytest.raises(RuntimeError):
+            with ChunkedTraceWriter(path, chunk_ranges=4) as w:
+                w.append([0, 8, 16, 24, 32], [4, 4, 4, 4, 4])
+                raise RuntimeError("killed mid-write")
+        with pytest.raises(TraceError, match="truncated"):
+            ChunkedTrace(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="cannot open"):
+            ChunkedTrace(tmp_path / "nope.rct")
+
+
+class TestWriterValidation:
+    def test_rejects_nonpositive_sizes(self, tmp_path):
+        with pytest.raises(TraceError, match="positive"):
+            write_chunked(tmp_path / "x.rct", [0, 4], [4, 0])
+
+    def test_rejects_length_mismatch(self, tmp_path):
+        with pytest.raises(TraceError, match="equal-length"):
+            write_chunked(tmp_path / "x.rct", [0, 4], [4])
+
+    def test_rejects_bad_chunk_ranges_and_codec(self, tmp_path):
+        with pytest.raises(TraceError, match="chunk_ranges"):
+            ChunkedTraceWriter(tmp_path / "x.rct", chunk_ranges=0)
+        with pytest.raises(TraceError, match="codec"):
+            ChunkedTraceWriter(tmp_path / "x.rct", codec="lz4")

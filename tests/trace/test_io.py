@@ -75,3 +75,74 @@ class TestFormatChecks:
         )
         with pytest.raises(TraceError, match="version"):
             load_range_trace(path)
+
+
+class TestCorruptionHandling:
+    def _saved(self, tmp_path):
+        trace = RangeTrace.build([0, 64], [32, 4], [KIND_INSTR, KIND_DATA])
+        return save_range_trace(trace, tmp_path / "t.npz")
+
+    def test_missing_file_names_path(self, tmp_path):
+        path = tmp_path / "absent.npz"
+        with pytest.raises(TraceError, match="no such trace archive"):
+            load_range_trace(path)
+
+    def test_truncated_archive_rejected(self, tmp_path):
+        path = self._saved(tmp_path)
+        data = path.read_bytes()
+        for cut in (1, 10, len(data) // 2):
+            path.write_bytes(data[:cut])
+            with pytest.raises(TraceError, match=path.name):
+                load_range_trace(path)
+
+    def test_flipped_byte_rejected(self, tmp_path):
+        path = self._saved(tmp_path)
+        data = bytearray(path.read_bytes())
+        corrupted = 0
+        for pos in range(60, len(data) - 60, 37):
+            data_mut = bytearray(data)
+            data_mut[pos] ^= 0xFF
+            path.write_bytes(bytes(data_mut))
+            try:
+                loaded = load_range_trace(path)
+                # Some bytes (zip padding) are slack; loading must then
+                # still return the original payload.
+                assert loaded.starts.tolist() == [0, 64]
+            except TraceError:
+                corrupted += 1
+        assert corrupted > 0  # digest/CRC catches payload damage
+
+    def test_digest_mismatch_reported(self, tmp_path):
+        path = tmp_path / "forged.npz"
+        np.savez(
+            path,
+            version=np.int64(2),
+            kind=np.bytes_(b"ranges"),
+            digest=np.bytes_(b"0" * 32),
+            starts=np.array([0], dtype=np.int64),
+            sizes=np.array([4], dtype=np.int64),
+            kinds=np.array([0], dtype=np.uint8),
+        )
+        with pytest.raises(TraceError, match="digest mismatch"):
+            load_range_trace(path)
+
+    def test_v1_archive_without_digest_still_loads(self, tmp_path):
+        path = tmp_path / "v1.npz"
+        np.savez(
+            path,
+            version=np.int64(1),
+            kind=np.bytes_(b"ranges"),
+            starts=np.array([0, 64], dtype=np.int64),
+            sizes=np.array([32, 4], dtype=np.int64),
+            kinds=np.array([0, 1], dtype=np.uint8),
+        )
+        loaded = load_range_trace(path)
+        assert loaded.starts.tolist() == [0, 64]
+
+    def test_round_trip_verifies_digest(self, tmp_path):
+        # v2 archives carry a payload digest that load re-computes.
+        path = self._saved(tmp_path)
+        with np.load(path) as archive:
+            assert archive["version"] == 2
+            assert len(bytes(archive["digest"])) == 32
+        assert load_range_trace(path).sizes.tolist() == [32, 4]

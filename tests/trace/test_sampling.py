@@ -1,0 +1,212 @@
+"""Unit tests for repro.trace.sampling (plans, windows, extrapolation)."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import TraceError
+from repro.trace.emulator import emulate
+from repro.trace.events import EventTrace
+from repro.trace.sampling import (
+    SamplePlan,
+    SampleWindow,
+    extrapolate,
+    plan_windows,
+    sample_events,
+    sample_events_plan,
+)
+
+
+class TestSamplePlan:
+    def test_spec_round_trip(self):
+        plan = SamplePlan(8, 4096, warmup_ranges=512, mode="strided",
+                          stride_ranges=100_000)
+        assert SamplePlan.from_spec(plan.to_spec()) == plan
+
+    def test_defaults(self):
+        plan = SamplePlan.from_spec({"intervals": 4, "interval_ranges": 100})
+        assert plan.warmup_ranges == 0
+        assert plan.mode == "uniform"
+        assert plan.stride_ranges is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"intervals": 0, "interval_ranges": 10},
+            {"intervals": 1, "interval_ranges": 0},
+            {"intervals": 1, "interval_ranges": 10, "warmup_ranges": -1},
+            {"intervals": 1, "interval_ranges": 10, "mode": "random"},
+            {"intervals": 1, "interval_ranges": 10, "stride_ranges": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(TraceError):
+            SamplePlan(**kwargs)
+
+    def test_malformed_spec(self):
+        with pytest.raises(TraceError, match="malformed sample spec"):
+            SamplePlan.from_spec({"intervals": 4})
+
+
+class TestPlanWindows:
+    def test_windows_sorted_disjoint_and_clipped(self):
+        @settings(max_examples=80, deadline=None)
+        @given(
+            total=st.integers(min_value=0, max_value=100_000),
+            intervals=st.integers(min_value=1, max_value=12),
+            length=st.integers(min_value=1, max_value=5_000),
+            warmup=st.integers(min_value=0, max_value=2_000),
+            mode=st.sampled_from(["first", "uniform", "strided"]),
+        )
+        def check(total, intervals, length, warmup, mode):
+            plan = SamplePlan(intervals, length, warmup_ranges=warmup,
+                              mode=mode)
+            windows = plan_windows(total, plan)
+            assert len(windows) <= intervals
+            if total:
+                assert windows
+            prev_hi = 0
+            for w in windows:
+                assert 0 <= w.warm_lo <= w.lo < w.hi <= total
+                assert w.lo >= prev_hi  # disjoint, ascending
+                assert w.measured <= length or total <= length
+                assert w.lo - w.warm_lo <= warmup
+                prev_hi = w.hi
+
+        check()
+
+    def test_zero_total(self):
+        assert plan_windows(0, SamplePlan(4, 10)) == []
+
+    def test_short_trace_collapses_to_whole_window(self):
+        windows = plan_windows(7, SamplePlan(4, 100, warmup_ranges=50))
+        assert windows == [SampleWindow(warm_lo=0, lo=0, hi=7)]
+
+    def test_first_mode_is_contiguous_prefix(self):
+        windows = plan_windows(1000, SamplePlan(3, 50, mode="first"))
+        assert [(w.lo, w.hi) for w in windows] == [(0, 50), (50, 100),
+                                                  (100, 150)]
+
+    def test_uniform_spans_start_to_end(self):
+        windows = plan_windows(10_000, SamplePlan(4, 100))
+        assert windows[0].lo == 0
+        assert windows[-1].hi == 10_000
+        assert len(windows) == 4
+
+    def test_uniform_single_interval_centred(self):
+        (w,) = plan_windows(1000, SamplePlan(1, 100))
+        assert (w.lo, w.hi) == (450, 550)
+
+    def test_strided_placement(self):
+        windows = plan_windows(1000, SamplePlan(3, 50, mode="strided",
+                                                stride_ranges=300))
+        assert [(w.lo, w.hi) for w in windows] == [(0, 50), (300, 350),
+                                                   (600, 650)]
+
+    def test_warmup_clipped_at_trace_start(self):
+        windows = plan_windows(10_000, SamplePlan(4, 100, warmup_ranges=500))
+        assert windows[0].warm_lo == 0  # first window can't warm before 0
+        assert windows[1].warm_lo == windows[1].lo - 500
+
+
+class TestSampleEventsValidation:
+    def _events(self, offsets):
+        # EventTrace itself only checks the last offset covers the data
+        # arrays; the interior shape is sampling's to validate.
+        offsets = np.asarray(offsets, dtype=np.int64)
+        n_visits = len(offsets) - 1
+        n_data = int(offsets[-1]) if len(offsets) else 0
+        return EventTrace(
+            blocks={},
+            visit_blocks=np.zeros(n_visits, dtype=np.int64),
+            data_addrs=np.zeros(n_data, dtype=np.int64),
+            data_streams=np.zeros(n_data, dtype=np.int64),
+            data_offsets=offsets,
+            data_writes=np.zeros(n_data, dtype=bool),
+        )
+
+    def test_nonzero_first_offset_rejected(self):
+        with pytest.raises(TraceError, match="start at 0"):
+            sample_events(self._events([1, 2]), 1)
+
+    def test_decreasing_offsets_rejected(self):
+        with pytest.raises(TraceError, match="monotonically"):
+            sample_events(self._events([0, 5, 3]), 1)
+
+    def test_out_of_bounds_offsets_rejected(self):
+        # The constructor enforces coverage, so shrink the data arrays
+        # behind its back to model a trace corrupted after construction.
+        events = self._events([0, 2, 4])
+        object.__setattr__(events, "data_addrs", events.data_addrs[:3])
+        with pytest.raises(TraceError, match="exceeds"):
+            sample_events(events, 1)
+
+    def test_max_visits_validated(self):
+        with pytest.raises(TraceError, match="max_visits"):
+            sample_events(self._events([0, 1]), 0)
+
+
+class TestSampleEventsPlan:
+    def test_first_mode_matches_sample_events_oracle(self, tiny):
+        events = emulate(tiny.program, tiny.streams, seed=3, max_visits=900)
+        for intervals, length in [(1, 100), (4, 50), (3, 250)]:
+            plan = SamplePlan(intervals, length, mode="first")
+            via_plan = sample_events_plan(events, plan)
+            oracle = sample_events(events, intervals * length)
+            assert np.array_equal(via_plan.visit_blocks, oracle.visit_blocks)
+            assert np.array_equal(via_plan.data_addrs, oracle.data_addrs)
+            assert np.array_equal(via_plan.data_offsets, oracle.data_offsets)
+            assert np.array_equal(via_plan.data_writes, oracle.data_writes)
+
+    def test_full_cover_returns_original(self, tiny):
+        events = emulate(tiny.program, tiny.streams, seed=3, max_visits=200)
+        plan = SamplePlan(1, events.n_visits * 2, mode="first")
+        assert sample_events_plan(events, plan) is events
+
+    def test_uniform_windows_keep_offsets_consistent(self, tiny):
+        events = emulate(tiny.program, tiny.streams, seed=3, max_visits=900)
+        plan = SamplePlan(4, 60)
+        sampled = sample_events_plan(events, plan)
+        assert sampled.n_visits == sum(
+            w.measured for w in plan_windows(events.n_visits, plan)
+        )
+        offsets = sampled.data_offsets
+        assert int(offsets[0]) == 0
+        assert int(np.diff(offsets).min()) >= 0
+        assert int(offsets[-1]) == len(sampled.data_addrs)
+
+
+class TestExtrapolate:
+    def test_exact_when_fully_sampled(self):
+        est = extrapolate([(100, 300, 30)], 100)
+        assert est.misses == 30
+        assert est.accesses == 300
+        assert est.error is None  # single interval: no spread
+        assert est.sampled_fraction == 1.0
+
+    def test_scales_by_sampled_fraction(self):
+        est = extrapolate([(100, 200, 10), (100, 200, 10)], 1000)
+        assert est.misses == 100
+        assert est.accesses == 2000
+        assert est.error == 0.0  # identical densities
+        assert est.intervals == 2
+        assert est.sampled_fraction == pytest.approx(0.2)
+
+    def test_error_grows_with_spread(self):
+        tight = extrapolate([(100, 100, 10), (100, 100, 11)], 1000)
+        loose = extrapolate([(100, 100, 2), (100, 100, 20)], 1000)
+        assert tight.error < loose.error
+
+    def test_zero_misses_has_no_error_bar(self):
+        est = extrapolate([(10, 20, 0), (10, 20, 0)], 100)
+        assert est.misses == 0
+        assert est.error is None
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(TraceError, match="zero intervals"):
+            extrapolate([], 100)
+        with pytest.raises(TraceError, match="empty intervals"):
+            extrapolate([(0, 0, 0)], 100)
+        with pytest.raises(TraceError, match="<"):
+            extrapolate([(200, 10, 1)], 100)
