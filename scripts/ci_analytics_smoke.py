@@ -1,0 +1,258 @@
+#!/usr/bin/env python
+"""CI smoke for the experiment analytics subsystem.
+
+Boots a broker-mode evaluation service (``workers=0``) and drives the
+run-table pipeline end to end over the fleet protocol, where the
+exactly-once economics are honest (each job runs in a *fresh* worker
+process, so the only way the second job can skip simulation is the
+shared store):
+
+1. submit an explore job and let fleet worker #1 execute it — its run
+   record (shipped to the broker over ``POST /runs``) must show
+   checkpoint *stores* and zero cache hits;
+2. submit the identical job for fleet worker #2 — a cold process — and
+   assert its run shows **zero simulation passes** and cache-hit
+   columns equal to the first run's checkpoint stores (exactly-once,
+   visible in the run table);
+3. assert ``GET /runs`` lists both runs, ``GET /compare`` reports
+   identical rows and identical Pareto frontiers;
+4. fetch ``GET /runs/<id>/table.csv`` and assert it round-trips
+   through ``csv.DictReader`` bit-identically to the stored rows;
+5. assert ``GET /dashboard`` is well-formed HTML naming both run ids.
+
+The first run's CSV table goes to ``--csv`` so CI uploads it as an
+artifact.  Exit code 0 means every assertion held.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+from html.parser import HTMLParser
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analytics.table import (  # noqa: E402
+    RUN_TABLE_HEADER,
+    format_cell,
+    run_table_rows,
+)
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.server import EvalService, make_server  # noqa: E402
+
+#: Tiny but non-trivial system space: 2 processors x 2 icaches x
+#: 2 dcaches x 1 unified = 8 designs, 4 checkpointed pass states.
+SPACE = {
+    "icache": {"sizes_kb": [1, 2], "assocs": [1], "line_sizes": [16]},
+    "dcache": {"sizes_kb": [1, 2], "assocs": [1], "line_sizes": [16]},
+    "unified": {"sizes_kb": [4], "assocs": [1], "line_sizes": [32]},
+    "processors": {
+        "int_units": [1, 2],
+        "float_units": [1],
+        "memory_units": [1],
+    },
+}
+SPEC = {
+    "kind": "explore",
+    "benchmark": "epic",
+    "scale": 0.05,
+    "visits": 3000,
+    "space": SPACE,
+}
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"FAIL: {message}")
+    print(f"  ok: {message}")
+
+
+def spawn_worker(url: str, worker_id: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "work",
+            "--server", url, "--id", worker_id, "--max-jobs", "1",
+        ],
+        env=env,
+        cwd=str(REPO),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def run_job_on_fresh_worker(
+    client: ServiceClient, url: str, worker_id: str
+) -> str:
+    job_id = client.submit(SPEC)
+    proc = spawn_worker(url, worker_id)
+    try:
+        record = client.wait(job_id, timeout=300.0)
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+    check(record.finished_ok, f"job {job_id} finished ok on {worker_id}")
+    return job_id
+
+
+class _WellFormed(HTMLParser):
+    """Minimal well-formedness audit: every non-void tag closes."""
+
+    VOID = {
+        "meta", "link", "br", "hr", "img", "input", "polyline", "path",
+    }
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.stack: list[str] = []
+        self.errors: list[str] = []
+
+    def handle_starttag(self, tag: str, attrs) -> None:
+        if tag not in self.VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag in self.VOID:
+            return
+        if not self.stack or self.stack[-1] != tag:
+            self.errors.append(f"unbalanced </{tag}> (stack: {self.stack})")
+        else:
+            self.stack.pop()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--csv",
+        default="analytics_run_table.csv",
+        help="write the first run's CSV table here (CI artifact)",
+    )
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="analytics_smoke_") as tmp:
+        service = EvalService(
+            Path(tmp) / "analytics.sqlite", workers=0, lease=15.0
+        )
+        server = make_server(service)
+        host, port = server.server_address
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        url = f"http://{host}:{port}"
+        client = ServiceClient(url)
+        try:
+            with service:
+                print(f"[analytics smoke] broker on {url}")
+                run_a = run_job_on_fresh_worker(client, url, "analytics-w1")
+                run_b = run_job_on_fresh_worker(client, url, "analytics-w2")
+
+                # -- 1+2: exactly-once, visible in the run table ------
+                doc_a = client.run(run_a)
+                doc_b = client.run(run_b)
+                ja = doc_a["run"]["journal"]
+                jb = doc_b["run"]["journal"]
+                check(
+                    ja.get("checkpoint_stores", 0) > 0,
+                    f"run A stored {ja.get('checkpoint_stores')} "
+                    "checkpointed pass states",
+                )
+                check(
+                    ja.get("cache_hits", 0) == 0,
+                    "run A had zero cache hits (cold store)",
+                )
+                check(
+                    jb.get("passes", 0) == 0,
+                    "run B ran zero simulation passes (warm store)",
+                )
+                check(
+                    jb.get("cache_hits", 0)
+                    == ja.get("checkpoint_stores", 0),
+                    "run B cache hits == run A checkpoint stores "
+                    f"({jb.get('cache_hits')})",
+                )
+                check(
+                    all(
+                        row["cache_hits"] == jb["cache_hits"]
+                        for row in doc_b["rows"]
+                    ),
+                    "every run B row carries the cache-hit column",
+                )
+
+                # -- 3: listing + comparison --------------------------
+                listed = {r["id"] for r in client.runs()}
+                check(
+                    {run_a, run_b} <= listed,
+                    f"GET /runs lists both runs ({sorted(listed)})",
+                )
+                comparison = client.compare(run_a, run_b)
+                check(
+                    comparison["rows"]["identical"],
+                    "compare: per-design rows identical",
+                )
+                check(
+                    comparison["frontier"]["identical"],
+                    "compare: Pareto frontiers identical",
+                )
+                check(
+                    len(comparison["frontier"]["a"]) > 0,
+                    f"frontier has {len(comparison['frontier']['a'])} "
+                    "points",
+                )
+
+                # -- 4: CSV round-trip --------------------------------
+                csv_text = client.run_table_csv(run_a)
+                parsed = list(csv.DictReader(io.StringIO(csv_text)))
+                expected = run_table_rows(doc_a["run"], doc_a["rows"])
+                check(
+                    len(parsed) == len(expected) == len(doc_a["rows"]),
+                    f"table.csv carries all {len(parsed)} rows",
+                )
+                for got, want in zip(parsed, expected):
+                    for column in RUN_TABLE_HEADER:
+                        cell = format_cell(want.get(column))
+                        if got[column] != cell:
+                            raise SystemExit(
+                                f"FAIL: CSV round-trip mismatch in "
+                                f"{column!r}: {got[column]!r} != {cell!r}"
+                            )
+                check(True, "table.csv round-trips bit-identically")
+                Path(args.csv).write_text(csv_text)
+                print(f"[analytics smoke] CSV artifact -> {args.csv}")
+
+                # -- 5: dashboard -------------------------------------
+                page = client.dashboard()
+                check(
+                    page.lstrip().startswith("<!DOCTYPE html>"),
+                    "dashboard starts with a doctype",
+                )
+                audit = _WellFormed()
+                audit.feed(page)
+                audit.close()
+                check(
+                    not audit.errors and not audit.stack,
+                    f"dashboard HTML is well-formed "
+                    f"(errors={audit.errors}, open={audit.stack})",
+                )
+                check(
+                    run_a in page and run_b in page,
+                    "dashboard names both run ids",
+                )
+        finally:
+            server.shutdown()
+            server.server_close()
+    print("[analytics smoke] all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -272,6 +272,152 @@ def check_explore(journal: RunJournal) -> None:
     )
 
 
+def check_recorded_fault_run(journal: RunJournal) -> None:
+    """Run-table recording under faults: columns match, results don't move.
+
+    Records a fault-free and a fault-injected sweep as analytics runs
+    and asserts (a) the faulty run's retry/fallback columns equal its
+    journal window, and (b) ``compare_runs`` reports identical rows and
+    identical Pareto frontiers — recording never perturbs results.
+    """
+    import tempfile
+
+    from repro.analytics.compare import compare_runs
+    from repro.analytics.runs import RunRecorder, get_run, get_run_rows
+    from repro.service.store import ResultStore
+
+    with tempfile.TemporaryDirectory(prefix="fault-runs-") as tmp:
+        store = ResultStore(Path(tmp) / "runs.sqlite")
+        with RunRecorder(
+            store, "sweep", journal=journal, run_id="clean"
+        ) as rec:
+            rec.add_sweep_results(
+                sweep_design_space(
+                    SWEEP_CONFIGS, sweep_trace(), journal=journal
+                ),
+                benchmark="synthetic",
+            )
+        policy = ExecutorPolicy(
+            max_workers=2,
+            retries=2,
+            backoff=0.0,
+            fault=FaultPlan("exit", match="32", times=1),
+        )
+        recoveries_before = len(journal.select("retry")) + len(
+            journal.select("fallback")
+        )
+        with RunRecorder(
+            store, "sweep", journal=journal, run_id="faulty"
+        ) as rec:
+            rec.add_sweep_results(
+                sweep_design_space(
+                    SWEEP_CONFIGS,
+                    sweep_trace,
+                    policy=policy,
+                    journal=journal,
+                ),
+                benchmark="synthetic",
+            )
+        retries = len(journal.select("retry"))
+        fallbacks = len(journal.select("fallback"))
+        recoveries = retries + fallbacks - recoveries_before
+        assert recoveries > 0, "fault plan injected no recovery"
+        faulty = get_run(store, "faulty")
+        window = faulty["journal"]["retries"] + faulty["journal"]["fallbacks"]
+        assert window == recoveries, (
+            f"run columns saw {window} recoveries, journal saw {recoveries}"
+        )
+        for row in get_run_rows(store, "faulty"):
+            assert row["retries"] + row["fallbacks"] == recoveries
+        doc = compare_runs(store, "clean", "faulty")
+        assert doc["rows"]["identical"], "faulty run rows drifted"
+        assert doc["frontier"]["identical"], "faulty run frontier drifted"
+        store.close()
+    print(
+        f"recorded fault run: {faulty['rows']} rows identical to the "
+        f"clean run; {recoveries} recovery event(s) surfaced in the "
+        f"retry/fallback columns"
+    )
+
+
+def check_recording_overhead() -> None:
+    """Recording must cost < 2% wall time on the epic benchmark grid."""
+    import tempfile
+    import time
+
+    from repro.analytics.runs import RunRecorder
+    from repro.cache.config import CacheConfig
+    from repro.runtime.journal import use_journal
+    from repro.service.store import ResultStore
+
+    settings = RunnerSettings()
+    artifacts = get_pipeline("epic", settings).reference_artifacts()
+    roles = {
+        role: artifacts.trace(role)
+        for role in ("icache", "dcache", "unified")
+    }
+    grid = [
+        CacheConfig(sets, assoc, line_size)
+        for line_size in (16, 32, 64)
+        for sets in (64, 256, 1024)
+        for assoc in (1, 2, 4)
+    ]
+
+    def plain() -> float:
+        start = time.perf_counter()
+        for trace in roles.values():
+            sweep_design_space(grid, (trace.starts, trace.sizes))
+        return time.perf_counter() - start
+
+    def recorded(store: ResultStore, index: int) -> float:
+        journal = RunJournal()
+        start = time.perf_counter()
+        with use_journal(journal):
+            with RunRecorder(
+                store,
+                "sweep",
+                journal=journal,
+                run_id=f"overhead-{index}",
+                benchmark="epic",
+            ) as rec:
+                for role, trace in roles.items():
+                    rec.add_sweep_results(
+                        sweep_design_space(
+                            grid,
+                            (trace.starts, trace.sizes),
+                            journal=journal,
+                        ),
+                        benchmark="epic",
+                        role=role,
+                    )
+        return time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="overhead-runs-") as tmp:
+        store = ResultStore(Path(tmp) / "runs.sqlite")
+        bare: list[float] = []
+        instrumented: list[float] = []
+        # Interleave the two variants so drift in machine load hits
+        # both equally; minimums cancel the noise.
+        for index in range(7):
+            if index % 2:
+                bare.append(plain())
+                instrumented.append(recorded(store, index))
+            else:
+                instrumented.append(recorded(store, index))
+                bare.append(plain())
+        store.close()
+    overhead = (min(instrumented) - min(bare)) / min(bare)
+    assert overhead < 0.02, (
+        f"recording overhead {overhead:.1%} exceeds 2% on the epic grid "
+        f"(bare {min(bare):.3f}s, recorded {min(instrumented):.3f}s)"
+    )
+    print(
+        f"recording overhead: {max(overhead, 0.0):.2%} on the epic grid "
+        f"({len(grid)} configs x {len(roles)} roles, "
+        f"bare {min(bare):.3f}s vs recorded {min(instrumented):.3f}s)"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run both fault-injection checks; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -287,6 +433,8 @@ def main(argv: list[str] | None = None) -> int:
         check_shm_sweep(journal)
         check_count_parallel_sweep(journal)
         check_explore(journal)
+        check_recorded_fault_run(journal)
+        check_recording_overhead()
         print()
         print(journal.summary_text(title="Fault-injection smoke journal"))
         print(f"\njournal: {len(journal)} events -> {args.journal}")

@@ -24,11 +24,16 @@ correctness, not speed), e.g. on a 4-core machine::
 Usage::
 
     python scripts/load_gen.py --fleets 1,3 --clients 3 --specs 3
+
+``--out report.json`` additionally writes the per-fleet rows (jobs,
+elapsed, throughput, configs simulated, speedup) as a JSON document for
+CI artifacts and trend tracking.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import subprocess
 import sys
@@ -181,6 +186,12 @@ def main() -> int:
         default=3,
         help="distinct sweep specs per client (each submitted twice)",
     )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the per-fleet results as a JSON report",
+    )
     args = parser.parse_args()
     fleets = [int(f) for f in args.fleets.split(",") if f.strip()]
 
@@ -205,13 +216,28 @@ def main() -> int:
             f"{row['elapsed']:.2f} s  {row['throughput']:.1f} jobs/s  "
             f"{row['simulated']} configs simulated exactly once"
         )
+    speedup = None
     if len(rows) > 1:
         base, best = rows[0], rows[-1]
+        speedup = best["throughput"] / base["throughput"]
         print(
             f"speedup workers={best['fleet']} over "
-            f"workers={base['fleet']}: "
-            f"{best['throughput'] / base['throughput']:.2f}x"
+            f"workers={base['fleet']}: {speedup:.2f}x"
         )
+    if args.out:
+        report = {
+            "cores": cores,
+            "clients": args.clients,
+            "specs": args.specs,
+            "configs_per_spec": CONFIGS_PER_SPEC,
+            "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "fleets": rows,
+            "speedup": speedup,
+        }
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[load gen] report written to {out}")
     return 0
 
 

@@ -1,0 +1,181 @@
+"""Run comparison: per-config metric deltas + Pareto-frontier diffing.
+
+``compare_runs(store, a, b)`` joins two runs' rows on
+(design, benchmark, role, repetition) and reports
+
+* row coverage (common / only-in-a / only-in-b),
+* per-config deltas for every compared metric (misses, miss_rate,
+  cycles, cost) with the maximum absolute delta per metric, and
+* a frontier comparison: each run's rows are reduced to a Pareto
+  frontier and the two frontiers are diffed point-by-point.
+
+Frontier axes: system rows (explore) already carry (cost, cycles);
+cache rows (sweep/estimate) use (cache size in bytes, misses) — the
+smallest cache achieving each miss level, the paper's cost/performance
+trade-off restricted to capacity.  Identical inputs therefore always
+produce identical frontiers, which is how CI asserts that fault
+injection (retries, timeouts, pool fallbacks) never perturbs results.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+from repro.analytics.runs import get_run, get_run_rows
+from repro.explore.pareto import ParetoSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.store import ResultStore
+
+__all__ = ["compare_runs", "frontier_of_rows"]
+
+#: Metrics joined rows are compared on (absent values are skipped).
+_DELTA_METRICS = ("misses", "miss_rate", "cycles", "cost")
+
+
+def _row_key(row: Mapping[str, Any]) -> tuple:
+    return (
+        str(row.get("design") or "?"),
+        row.get("benchmark") or "",
+        row.get("role") or "",
+        int(row.get("repetition") or 0),
+    )
+
+
+def frontier_of_rows(
+    rows: Iterable[Mapping[str, Any]],
+) -> list[dict[str, Any]]:
+    """The Pareto frontier of a run's rows as JSON-able points.
+
+    System rows minimize (cost, cycles); cache rows minimize
+    (size_bytes, misses).  Rows missing both axes are ignored.
+    """
+    pareto = ParetoSet()
+    axes = None
+    for row in rows:
+        cost = row.get("cost")
+        cycles = row.get("cycles")
+        if cost is not None and cycles is not None:
+            row_axes = ("cost", "cycles")
+            x, y = float(cost), float(cycles)
+        elif row.get("misses") is not None and row.get("sets"):
+            row_axes = ("size_bytes", "misses")
+            x = float(
+                int(row["sets"]) * int(row["assoc"]) * int(row["line_size"])
+            )
+            y = float(row["misses"])
+        else:
+            continue
+        if axes is None:
+            axes = row_axes
+        if row_axes != axes:
+            continue  # mixed row shapes: frontier uses the first shape
+        pareto.insert_point(str(row.get("design") or "?"), x, y)
+    return [
+        {
+            "design": point.design,
+            "x": point.cost,
+            "y": point.time,
+            "axes": list(axes or ()),
+        }
+        for point in pareto.frontier()
+    ]
+
+
+def _frontier_signature(points: list[dict[str, Any]]) -> list[tuple]:
+    return [(p["design"], p["x"], p["y"]) for p in points]
+
+
+def compare_runs(
+    store: "ResultStore",
+    a_id: str,
+    b_id: str,
+    max_deltas: int = 200,
+) -> dict[str, Any]:
+    """Structured comparison document between two recorded runs."""
+    run_a = get_run(store, a_id)
+    run_b = get_run(store, b_id)
+    rows_a = {_row_key(r): r for r in get_run_rows(store, a_id)}
+    rows_b = {_row_key(r): r for r in get_run_rows(store, b_id)}
+    common = sorted(set(rows_a) & set(rows_b))
+    only_a = sorted(set(rows_a) - set(rows_b))
+    only_b = sorted(set(rows_b) - set(rows_a))
+
+    deltas: list[dict[str, Any]] = []
+    max_abs: dict[str, float] = {}
+    identical_rows = not only_a and not only_b
+    differing = 0
+    for key in common:
+        ra, rb = rows_a[key], rows_b[key]
+        entry: dict[str, Any] = {
+            "design": key[0],
+            "benchmark": key[1] or None,
+            "role": key[2] or None,
+            "repetition": key[3],
+        }
+        differs = False
+        for metric in _DELTA_METRICS:
+            va, vb = ra.get(metric), rb.get(metric)
+            if va is None and vb is None:
+                continue
+            entry[f"a_{metric}"] = va
+            entry[f"b_{metric}"] = vb
+            if va is None or vb is None:
+                differs = True
+                continue
+            delta = float(vb) - float(va)
+            entry[f"d_{metric}"] = delta
+            if delta != 0.0:
+                differs = True
+            max_abs[metric] = max(max_abs.get(metric, 0.0), abs(delta))
+        if differs:
+            identical_rows = False
+            differing += 1
+            if len(deltas) < max_deltas:
+                deltas.append(entry)
+
+    frontier_a = frontier_of_rows(rows_a.values())
+    frontier_b = frontier_of_rows(rows_b.values())
+    sig_a = _frontier_signature(frontier_a)
+    sig_b = _frontier_signature(frontier_b)
+    set_a, set_b = set(sig_a), set(sig_b)
+    return {
+        "a": {
+            "id": a_id,
+            "kind": run_a.get("kind"),
+            "state": run_a.get("state"),
+            "rows": len(rows_a),
+            "wall_s": run_a.get("wall_s"),
+        },
+        "b": {
+            "id": b_id,
+            "kind": run_b.get("kind"),
+            "state": run_b.get("state"),
+            "rows": len(rows_b),
+            "wall_s": run_b.get("wall_s"),
+        },
+        "rows": {
+            "common": len(common),
+            "only_a": len(only_a),
+            "only_b": len(only_b),
+            "identical": identical_rows,
+            "max_abs_delta": max_abs,
+            "deltas": deltas,
+            "truncated_deltas": max(0, differing - len(deltas)),
+        },
+        "frontier": {
+            "identical": sig_a == sig_b,
+            "a": frontier_a,
+            "b": frontier_b,
+            "only_a": [
+                {"design": d, "x": x, "y": y}
+                for d, x, y in sig_a
+                if (d, x, y) not in set_b
+            ],
+            "only_b": [
+                {"design": d, "x": x, "y": y}
+                for d, x, y in sig_b
+                if (d, x, y) not in set_a
+            ],
+        },
+    }

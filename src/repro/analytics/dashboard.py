@@ -1,0 +1,254 @@
+"""Zero-dependency single-file HTML dashboard (``GET /dashboard``).
+
+One server-rendered page: store/queue status tiles, metrics sparklines
+(inline SVG drawn from the reaper's :class:`MetricsRing` samples), the
+run list, and two small fetch()-driven panels — per-run detail
+(``GET /runs/<id>``) and frontier comparison (``GET /compare?a=&b=``).
+No external assets, scripts or fonts: everything a browser needs is in
+this one response, so the page works from ``curl`` output, behind
+air-gapped CI, and in the artifact viewer.
+"""
+
+from __future__ import annotations
+
+import html
+import time
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["render_dashboard", "sparkline_svg"]
+
+
+def sparkline_svg(
+    values: Sequence[float],
+    width: int = 160,
+    height: int = 36,
+    stroke: str = "#2563eb",
+) -> str:
+    """An inline-SVG sparkline polyline for one metric series."""
+    n = len(values)
+    if n == 0:
+        return (
+            f'<svg class="spark" width="{width}" height="{height}"'
+            f' viewBox="0 0 {width} {height}" role="img"'
+            f' aria-label="no samples yet"></svg>'
+        )
+    lo = min(values)
+    hi = max(values)
+    span = (hi - lo) or 1.0
+    pad = 2.0
+    points = []
+    for i, v in enumerate(values):
+        x = pad + (width - 2 * pad) * (i / max(n - 1, 1))
+        y = height - pad - (height - 2 * pad) * ((v - lo) / span)
+        points.append(f"{x:.1f},{y:.1f}")
+    return (
+        f'<svg class="spark" width="{width}" height="{height}"'
+        f' viewBox="0 0 {width} {height}" role="img"'
+        f' aria-label="min {lo:g}, max {hi:g}">'
+        f'<polyline fill="none" stroke="{stroke}" stroke-width="1.5"'
+        f' points="{" ".join(points)}" /></svg>'
+    )
+
+
+def _esc(value: Any) -> str:
+    return html.escape("" if value is None else str(value))
+
+
+def _fmt_age(ts: Any) -> str:
+    try:
+        age = time.time() - float(ts)
+    except (TypeError, ValueError):
+        return "?"
+    if age < 90:
+        return f"{age:.0f}s ago"
+    if age < 5400:
+        return f"{age / 60:.0f}m ago"
+    return f"{age / 3600:.1f}h ago"
+
+
+def _run_row_html(run: Mapping[str, Any]) -> str:
+    journal = run.get("journal") or {}
+    hits = journal.get("cache_hits", 0)
+    misses = journal.get("cache_misses", 0)
+    state = _esc(run.get("state"))
+    return (
+        "<tr>"
+        f'<td><a href="#" class="run-link" data-run="{_esc(run.get("id"))}">'
+        f'{_esc(run.get("id"))}</a></td>'
+        f"<td>{_esc(run.get('kind'))}</td>"
+        f'<td><span class="state state-{state}">{state}</span></td>'
+        f"<td>{_esc(run.get('benchmark') or '—')}</td>"
+        f"<td class='num'>{_esc(run.get('rows'))}</td>"
+        f"<td class='num'>{_esc(round(float(run.get('wall_s') or 0.0), 3))}</td>"
+        f"<td class='num'>{hits}/{hits + misses}</td>"
+        f"<td>{_esc(_fmt_age(run.get('started')))}</td>"
+        "</tr>"
+    )
+
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro evaluation service — runs</title>
+<style>
+  :root {{ --ink: #1f2937; --dim: #6b7280; --line: #e5e7eb;
+           --accent: #2563eb; --ok: #15803d; --bad: #b91c1c;
+           --bg: #f9fafb; }}
+  body {{ margin: 0; padding: 1.5rem; color: var(--ink);
+         background: var(--bg);
+         font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif; }}
+  h1 {{ font-size: 1.15rem; margin: 0 0 .25rem; }}
+  h2 {{ font-size: .95rem; margin: 1.5rem 0 .5rem; color: var(--dim);
+       text-transform: uppercase; letter-spacing: .04em; }}
+  .sub {{ color: var(--dim); margin-bottom: 1rem; }}
+  .tiles {{ display: flex; flex-wrap: wrap; gap: .75rem; }}
+  .tile {{ background: #fff; border: 1px solid var(--line);
+          border-radius: 8px; padding: .6rem .9rem; min-width: 10rem; }}
+  .tile b {{ display: block; font-size: 1.25rem; }}
+  .tile small {{ color: var(--dim); }}
+  table {{ border-collapse: collapse; width: 100%; background: #fff;
+          border: 1px solid var(--line); border-radius: 8px; }}
+  th, td {{ text-align: left; padding: .4rem .7rem;
+           border-bottom: 1px solid var(--line); }}
+  th {{ color: var(--dim); font-weight: 600; font-size: .8rem; }}
+  td.num {{ text-align: right; font-variant-numeric: tabular-nums; }}
+  tr:last-child td {{ border-bottom: none; }}
+  a {{ color: var(--accent); text-decoration: none; }}
+  .state {{ font-size: .8rem; padding: .05rem .45rem; border-radius: 99px;
+           border: 1px solid var(--line); }}
+  .state-done {{ color: var(--ok); }}
+  .state-failed {{ color: var(--bad); }}
+  .state-running {{ color: var(--accent); }}
+  .spark {{ display: block; }}
+  form.compare {{ display: flex; gap: .5rem; align-items: center;
+                flex-wrap: wrap; }}
+  input[type=text] {{ border: 1px solid var(--line); border-radius: 6px;
+                     padding: .35rem .5rem; font: inherit; width: 16rem; }}
+  button {{ border: 1px solid var(--accent); color: #fff;
+           background: var(--accent); border-radius: 6px;
+           padding: .35rem .9rem; font: inherit; cursor: pointer; }}
+  pre {{ background: #fff; border: 1px solid var(--line);
+        border-radius: 8px; padding: .75rem; overflow-x: auto;
+        font-size: .8rem; }}
+  #detail:empty, #compare-out:empty {{ display: none; }}
+</style>
+</head>
+<body>
+<h1>repro evaluation service</h1>
+<div class="sub">db: {db} · generated {generated} ·
+  {nsamples} metric samples (every {interval:.1f}s) ·
+  <a href="/metrics">/metrics</a> ·
+  <a href="/metrics/history">/metrics/history</a> ·
+  <a href="/runs">/runs</a></div>
+
+<h2>Store &amp; queue</h2>
+<div class="tiles">{tiles}</div>
+
+<h2>Runs ({nruns})</h2>
+<table>
+<thead><tr><th>run</th><th>kind</th><th>state</th><th>benchmark</th>
+<th>rows</th><th>wall s</th><th>cache hits</th><th>started</th></tr></thead>
+<tbody>
+{run_rows}
+</tbody>
+</table>
+
+<h2>Run detail</h2>
+<div class="sub">Click a run id above — fetched from
+  <code>GET /runs/&lt;id&gt;</code>; the CSV lives at
+  <code>/runs/&lt;id&gt;/table.csv</code>.</div>
+<pre id="detail"></pre>
+
+<h2>Compare two runs</h2>
+<form class="compare" id="compare-form">
+  <input type="text" id="cmp-a" placeholder="run id A" required>
+  <input type="text" id="cmp-b" placeholder="run id B" required>
+  <button type="submit">Compare frontiers</button>
+</form>
+<pre id="compare-out"></pre>
+
+<script>
+"use strict";
+function show(el, doc) {{ el.textContent = JSON.stringify(doc, null, 2); }}
+document.querySelectorAll(".run-link").forEach(function (a) {{
+  a.addEventListener("click", function (ev) {{
+    ev.preventDefault();
+    fetch("/runs/" + encodeURIComponent(a.dataset.run))
+      .then(function (r) {{ return r.json(); }})
+      .then(function (doc) {{
+        show(document.getElementById("detail"), doc);
+      }});
+  }});
+}});
+document.getElementById("compare-form").addEventListener(
+  "submit",
+  function (ev) {{
+    ev.preventDefault();
+    var a = document.getElementById("cmp-a").value.trim();
+    var b = document.getElementById("cmp-b").value.trim();
+    fetch("/compare?a=" + encodeURIComponent(a) +
+          "&b=" + encodeURIComponent(b))
+      .then(function (r) {{ return r.json(); }})
+      .then(function (doc) {{
+        show(document.getElementById("compare-out"), doc);
+      }});
+  }}
+);
+</script>
+</body>
+</html>
+"""
+
+
+def render_dashboard(
+    runs: Iterable[Mapping[str, Any]],
+    samples: Sequence[Mapping[str, Any]],
+    store_stats: Mapping[str, Any],
+    queue_counts: Mapping[str, Any],
+    workers: int = 0,
+    db_path: str = "",
+    interval: float = 10.0,
+) -> str:
+    """The full dashboard page as one HTML string."""
+    runs = list(runs)
+    samples = list(samples)
+
+    def series(field: str) -> list[float]:
+        return [float(s.get(field, 0) or 0) for s in samples]
+
+    tiles = []
+    for label, value, field in (
+        ("queued", queue_counts.get("queued", 0), "queued"),
+        ("running", queue_counts.get("running", 0), "running"),
+        ("done", queue_counts.get("done", 0), "done"),
+        ("failed", queue_counts.get("failed", 0), "failed"),
+        ("store entries", store_stats.get("entries", 0), "entries"),
+        ("db bytes", store_stats.get("db_bytes", 0), "db_bytes"),
+        ("workers", workers, "workers"),
+    ):
+        tiles.append(
+            '<div class="tile"><small>'
+            + _esc(label)
+            + "</small><b>"
+            + _esc(value)
+            + "</b>"
+            + sparkline_svg(series(field))
+            + "</div>"
+        )
+    run_rows = "\n".join(_run_row_html(run) for run in runs) or (
+        '<tr><td colspan="8" class="sub">no recorded runs yet — '
+        "submit a job or use repro runs</td></tr>"
+    )
+    return _PAGE.format(
+        db=_esc(db_path),
+        generated=_esc(
+            time.strftime("%Y-%m-%d %H:%M:%S", time.localtime())
+        ),
+        nsamples=len(samples),
+        interval=float(interval),
+        tiles="".join(tiles),
+        nruns=len(runs),
+        run_rows=run_rows,
+    )

@@ -1,0 +1,64 @@
+"""Fixed-capacity time-series ring buffer for service metrics.
+
+The evaluation service's reaper thread already wakes every
+``lease / 3`` seconds to renew and reap leases; it now also drops one
+compact sample per wakeup into a :class:`MetricsRing` — queue depths,
+store size, worker count — giving ``GET /metrics/history`` (and the
+dashboard sparklines) a bounded, allocation-free view of the last
+``capacity`` reap intervals without any new thread or dependency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Mapping
+
+__all__ = ["MetricsRing"]
+
+#: Default ring capacity (at the default 10 s reap interval: one hour).
+DEFAULT_CAPACITY = 360
+
+
+class MetricsRing:
+    """Thread-safe bounded buffer of metric samples (oldest drop off)."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._samples: deque[dict[str, Any]] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def sample(self, doc: Mapping[str, Any]) -> dict[str, Any]:
+        """Append one sample (stamped with ``ts`` when absent)."""
+        entry = dict(doc)
+        entry.setdefault("ts", round(time.time(), 3))
+        with self._lock:
+            self._samples.append(entry)
+            self.total += 1
+        return entry
+
+    def samples(self) -> list[dict[str, Any]]:
+        """The retained samples, oldest first (a copy)."""
+        with self._lock:
+            return [dict(entry) for entry in self._samples]
+
+    def series(self, field: str, default: float = 0.0) -> list[float]:
+        """One field across the retained samples (for sparklines)."""
+        with self._lock:
+            return [
+                float(entry.get(field, default) or 0.0)
+                for entry in self._samples
+            ]
+
+    def last(self) -> dict[str, Any] | None:
+        """The newest sample, or None when empty."""
+        with self._lock:
+            return dict(self._samples[-1]) if self._samples else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)

@@ -191,6 +191,11 @@ class DesignSpaceSimulator:
         self.consume_seconds: dict[int, float] = {
             line_size: 0.0 for line_size in self.simulators
         }
+        #: The stack-distance *kernel* share of consume_seconds — what
+        #: run recording reports as ``kernel_s`` per line size.
+        self.kernel_seconds: dict[int, float] = {
+            line_size: 0.0 for line_size in self.simulators
+        }
 
     @classmethod
     def from_configs(
@@ -241,6 +246,7 @@ class DesignSpaceSimulator:
             raise ConfigurationError("design-space state map is empty")
         sim._towers = _build_towers(sorted(sim.simulators))
         sim.consume_seconds = {ls: 0.0 for ls in sim.simulators}
+        sim.kernel_seconds = {ls: 0.0 for ls in sim.simulators}
         return sim
 
     # ------------------------------------------------------------------
@@ -497,7 +503,9 @@ class DesignSpaceSimulator:
                         links=prep.links,
                     )
                     sx.update(prep.fold(dist, info))
-                self.consume_seconds[line_size] += time.perf_counter() - t0
+                elapsed = time.perf_counter() - t0
+                self.consume_seconds[line_size] += elapsed
+                self.kernel_seconds[line_size] += elapsed
             return
         with journal.timed(
             "stackdist_fused",
@@ -531,7 +539,9 @@ class DesignSpaceSimulator:
             per_size[line_size] = per_size.get(line_size, 0) + len(prep.part)
         total = sum(per_size.values()) or 1
         for line_size, refs in per_size.items():
-            self.consume_seconds[line_size] += wall * refs / total
+            share = wall * refs / total
+            self.consume_seconds[line_size] += share
+            self.kernel_seconds[line_size] += share
 
     def _simulate_parallel(
         self, starts: np.ndarray, sizes: np.ndarray, digest: bytes

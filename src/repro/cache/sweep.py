@@ -509,6 +509,9 @@ def sweep_design_space(
                 where="serial",
                 trace_ranges=trace_ranges,
                 wall_s=round(space.consume_seconds[line_size], 6),
+                kernel_s=round(
+                    space.kernel_seconds.get(line_size, 0.0), 6
+                ),
             )
             if ck is not None:
                 ck.store(line_size, set_counts, max_assoc, state)

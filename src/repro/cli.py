@@ -19,7 +19,10 @@ Gives the repository's main flows a shell entry point:
   for its result;
 * ``work`` — run a pull-loop fleet worker against a running service
   (lease-based claiming with heartbeats; any number of these processes,
-  on any host, scale the service out).
+  on any host, scale the service out);
+* ``runs`` — inspect recorded runs in an analytics database: ``list``,
+  ``show``, ``export`` (the canonical CSV table), ``compare`` (row
+  deltas + Pareto-frontier diff) and ``gc``.
 
 Common options: ``--scale`` (workload footprint multiplier),
 ``--visits`` (emulation budget), ``--benchmarks`` (subset),
@@ -27,7 +30,8 @@ Common options: ``--scale`` (workload footprint multiplier),
 priming), ``--trace-shipping`` (zero-copy shared memory vs per-job
 pickling), ``--count-parallelism`` (multicore per-line-size
 stack-distance counting), ``--journal`` (structured JSON-lines run
-journal).
+journal), ``--runs-db`` (record the command's results as a durable run
+in an analytics sqlite database, browsable with ``repro runs``).
 """
 
 from __future__ import annotations
@@ -144,6 +148,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "append a structured JSON-lines run journal (passes, "
             "retries, fallbacks, cache hit rates) to PATH"
+        ),
+    )
+    common.add_argument(
+        "--runs-db",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record this command's results as a durable run in the "
+            "given analytics sqlite database (sweep/explore; browse "
+            "with 'repro runs')"
         ),
     )
     parser = argparse.ArgumentParser(
@@ -298,6 +312,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="include a run-journal summary section from this JSON-lines file",
     )
+    report.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "include store / job-queue / recorded-run statistics from "
+            "this evaluation-service sqlite database"
+        ),
+    )
     serve = sub.add_parser(
         "serve",
         help="run the evaluation service (store + job queue + HTTP API)",
@@ -411,6 +434,70 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="append the worker's JSON-lines run journal to PATH",
     )
+    runs = sub.add_parser(
+        "runs",
+        help="inspect recorded runs in an analytics database",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_common = argparse.ArgumentParser(add_help=False)
+    runs_common.add_argument(
+        "--db",
+        required=True,
+        metavar="PATH",
+        help="analytics sqlite database (a service db or --runs-db file)",
+    )
+    runs_list = runs_sub.add_parser(
+        "list", help="recorded runs, newest first", parents=[runs_common]
+    )
+    runs_list.add_argument(
+        "--kind", default=None, help="filter by run kind (sweep/explore/...)"
+    )
+    runs_list.add_argument(
+        "--state", default=None, help="filter by state (done/failed/running)"
+    )
+    runs_list.add_argument(
+        "--limit", type=_positive_int, default=20, help="max rows (default 20)"
+    )
+    runs_show = runs_sub.add_parser(
+        "show", help="one run with its rows as JSON", parents=[runs_common]
+    )
+    runs_show.add_argument("run_id", help="run id (see 'repro runs list')")
+    runs_export = runs_sub.add_parser(
+        "export",
+        help="write a run's canonical CSV table",
+        parents=[runs_common],
+    )
+    runs_export.add_argument("run_id", help="run id (see 'repro runs list')")
+    runs_export.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the CSV here instead of stdout",
+    )
+    runs_compare = runs_sub.add_parser(
+        "compare",
+        help="diff two runs: row deltas + Pareto frontiers",
+        parents=[runs_common],
+    )
+    runs_compare.add_argument("run_a", help="baseline run id")
+    runs_compare.add_argument("run_b", help="candidate run id")
+    runs_gc = runs_sub.add_parser(
+        "gc", help="delete old recorded runs", parents=[runs_common]
+    )
+    runs_gc.add_argument(
+        "--older-than",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="delete runs started more than SECONDS ago",
+    )
+    runs_gc.add_argument(
+        "--keep",
+        type=int,
+        default=None,
+        metavar="N",
+        help="always keep the N newest runs",
+    )
     return parser
 
 
@@ -450,34 +537,51 @@ def _cmd_explore(args: argparse.Namespace) -> str:
 
     settings = _settings(args)
     policy = settings.executor_policy()
+    recorder = _runs_recorder(
+        args, "explore", {"benchmarks": list(_benchmarks(args))}
+    )
     lines: list[str] = []
-    # Every requested benchmark is walked (not just the first).
-    for bench in _benchmarks(args):
-        pipeline = get_pipeline(bench, settings)
-        pareto = Spacewalker(
-            _explore_space(),
-            pipeline,
-            max_workers=args.max_workers,
-            policy=policy,
-        ).walk()
-        lines.append(f"Pareto frontier for {bench} ({len(pareto)} designs):")
-        for point in pareto.frontier():
-            memory = point.design.memory
+    with recorder if recorder is not None else nullcontext():
+        # Every requested benchmark is walked (not just the first).
+        for bench in _benchmarks(args):
+            pipeline = get_pipeline(bench, settings)
+            pareto = Spacewalker(
+                _explore_space(),
+                pipeline,
+                max_workers=args.max_workers,
+                policy=policy,
+            ).walk()
             lines.append(
-                f"  cost={point.cost:9.2f} cycles={point.time:13.0f} "
-                f"proc={point.design.processor} "
-                f"I={memory.icache.describe()} D={memory.dcache.describe()} "
-                f"U={memory.unified.describe()}"
+                f"Pareto frontier for {bench} ({len(pareto)} designs):"
             )
+            for point in pareto.frontier():
+                memory = point.design.memory
+                if recorder is not None:
+                    recorder.add_frontier_point(
+                        {
+                            "cost": point.cost,
+                            "cycles": point.time,
+                            "processor": point.design.processor,
+                            "icache": memory.icache.__dict__,
+                            "dcache": memory.dcache.__dict__,
+                            "unified": memory.unified.__dict__,
+                        },
+                        benchmark=bench,
+                    )
+                lines.append(
+                    f"  cost={point.cost:9.2f} cycles={point.time:13.0f} "
+                    f"proc={point.design.processor} "
+                    f"I={memory.icache.describe()} "
+                    f"D={memory.dcache.describe()} "
+                    f"U={memory.unified.describe()}"
+                )
+    if recorder is not None:
+        lines.append(f"[runs] recorded {recorder.run_id} -> {args.runs_db}")
     return "\n".join(lines)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> str:
     from repro.cache.config import CacheConfig
-    from repro.cache.sweep import (
-        sampled_sweep_design_space,
-        sweep_design_space,
-    )
 
     try:
         configs = [
@@ -507,6 +611,36 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         except Exception as exc:  # noqa: BLE001 - SamplePlan validates
             raise SystemExit(f"bad sampling plan: {exc}")
     settings = _settings(args)
+    recorder = _runs_recorder(
+        args,
+        "sweep",
+        {
+            "benchmarks": list(_benchmarks(args)),
+            "role": args.role,
+            "line_sizes": list(args.line_sizes),
+            "sets": list(args.sets),
+            "assocs": list(args.assocs),
+            "sampled": bool(args.sample_intervals),
+        },
+    )
+    lines: list[str] = []
+    with recorder if recorder is not None else nullcontext():
+        lines.extend(
+            _run_sweep_benchmarks(
+                args, settings, configs, checkpoint, plan, recorder
+            )
+        )
+    if recorder is not None:
+        lines.append(f"[runs] recorded {recorder.run_id} -> {args.runs_db}")
+    return "\n".join(lines)
+
+
+def _run_sweep_benchmarks(args, settings, configs, checkpoint, plan, recorder):
+    from repro.cache.sweep import (
+        sampled_sweep_design_space,
+        sweep_design_space,
+    )
+
     lines: list[str] = []
     for bench in _benchmarks(args):
         trace = get_pipeline(bench, settings).reference_artifacts().trace(
@@ -583,7 +717,21 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 )
                 row += f" {error:>8}"
             lines.append(row)
-    return "\n".join(lines)
+        if recorder is not None:
+            for config, result in results.items():
+                recorder.add_row(
+                    benchmark=bench,
+                    role=args.role,
+                    sets=config.sets,
+                    assoc=config.assoc,
+                    line_size=config.line_size,
+                    accesses=result.accesses,
+                    misses=float(result.misses),
+                    estimated=plan is not None,
+                    error=getattr(result, "error", None),
+                    source="sampled" if plan is not None else "simulated",
+                )
+    return lines
 
 
 def _cmd_dilation(args: argparse.Namespace) -> str:
@@ -609,9 +757,84 @@ def _cmd_report(args: argparse.Namespace) -> str:
     from repro.experiments.report import build_report, save_report
 
     if args.output:
-        path = save_report(args.results, args.output, journal=args.journal)
+        path = save_report(
+            args.results,
+            args.output,
+            journal=args.journal,
+            store=args.store,
+        )
         return f"report written to {path}"
-    return build_report(args.results, journal=args.journal)
+    return build_report(args.results, journal=args.journal, store=args.store)
+
+
+def _runs_recorder(args: argparse.Namespace, kind: str, spec: dict):
+    """A RunRecorder against ``--runs-db`` (None when not requested)."""
+    if not getattr(args, "runs_db", None):
+        return None
+    from repro.analytics.runs import RunRecorder
+    from repro.service.store import ResultStore
+
+    return RunRecorder(
+        ResultStore(args.runs_db), kind, spec=spec, label=f"cli:{kind}"
+    )
+
+
+def _cmd_runs(args: argparse.Namespace) -> str:
+    import json
+    import time as _time
+
+    from repro.analytics.compare import compare_runs
+    from repro.analytics.runs import gc_runs, get_run, get_run_rows, list_runs
+    from repro.analytics.table import run_table_csv
+    from repro.service.store import ResultStore
+
+    store = ResultStore(args.db)
+    if args.runs_command == "list":
+        runs = list_runs(
+            store, kind=args.kind, state=args.state, limit=args.limit
+        )
+        if not runs:
+            return "no recorded runs"
+        lines = [
+            f"{'id':>20} {'kind':>8} {'state':>8} {'benchmark':>12} "
+            f"{'rows':>6} {'wall_s':>9}  started"
+        ]
+        for run in runs:
+            started = _time.strftime(
+                "%Y-%m-%d %H:%M:%S", _time.localtime(run["started"])
+            )
+            wall = run.get("wall_s")
+            lines.append(
+                f"{run['id']:>20} {run['kind']:>8} {run['state']:>8} "
+                f"{(run.get('benchmark') or '-'):>12} {run['rows']:>6} "
+                f"{wall if wall is not None else '-':>9}  {started}"
+            )
+        return "\n".join(lines)
+    if args.runs_command == "show":
+        return json.dumps(
+            {
+                "run": get_run(store, args.run_id),
+                "rows": get_run_rows(store, args.run_id),
+            },
+            indent=2,
+        )
+    if args.runs_command == "export":
+        csv_text = run_table_csv(store, args.run_id)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8", newline="") as fh:
+                fh.write(csv_text)
+            return f"table written to {args.output}"
+        return csv_text.rstrip("\n")
+    if args.runs_command == "compare":
+        return json.dumps(
+            compare_runs(store, args.run_a, args.run_b), indent=2
+        )
+    if args.runs_command == "gc":
+        deleted = gc_runs(
+            store, older_than=args.older_than, keep=args.keep
+        )
+        return f"deleted {deleted} run(s)"
+    raise SystemExit(f"unknown runs command {args.runs_command!r}")
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -691,7 +914,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "work":
         # work owns its journal (it spans the worker's whole lifetime).
         return _cmd_work(args)
+    if args.command == "runs":
+        print(_cmd_runs(args))
+        return 0
     journal = RunJournal(args.journal) if args.journal else None
+    if journal is None and getattr(args, "runs_db", None):
+        # Run recording derives wall/kernel/cache columns from journal
+        # events; give it an in-memory journal when none was requested.
+        journal = RunJournal()
     scope = use_journal(journal) if journal is not None else nullcontext()
     with scope:
         if journal is not None:
@@ -701,10 +931,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         finally:
             if journal is not None:
                 journal.record("run_end", command=args.command)
-                print(
-                    f"[journal] {len(journal)} events -> {journal.path}",
-                    file=sys.stderr,
-                )
+                if journal.path is not None:
+                    print(
+                        f"[journal] {len(journal)} events -> {journal.path}",
+                        file=sys.stderr,
+                    )
                 journal.close()
 
 

@@ -37,6 +37,7 @@ def build_report(
     results_dir: str | Path,
     title: str = "Reproduction run report",
     journal: str | Path | None = None,
+    store: str | Path | None = None,
 ) -> str:
     """Assemble available results into one markdown document.
 
@@ -48,9 +49,14 @@ def build_report(
     :class:`repro.runtime.RunJournal`) appends a robustness/observability
     summary section: simulation passes, retries, fallbacks, cache hit
     rates and worker utilization.
+
+    ``store`` (an evaluation-service sqlite database) appends a store /
+    job-queue / recorded-runs statistics section.
     """
     results_dir = Path(results_dir)
-    if not results_dir.is_dir():
+    # A journal or store section can stand alone; bench results are
+    # only mandatory when they are all the report would contain.
+    if not results_dir.is_dir() and journal is None and store is None:
         raise ConfigurationError(
             f"results directory {results_dir} does not exist; run "
             "`pytest benchmarks/ --benchmark-only` first"
@@ -70,11 +76,11 @@ def build_report(
         parts.append(path.read_text().rstrip())
         parts.append("```")
         parts.append("")
-    if found == 0:
+    if found == 0 and journal is None and store is None:
         raise ConfigurationError(
             f"no known result files in {results_dir}; run the bench suite"
         )
-    if missing:
+    if found and missing:
         parts.append("## Not regenerated in this run")
         parts.append("")
         for stem in missing:
@@ -90,7 +96,47 @@ def build_report(
         parts.append(summary)
         parts.append("```")
         parts.append("")
+    if store is not None:
+        parts.append("## Evaluation service — store & queue")
+        parts.append("")
+        parts.append("```text")
+        parts.append(store_report(store))
+        parts.append("```")
+        parts.append("")
     return "\n".join(parts)
+
+
+def store_report(db_path: str | Path) -> str:
+    """Store / job-queue / recorded-run statistics, one text block."""
+    from repro.analytics.runs import list_runs
+    from repro.service.queue import JobQueue
+    from repro.service.store import ResultStore
+
+    store = ResultStore(db_path)
+    stats = store.stats()
+    counts = JobQueue(store).counts()
+    runs = list_runs(store, limit=10)
+    lines = [f"database: {db_path}"]
+    lines.append(
+        "store: "
+        + ", ".join(f"{k}={stats[k]}" for k in sorted(stats))
+    )
+    lines.append(
+        "queue: "
+        + ", ".join(f"{k}={counts[k]}" for k in sorted(counts))
+    )
+    if runs:
+        lines.append(f"runs (latest {len(runs)}):")
+        for run in runs:
+            wall = run.get("wall_s")
+            lines.append(
+                f"  {run['id']}  {run['kind']:>8} {run['state']:>8}  "
+                f"rows={run['rows']}"
+                + (f"  wall_s={wall}" if wall is not None else "")
+            )
+    else:
+        lines.append("runs: none recorded")
+    return "\n".join(lines)
 
 
 def save_report(
@@ -98,9 +144,12 @@ def save_report(
     output: str | Path,
     title: str = "Reproduction run report",
     journal: str | Path | None = None,
+    store: str | Path | None = None,
 ) -> Path:
     """Write :func:`build_report`'s output to ``output``."""
     output = Path(output)
     output.parent.mkdir(parents=True, exist_ok=True)
-    output.write_text(build_report(results_dir, title, journal=journal))
+    output.write_text(
+        build_report(results_dir, title, journal=journal, store=store)
+    )
     return output

@@ -460,6 +460,18 @@ class RunJournal:
                 f"{util.get('busy_s', 0.0):.3f} s busy / "
                 f"{util.get('wall_s', 0.0):.3f} s wall)"
             )
+        fleet = s.get("fleet")
+        if fleet:
+            leases = ", ".join(
+                f"{k}={v}" for k, v in sorted(fleet["leases"].items())
+            ) or "none"
+            workers = ", ".join(
+                f"{k}={v}" for k, v in sorted(fleet["workers"].items())
+            ) or "none"
+            lines.append(
+                f"fleet: leases {leases}; workers {workers}; "
+                f"{fleet['fence_rejections']} fence rejections"
+            )
         stream = s.get("streaming")
         if stream:
             lines.append(

@@ -68,6 +68,28 @@ class ServiceClient:
                 f"{exc.reason}"
             ) from exc
 
+    def _request_text(self, path: str) -> str:
+        """GET a non-JSON resource (CSV table, dashboard HTML)."""
+        url = self.base_url + path
+        request = urllib.request.Request(url, method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read().decode()
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read()).get("error", "")
+            except Exception:  # noqa: BLE001 - body may not be JSON
+                detail = ""
+            raise ServiceError(
+                f"GET {path} failed: HTTP {exc.code}"
+                + (f" ({detail})" if detail else "")
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach evaluation service at {self.base_url}: "
+                f"{exc.reason}"
+            ) from exc
+
     # ------------------------------------------------------------------
     # API surface.
     # ------------------------------------------------------------------
@@ -147,6 +169,52 @@ class ServiceClient:
         if limit is not None:
             query["limit"] = str(limit)
         return self._request("GET", f"/results?{urlencode(query)}")["items"]
+
+    def runs(
+        self,
+        kind: str | None = None,
+        state: str | None = None,
+        limit: int = 50,
+    ) -> list[dict[str, Any]]:
+        """Recorded runs, newest first."""
+        query: dict[str, Any] = {"limit": limit}
+        if kind:
+            query["kind"] = kind
+        if state:
+            query["state"] = state
+        return self._request("GET", f"/runs?{urlencode(query)}")["runs"]
+
+    def run(self, run_id: str) -> dict[str, Any]:
+        """One recorded run with its rows: {'run': ..., 'rows': [...]}."""
+        return self._request("GET", f"/runs/{run_id}")
+
+    def run_table_csv(self, run_id: str) -> str:
+        """The run's canonical CSV table as text."""
+        return self._request_text(f"/runs/{run_id}/table.csv")
+
+    def compare(self, a: str, b: str) -> dict[str, Any]:
+        """Diff two runs' rows and Pareto frontiers."""
+        return self._request(
+            "GET", f"/compare?{urlencode({'a': a, 'b': b})}"
+        )
+
+    def record_run(
+        self,
+        run: Mapping[str, Any],
+        rows: Iterable[Mapping[str, Any]],
+    ) -> None:
+        """Upload a recorded run (fleet workers' RemoteStore sink)."""
+        self._request(
+            "POST", "/runs", {"run": dict(run), "rows": list(rows)}
+        )
+
+    def metrics_history(self) -> dict[str, Any]:
+        """The reaper-sampled metrics ring (GET /metrics/history)."""
+        return self._request("GET", "/metrics/history")
+
+    def dashboard(self) -> str:
+        """The dashboard page HTML (GET /dashboard)."""
+        return self._request_text("/dashboard")
 
     def metrics(self) -> dict[str, Any]:
         """The server's /metrics document (journal + store + queue)."""

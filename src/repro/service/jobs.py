@@ -337,6 +337,8 @@ def execute_job(
     spec: dict[str, Any],
     store: ResultStore,
     journal: RunJournal | None = None,
+    run_id: str | None = None,
+    record: bool = True,
 ) -> dict[str, Any]:
     """Run one validated job spec against the shared store.
 
@@ -346,15 +348,79 @@ def execute_job(
     :func:`repro.runtime.executor.run_jobs`), so the spec's
     ``max_workers`` / ``job_timeout`` / ``job_retries`` knobs behave
     exactly as they do on the CLI.
+
+    When ``record`` is true (the default) the execution is also
+    persisted as a durable analytics run (``run_id`` defaults to a
+    fresh id; the service passes the job id so runs and jobs share
+    identity).  Recording is observational — it reads the result
+    document and the journal window *after* execution, so results are
+    bit-identical with and without it.  Failed executions are recorded
+    as ``failed`` runs before the exception propagates.
     """
+    from repro.analytics.runs import RunRecorder, supports_runs
+
     journal = resolve_journal(journal)
     validate_spec(spec)
     kind = spec["kind"]
+    recorder = None
+    if record and supports_runs(store):
+        recorder = RunRecorder(
+            store,
+            kind=kind,
+            spec=spec,
+            journal=journal,
+            run_id=run_id,
+            benchmark=spec.get("benchmark"),
+        )
+    try:
+        if kind == "sweep":
+            result = _execute_sweep(spec, store, journal)
+        elif kind == "estimate":
+            result = _execute_estimate(spec, store, journal)
+        else:
+            result = _execute_explore(spec, store, journal)
+    except Exception as exc:
+        if recorder is not None:
+            recorder.finish(state="failed", error=repr(exc))
+        raise
+    if recorder is not None:
+        _record_result_rows(recorder, spec, result)
+        recorder.finish()
+    return result
+
+
+def _record_result_rows(
+    recorder: Any, spec: dict[str, Any], result: dict[str, Any]
+) -> None:
+    """Translate one job's result document into run rows."""
+    kind = result.get("kind")
     if kind == "sweep":
-        return _execute_sweep(spec, store, journal)
-    if kind == "estimate":
-        return _execute_estimate(spec, store, journal)
-    return _execute_explore(spec, store, journal)
+        trace_spec = spec.get("trace") or {}
+        benchmark = trace_spec.get("benchmark")
+        role = trace_spec.get("role")
+        for doc in result.get("results", ()):
+            recorder.add_config_doc(doc, benchmark=benchmark, role=role)
+    elif kind == "estimate":
+        benchmark = result.get("benchmark")
+        role = result.get("role")
+        for doc in result.get("results", ()):
+            misses = doc.get("misses") or {}
+            for dilation, value in misses.items():
+                recorder.add_row(
+                    benchmark=benchmark,
+                    role=role,
+                    sets=doc.get("sets"),
+                    assoc=doc.get("assoc"),
+                    line_size=doc.get("line_size"),
+                    misses=value,
+                    estimated=bool(result.get("sampled")),
+                    source="estimate",
+                    dilation=dilation,
+                )
+    elif kind == "explore":
+        benchmark = result.get("benchmark")
+        for point in result.get("frontier", ()):
+            recorder.add_frontier_point(point, benchmark=benchmark)
 
 
 def _config_doc(config: CacheConfig, **extra: Any) -> dict[str, Any]:

@@ -26,6 +26,13 @@ speaking a small JSON API:
                                  ``?namespace=``, ``?limit=``)
 ``GET /metrics``                 journal counters, store stats, queue
                                  depths and worker registry size
+``GET /metrics/history``         the reaper-sampled time-series ring
+``GET /runs``                    recorded runs (``?kind=``, ``?limit=``)
+``GET /runs/<id>``               one run + its rows
+``GET /runs/<id>/table.csv``     the run's canonical CSV table
+``POST /runs``                   record a run (fleet workers)
+``GET /compare``                 diff two runs (``?a=&b=``)
+``GET /dashboard``               zero-dependency HTML dashboard
 ``GET /healthz``                 liveness probe
 ===============================  ======================================
 
@@ -45,8 +52,20 @@ from pathlib import Path
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
+from repro.analytics.compare import compare_runs
+from repro.analytics.dashboard import render_dashboard
+from repro.analytics.metrics import MetricsRing
+from repro.analytics.runs import get_run, get_run_rows, list_runs, record_run
+from repro.analytics.table import run_table_csv
 from repro.errors import ServiceError, StaleLeaseError
-from repro.runtime.journal import RunJournal, resolve_journal, use_journal
+from repro.runtime.journal import (
+    NullJournal,
+    RunJournal,
+    active_journal,
+    resolve_journal,
+    set_active_journal,
+    use_journal,
+)
 from repro.service.jobs import execute_job, validate_spec
 from repro.service.queue import DEFAULT_LEASE, JobQueue
 from repro.service.store import ResultStore
@@ -86,7 +105,15 @@ class EvalService:
             raise ServiceError(f"lease must be > 0, got {lease}")
         self.store = ResultStore(db_path)
         self.queue = JobQueue(self.store)
-        self.journal = resolve_journal(journal)
+        # The service always owns a *recording* journal: run recording
+        # derives per-row wall/kernel/cache columns from the event
+        # window around each job, which a NullJournal (the resolve
+        # default when nothing is active) would silently leave empty.
+        resolved = resolve_journal(journal)
+        if isinstance(resolved, NullJournal):
+            resolved = RunJournal()
+        self.journal = resolved
+        self._installed_active_journal = False
         self.poll_interval = poll_interval
         self.lease = lease
         self.reap_interval = (
@@ -96,6 +123,9 @@ class EvalService:
             worker_ttl if worker_ttl is not None else 4.0 * lease
         )
         self._workers = workers
+        # Reaper-sampled metrics time series behind /metrics/history
+        # and the dashboard sparklines.
+        self.metrics_ring = MetricsRing()
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
         # Condition + version counter: submit() bumps the version and
@@ -114,6 +144,14 @@ class EvalService:
 
     def start(self) -> "EvalService":
         """Reap expired leases and start the worker + reaper threads."""
+        # Simulation internals (stack-distance kernels, evaluator
+        # checkpoints) journal through the process-wide *active*
+        # journal; install ours for the service's lifetime when the
+        # embedding process has none, so run recording sees their
+        # events.  ``repro serve`` installs the same journal anyway.
+        if isinstance(active_journal(), NullJournal):
+            set_active_journal(self.journal)
+            self._installed_active_journal = True
         recovered = self.queue.recover()
         for job_id in recovered:
             self.journal.record(
@@ -138,10 +176,14 @@ class EvalService:
         self.journal.record(
             "service_start", workers=self._workers, db=str(self.store.path)
         )
+        self._sample_metrics()
         return self
 
     def stop(self, timeout: float = 10.0) -> None:
         """Signal the workers and join them."""
+        if self._installed_active_journal:
+            set_active_journal(None)
+            self._installed_active_journal = False
         self._stop.set()
         with self._cond:
             self._cond.notify_all()
@@ -211,7 +253,9 @@ class EvalService:
                 kind=job.spec.get("kind"),
             )
             try:
-                result = execute_job(job.spec, self.store, self.journal)
+                result = execute_job(
+                    job.spec, self.store, self.journal, run_id=job.id
+                )
             except Exception as exc:  # noqa: BLE001 - job code may raise anything
                 self._finish(job, token, error=repr(exc))
             else:
@@ -289,6 +333,29 @@ class EvalService:
             dead = self.queue.reap_workers(self.worker_ttl)
             for worker_id in dead:
                 self.journal.record("worker", action="reaped", id=worker_id)
+            self._sample_metrics()
+
+    def _sample_metrics(self) -> None:
+        """Drop one compact sample into the metrics ring.
+
+        Deliberately cheap (queue counts + store stats, no journal
+        summary) and failure-proof: a locked database must never kill
+        the reaper thread.
+        """
+        try:
+            counts = self.queue.counts()
+            stats = self.store.stats()
+            self.metrics_ring.sample(
+                {
+                    **counts,
+                    "workers": len(self.queue.workers()),
+                    "entries": stats.get("entries", 0),
+                    "db_bytes": stats.get("db_bytes", 0),
+                    "hit_rate": stats.get("hit_rate", 0.0),
+                }
+            )
+        except Exception:  # noqa: BLE001 - sampling is best-effort
+            pass
 
     def drain(self, timeout: float = 60.0) -> bool:
         """Block until no jobs are queued or running (True on success)."""
@@ -343,6 +410,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_error(self, message: str, status: int) -> None:
         self._send_json({"error": message}, status=status)
+
+    def _send_body(
+        self, body: str, content_type: str, status: int = 200
+    ) -> None:
+        raw = body.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
 
     def _read_json(self) -> Any:
         length = int(self.headers.get("Content-Length") or 0)
@@ -400,10 +477,55 @@ class _Handler(BaseHTTPRequestHandler):
                     limit=int(limit) if limit is not None else None,
                 )
                 self._send_json({"count": len(items), "items": items})
+            elif parts == ["metrics", "history"]:
+                self._send_json(
+                    {
+                        "capacity": service.metrics_ring.capacity,
+                        "total": service.metrics_ring.total,
+                        "samples": service.metrics_ring.samples(),
+                    }
+                )
+            elif parts == ["runs"]:
+                runs = list_runs(
+                    service.store,
+                    kind=query.get("kind"),
+                    state=query.get("state"),
+                    limit=int(query.get("limit", 50)),
+                )
+                self._send_json({"count": len(runs), "runs": runs})
+            elif len(parts) == 2 and parts[0] == "runs":
+                run = get_run(service.store, parts[1])
+                rows = get_run_rows(service.store, parts[1])
+                self._send_json({"run": run, "rows": rows})
+            elif (
+                len(parts) == 3
+                and parts[0] == "runs"
+                and parts[2] == "table.csv"
+            ):
+                csv_text = run_table_csv(service.store, parts[1])
+                self._send_body(csv_text, "text/csv; charset=utf-8")
+            elif parts == ["compare"]:
+                a, b = query.get("a"), query.get("b")
+                if not a or not b:
+                    raise ServiceError("GET /compare needs ?a= and ?b=")
+                self._send_json(compare_runs(service.store, a, b))
+            elif parts == ["dashboard"]:
+                page = render_dashboard(
+                    list_runs(service.store, limit=50),
+                    service.metrics_ring.samples(),
+                    service.store.stats(),
+                    service.queue.counts(),
+                    workers=len(service.queue.workers()),
+                    db_path=str(service.store.path),
+                    interval=max(service.lease / 3.0, 0.05),
+                )
+                self._send_body(page, "text/html; charset=utf-8")
             else:
                 self._send_error(f"no such resource: {url.path}", 404)
         except ServiceError as exc:
-            self._send_error(str(exc), 400 if "unknown job id" not in str(exc) else 404)
+            message = str(exc)
+            missing = "unknown job id" in message or "unknown run id" in message
+            self._send_error(message, 404 if missing else 400)
         except Exception as exc:  # noqa: BLE001 - keep the server alive
             traceback.print_exc()
             self._send_error(f"internal error: {exc!r}", 500)
@@ -420,6 +542,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._post_claim()
             elif parts == ["results"]:
                 self._post_results()
+            elif parts == ["runs"]:
+                self._post_run()
             elif len(parts) == 3 and parts[0] == "jobs" and parts[2] in (
                 "heartbeat",
                 "complete",
@@ -438,8 +562,9 @@ class _Handler(BaseHTTPRequestHandler):
             )
             self._send_error(str(exc), 409)
         except ServiceError as exc:
-            status = 404 if "unknown job id" in str(exc) else 400
-            self._send_error(str(exc), status)
+            message = str(exc)
+            missing = "unknown job id" in message or "unknown run id" in message
+            self._send_error(message, 404 if missing else 400)
         except Exception as exc:  # noqa: BLE001 - keep the server alive
             traceback.print_exc()
             self._send_error(f"internal error: {exc!r}", 500)
@@ -460,6 +585,19 @@ class _Handler(BaseHTTPRequestHandler):
             max_attempts = 3
         job_id = self.server.service.submit(spec, max_attempts=max_attempts)
         self._send_json({"id": job_id, "state": "queued"}, status=201)
+
+    def _post_run(self) -> None:
+        payload = self._read_json()
+        if not isinstance(payload, dict) or "run" not in payload:
+            raise ServiceError(
+                "POST /runs expects {'run': {...}, 'rows': [...]}"
+            )
+        run = payload["run"]
+        rows = payload.get("rows") or []
+        record_run(self.server.service.store, run, rows)
+        self._send_json(
+            {"id": run.get("id"), "rows": len(rows)}, status=201
+        )
 
     def _post_worker(self) -> None:
         payload = self._read_json()

@@ -8,7 +8,10 @@ database": one sqlite file shared by any number of processes, holding
   atomic per-key upserts instead of whole-file rewrites;
 * ``jobs`` — the job queue's persistent state (owned by
   :mod:`repro.service.queue`, created here so one connection bootstraps
-  the whole schema).
+  the whole schema);
+* ``runs`` / ``run_rows`` — the analytics subsystem's durable run
+  tables (owned by :mod:`repro.analytics.runs`): one row per recorded
+  execution plus one row per (design, benchmark, repetition) measured.
 
 Keys are *content addresses*: they embed the trace digest and the
 configuration-family identity (see :func:`repro.service.jobs.trace_key`
@@ -79,13 +82,64 @@ CREATE TABLE IF NOT EXISTS workers (
     registered REAL NOT NULL,
     last_seen  REAL NOT NULL
 );
+CREATE TABLE IF NOT EXISTS runs (
+    id        TEXT PRIMARY KEY,
+    kind      TEXT NOT NULL,
+    label     TEXT,
+    benchmark TEXT,
+    state     TEXT NOT NULL DEFAULT 'running',
+    spec      TEXT NOT NULL DEFAULT '{}',
+    error     TEXT,
+    started   REAL NOT NULL,
+    finished  REAL,
+    wall_s    REAL,
+    rows      INTEGER NOT NULL DEFAULT 0,
+    journal   TEXT NOT NULL DEFAULT '{}'
+);
+CREATE INDEX IF NOT EXISTS runs_started ON runs (started);
+CREATE TABLE IF NOT EXISTS run_rows (
+    run_id        TEXT NOT NULL,
+    idx           INTEGER NOT NULL,
+    benchmark     TEXT,
+    role          TEXT,
+    design        TEXT NOT NULL,
+    sets          INTEGER,
+    assoc         INTEGER,
+    line_size     INTEGER,
+    repetition    INTEGER NOT NULL DEFAULT 0,
+    accesses      INTEGER,
+    misses        REAL,
+    miss_rate     REAL,
+    cycles        REAL,
+    cost          REAL,
+    area          REAL,
+    estimated     INTEGER NOT NULL DEFAULT 0,
+    error         REAL,
+    source        TEXT,
+    wall_s        REAL,
+    kernel_s      REAL,
+    retries       INTEGER,
+    timeouts      INTEGER,
+    fallbacks     INTEGER,
+    cache_hits    INTEGER,
+    cache_misses  INTEGER,
+    bytes_shipped INTEGER,
+    extra         TEXT NOT NULL DEFAULT '{}',
+    PRIMARY KEY (run_id, idx)
+);
+CREATE INDEX IF NOT EXISTS run_rows_design
+    ON run_rows (run_id, design, benchmark, repetition);
 """
 
 #: Columns added after the first released schema; applied as ALTERs so
 #: databases created by older builds keep working (sqlite has no
-#: ADD COLUMN IF NOT EXISTS).
+#: ADD COLUMN IF NOT EXISTS).  Whole new tables (``runs`` /
+#: ``run_rows``, the analytics run model) migrate via the idempotent
+#: CREATE IF NOT EXISTS statements in ``_SCHEMA``, which rerun on every
+#: open — only retrofitted *columns* need an entry here.
 _MIGRATIONS = (
     "ALTER TABLE jobs ADD COLUMN lease_expires REAL",
+    "ALTER TABLE runs ADD COLUMN benchmark TEXT",
 )
 
 

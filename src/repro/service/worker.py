@@ -34,7 +34,7 @@ import threading
 from typing import Any, Iterable, Mapping
 
 from repro.errors import ServiceError, StaleLeaseError
-from repro.runtime.journal import RunJournal, resolve_journal
+from repro.runtime.journal import RunJournal, resolve_journal, use_journal
 from repro.service.client import ServiceClient
 from repro.service.jobs import execute_job
 from repro.service.queue import JobRecord
@@ -131,6 +131,16 @@ class RemoteStore:
             "server": self.client.base_url,
         }
 
+    def record_run(
+        self, run: Mapping[str, Any], rows: Any
+    ) -> None:
+        """Ship a recorded run to the server's durable run tables.
+
+        Makes fleet-executed jobs show up in ``GET /runs`` and the
+        dashboard exactly like locally executed ones.
+        """
+        self.client.record_run(run, list(rows))
+
 
 def default_worker_id() -> str:
     """A stable-ish identity for this worker process."""
@@ -174,6 +184,13 @@ class FleetWorker:
 
     def run(self) -> int:
         """Register, pull and execute until stopped; returns jobs run."""
+        # Kernel/checkpoint internals journal through the *active*
+        # journal; install this worker's journal for the pull loop so
+        # its runs carry kernel_s / cache columns.
+        with use_journal(self.journal):
+            return self._run()
+
+    def _run(self) -> int:
         registration = self.client.register_worker(
             worker_id=self.worker_id,
             tags=self.tags,
@@ -254,7 +271,9 @@ class FleetWorker:
         error: str | None = None
         result: Any = None
         try:
-            result = execute_job(job.spec, store, self.journal)
+            result = execute_job(
+                job.spec, store, self.journal, run_id=job.id
+            )
         except Exception as exc:  # noqa: BLE001 - report, don't die
             error = repr(exc)
         finally:

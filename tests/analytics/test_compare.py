@@ -1,0 +1,127 @@
+"""Unit tests for run comparison and Pareto frontier extraction."""
+
+import pytest
+
+from repro.analytics.compare import compare_runs, frontier_of_rows
+from repro.analytics.runs import record_run
+from repro.errors import ServiceError
+from repro.service.store import ResultStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = ResultStore(tmp_path / "compare.sqlite")
+    try:
+        yield s
+    finally:
+        s.close()
+
+
+def put(store, run_id, rows, started=1.0):
+    record_run(
+        store,
+        {
+            "id": run_id,
+            "kind": "sweep",
+            "state": "done",
+            "started": started,
+            "finished": started + 1.0,
+            "wall_s": 1.0,
+            "rows": len(rows),
+            "journal": {},
+        },
+        rows,
+    )
+
+
+def cache_row(sets, misses, **extra):
+    return {
+        "design": f"S{sets}A1L16",
+        "benchmark": "epic",
+        "sets": sets,
+        "assoc": 1,
+        "line_size": 16,
+        "misses": misses,
+        **extra,
+    }
+
+
+class TestFrontier:
+    def test_cache_rows_use_size_misses_axes(self):
+        rows = [
+            cache_row(64, 100.0),   # 1 KiB, 100 misses
+            cache_row(128, 50.0),   # 2 KiB, 50 misses
+            cache_row(256, 60.0),   # dominated: bigger AND more misses
+        ]
+        frontier = frontier_of_rows(rows)
+        designs = {p["design"] for p in frontier}
+        assert designs == {"S64A1L16", "S128A1L16"}
+        assert frontier[0]["axes"] == ["size_bytes", "misses"]
+
+    def test_system_rows_use_cost_cycles_axes(self):
+        rows = [
+            {"design": "d1", "cost": 10.0, "cycles": 100.0},
+            {"design": "d2", "cost": 20.0, "cycles": 50.0},
+            {"design": "d3", "cost": 25.0, "cycles": 60.0},  # dominated
+        ]
+        frontier = frontier_of_rows(rows)
+        assert {p["design"] for p in frontier} == {"d1", "d2"}
+        assert frontier[0]["axes"] == ["cost", "cycles"]
+
+    def test_rows_without_axes_ignored(self):
+        assert frontier_of_rows([{"design": "d", "accesses": 5}]) == []
+
+
+class TestCompare:
+    def test_identical_runs(self, store):
+        rows = [cache_row(64, 100.0), cache_row(128, 50.0)]
+        put(store, "a", rows, started=1.0)
+        put(store, "b", rows, started=2.0)
+        doc = compare_runs(store, "a", "b")
+        assert doc["rows"]["identical"]
+        assert doc["frontier"]["identical"]
+        assert doc["rows"]["common"] == 2
+        assert doc["rows"]["deltas"] == []
+
+    def test_metric_drift_reported(self, store):
+        put(store, "a", [cache_row(64, 100.0)], started=1.0)
+        put(store, "b", [cache_row(64, 105.0)], started=2.0)
+        doc = compare_runs(store, "a", "b")
+        assert not doc["rows"]["identical"]
+        (delta,) = doc["rows"]["deltas"]
+        assert delta["design"] == "S64A1L16"
+        assert delta["d_misses"] == pytest.approx(5.0)
+        assert doc["rows"]["max_abs_delta"]["misses"] == pytest.approx(5.0)
+
+    def test_disjoint_rows_reported(self, store):
+        put(store, "a", [cache_row(64, 100.0)], started=1.0)
+        put(store, "b", [cache_row(128, 50.0)], started=2.0)
+        doc = compare_runs(store, "a", "b")
+        assert doc["rows"]["only_a"] == 1
+        assert doc["rows"]["only_b"] == 1
+        assert not doc["rows"]["identical"]
+
+    def test_frontier_shift_detected(self, store):
+        put(
+            store,
+            "a",
+            [cache_row(64, 100.0), cache_row(128, 50.0)],
+            started=1.0,
+        )
+        # In run b the big cache got *worse* than the small one, so the
+        # frontier loses a point.
+        put(
+            store,
+            "b",
+            [cache_row(64, 100.0), cache_row(128, 150.0)],
+            started=2.0,
+        )
+        doc = compare_runs(store, "a", "b")
+        assert not doc["frontier"]["identical"]
+        assert len(doc["frontier"]["a"]) == 2
+        assert len(doc["frontier"]["b"]) == 1
+
+    def test_unknown_run_raises(self, store):
+        put(store, "a", [cache_row(64, 1.0)])
+        with pytest.raises(ServiceError, match="unknown run id"):
+            compare_runs(store, "a", "missing")

@@ -1,0 +1,156 @@
+"""Unit tests for the metrics ring and the dashboard renderer."""
+
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.analytics.dashboard import render_dashboard, sparkline_svg
+from repro.analytics.metrics import MetricsRing
+
+
+class TestMetricsRing:
+    def test_capacity_bounds_retention(self):
+        ring = MetricsRing(capacity=3)
+        for i in range(10):
+            ring.sample({"queued": i})
+        assert len(ring) == 3
+        assert ring.total == 10
+        assert [s["queued"] for s in ring.samples()] == [7, 8, 9]
+
+    def test_samples_are_stamped_and_copied(self):
+        ring = MetricsRing()
+        ring.sample({"queued": 1})
+        snap = ring.samples()
+        assert "ts" in snap[0]
+        snap[0]["queued"] = 999
+        assert ring.samples()[0]["queued"] == 1
+
+    def test_series_tolerates_missing_fields(self):
+        ring = MetricsRing()
+        ring.sample({"queued": 2})
+        ring.sample({"running": 1})
+        assert ring.series("queued") == [2.0, 0.0]
+
+    def test_last(self):
+        ring = MetricsRing()
+        assert ring.last() is None
+        ring.sample({"queued": 5})
+        assert ring.last()["queued"] == 5
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            MetricsRing(capacity=0)
+
+
+class TestSparkline:
+    def test_empty_series_still_svg(self):
+        svg = sparkline_svg([])
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+
+    def test_flat_and_varying_series(self):
+        assert "polyline" in sparkline_svg([1.0, 1.0, 1.0])
+        assert "polyline" in sparkline_svg([0.0, 5.0, 2.5])
+
+
+class _Balanced(HTMLParser):
+    VOID = {"meta", "link", "br", "hr", "img", "input", "polyline", "path"}
+
+    def __init__(self):
+        super().__init__()
+        self.stack = []
+        self.bad = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in self.VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if tag in self.VOID:
+            return
+        if self.stack and self.stack[-1] == tag:
+            self.stack.pop()
+        else:
+            self.bad.append(tag)
+
+
+RUNS = [
+    {
+        "id": "run-abc",
+        "kind": "sweep",
+        "state": "done",
+        "benchmark": "epic",
+        "rows": 4,
+        "wall_s": 0.5,
+        "started": 1.0,
+        "journal": {"passes": 2, "cache_hits": 0},
+    },
+    {
+        "id": "run-def",
+        "kind": "explore",
+        "state": "failed",
+        "benchmark": None,
+        "rows": 0,
+        "wall_s": 0.1,
+        "started": 2.0,
+        "journal": {},
+    },
+]
+SAMPLES = [
+    {"ts": 1.0, "queued": 2, "running": 1, "done": 0, "failed": 0,
+     "entries": 10, "db_bytes": 4096, "workers": 1, "hit_rate": 0.0},
+    {"ts": 2.0, "queued": 0, "running": 1, "done": 2, "failed": 0,
+     "entries": 14, "db_bytes": 8192, "workers": 1, "hit_rate": 0.5},
+]
+
+
+class TestDashboard:
+    def render(self):
+        return render_dashboard(
+            RUNS,
+            SAMPLES,
+            store_stats={"entries": 14, "db_bytes": 8192},
+            queue_counts={"queued": 0, "running": 1, "done": 2, "failed": 0},
+            workers=1,
+            db_path="/tmp/x.sqlite",
+            interval=5.0,
+        )
+
+    def test_page_is_balanced_html(self):
+        page = self.render()
+        assert page.lstrip().startswith("<!DOCTYPE html>")
+        audit = _Balanced()
+        audit.feed(page)
+        audit.close()
+        assert audit.bad == []
+        assert audit.stack == []
+
+    def test_runs_and_states_listed(self):
+        page = self.render()
+        assert "run-abc" in page
+        assert "run-def" in page
+        assert "failed" in page
+
+    def test_escapes_hostile_values(self):
+        page = render_dashboard(
+            [
+                {
+                    "id": "<script>alert(1)</script>",
+                    "kind": "sweep",
+                    "state": "done",
+                    "rows": 0,
+                    "wall_s": 0.0,
+                    "started": 1.0,
+                    "journal": {},
+                }
+            ],
+            [],
+            store_stats={},
+            queue_counts={},
+        )
+        assert "<script>alert(1)</script>" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_empty_everything_renders(self):
+        page = render_dashboard([], [], store_stats={}, queue_counts={})
+        assert page.lstrip().startswith("<!DOCTYPE html>")

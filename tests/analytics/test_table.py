@@ -1,0 +1,155 @@
+"""Unit tests for run-table formatting and CSV export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analytics.runs import record_run
+from repro.analytics.table import (
+    RUN_TABLE_COLUMNS,
+    RUN_TABLE_HEADER,
+    format_cell,
+    run_table_csv,
+    run_table_rows,
+)
+from repro.service.store import ResultStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = ResultStore(tmp_path / "table.sqlite")
+    try:
+        yield s
+    finally:
+        s.close()
+
+
+RUN = {
+    "id": "run-x",
+    "kind": "sweep",
+    "state": "done",
+    "started": 10.0,
+    "finished": 11.0,
+    "wall_s": 1.0,
+    "rows": 2,
+    "journal": {"passes": 1},
+}
+ROWS = [
+    {
+        "design": "S64A1L16",
+        "benchmark": "epic",
+        "sets": 64,
+        "assoc": 1,
+        "line_size": 16,
+        "accesses": 1000,
+        "misses": 42.5,
+        "wall_s": 0.125,
+        "cache_hits": 0,
+        "estimated": False,
+    },
+    {
+        "design": "S128A1L16",
+        "benchmark": "epic",
+        "sets": 128,
+        "assoc": 1,
+        "line_size": 16,
+        "misses": 17.0,
+        "estimated": True,
+        "extra": {"dilation": 1.25},
+    },
+]
+
+
+class TestFormatCell:
+    def test_none_is_empty(self):
+        assert format_cell(None) == ""
+
+    def test_bool_is_01(self):
+        assert format_cell(True) == "1"
+        assert format_cell(False) == "0"
+
+    def test_int_plain(self):
+        assert format_cell(64) == "64"
+
+    def test_float_repr_round_trips(self):
+        for value in (42.5, 0.1, 1e-9, 123456789.123456):
+            assert float(format_cell(value)) == value
+
+    def test_whole_float_keeps_float_form(self):
+        assert format_cell(17.0) == "17.0"
+
+    def test_dict_compact_json(self):
+        assert format_cell({"a": 1, "b": "x"}) == '{"a":1,"b":"x"}'
+
+
+class TestHeader:
+    def test_header_matches_registry(self):
+        assert RUN_TABLE_HEADER == tuple(c[0] for c in RUN_TABLE_COLUMNS)
+
+    def test_header_has_no_duplicates(self):
+        assert len(set(RUN_TABLE_HEADER)) == len(RUN_TABLE_HEADER)
+
+    def test_core_columns_present(self):
+        for name in (
+            "run_id", "kind", "design", "benchmark", "sets", "assoc",
+            "line_size", "misses", "cycles", "cost", "area", "wall_s",
+            "kernel_s", "retries", "timeouts", "fallbacks", "cache_hits",
+            "bytes_shipped",
+        ):
+            assert name in RUN_TABLE_HEADER, name
+
+    def test_docs_table_lists_every_column(self):
+        from pathlib import Path
+
+        doc = Path(__file__).resolve().parents[2] / "docs"
+        text = (doc / "RUN_TABLE_COLUMNS.md").read_text()
+        for name in RUN_TABLE_HEADER:
+            assert f"`{name}`" in text, name
+
+
+class TestRows:
+    def test_rows_are_all_strings_in_header_order(self):
+        rows = run_table_rows(RUN, ROWS)
+        assert len(rows) == 2
+        for row in rows:
+            assert tuple(row) == RUN_TABLE_HEADER
+            assert all(isinstance(v, str) for v in row.values())
+        assert rows[0]["run_id"] == "run-x"
+        assert rows[0]["misses"] == "42.5"
+        assert rows[1]["estimated"] == "1"
+
+    def test_missing_fields_render_empty(self):
+        rows = run_table_rows(RUN, [{"design": "d"}])
+        assert rows[0]["misses"] == ""
+        assert rows[0]["sets"] == ""
+
+
+class TestCSV:
+    def test_requires_store_or_documents(self):
+        with pytest.raises(ValueError, match="needs"):
+            run_table_csv()
+
+    def test_csv_from_documents(self):
+        text = run_table_csv(run=RUN, rows=ROWS)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 2
+        assert parsed[0]["design"] == "S64A1L16"
+
+    def test_csv_round_trips_store_rows_bit_identically(self, store):
+        from repro.analytics.runs import get_run, get_run_rows
+
+        record_run(store, RUN, ROWS)
+        text = run_table_csv(store, "run-x")
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        expected = run_table_rows(
+            get_run(store, "run-x"), get_run_rows(store, "run-x")
+        )
+        assert parsed == expected
+        # And the numeric cells reparse to the exact stored floats.
+        assert float(parsed[0]["misses"]) == 42.5
+        assert float(parsed[0]["wall_s"]) == 0.125
+
+    def test_csv_header_line(self):
+        text = run_table_csv(run=RUN, rows=[])
+        assert text.splitlines()[0] == ",".join(RUN_TABLE_HEADER)

@@ -126,6 +126,136 @@ class TestSummary:
             assert needle in text, text
 
 
+class TestFullVocabularySummary:
+    """One journal carrying every event the codebase records: summary()
+    must aggregate each family and summary_text() must mention each
+    section — guarding against a new event family being silently
+    dropped from the report."""
+
+    def build(self):
+        j = RunJournal()
+        # Simulation passes (serial + worker + chunked) and sampling.
+        j.record("pass", role="sweep", line_size=16, where="serial",
+                 trace_ranges=100, wall_s=0.5, kernel_s=0.2)
+        j.record("pass", role="sweep", line_size=32, where="worker",
+                 trace_ranges=100, wall_s=0.25, chunks=4,
+                 resumed_at_chunk=2)
+        j.record("sampled_pass", role="sampled-sweep", line_size=16,
+                 intervals=3, sampled_ranges=120, trace_ranges=1200,
+                 wall_s=0.05)
+        # Stack-distance kernels: per-family and fused dispatch.
+        j.record("stackdist", line_size=16, refs=500, wall_s=0.1,
+                 path="kernel", residues=2)
+        j.record("stackdist_fused", problems=3, refs=900, sorted_refs=900,
+                 dominance_refs=100, residues=1, wall_s=0.2, sort_s=0.08,
+                 scan_s=0.06, expand_s=0.04, dominance_s=0.02,
+                 by_path={"kernel": 2, "scalar": 1})
+        # Design-space tower derivation.
+        j.record("designspace", line_sizes=[16, 32, 64], sorts=1, splits=2,
+                 wall_s=0.12, mode="fused-batch")
+        # Executor lifecycle: jobs, faults, retries, fallback.
+        j.record("job", key="a", attempts=1, wall_s=0.5, where="worker")
+        j.record("job_failed", key="b", attempts=3, error="boom")
+        j.record("retry", key="b", attempt=0, error="boom")
+        j.record("timeout", key="c", attempt=0, timeout_s=1.0)
+        j.record("fallback", reason="broken_pool", remaining=2)
+        # Checkpointing and cache snapshots.
+        j.record("checkpoint", action="hit", key="k1")
+        j.record("checkpoint", action="miss", key="k2")
+        j.record("checkpoint", action="store", key="k2")
+        j.record("cache", label="sweep-checkpoint", hits=1, misses=1,
+                 hit_rate=0.5, entries=2)
+        # Zero-copy trace shipping.
+        j.record("shm_segment", action="create", name="seg0",
+                 bytes=1 << 20)
+        j.record("shm_attach", line_size=16, bytes_shipped=100,
+                 bytes_mapped=1 << 20)
+        j.record("trace_shipping", mode="chunkpath", jobs=2,
+                 trace_ranges=1000, chunks=4)
+        # Worker pool utilization.
+        j.record("worker_util", workers=4, busy_s=2.0, wall_s=1.0,
+                 utilization=0.5)
+        # Service fleet protocol: leases, workers, fencing, dedup.
+        j.record("lease", action="grant", id="job-1", owner="w1", token=1)
+        j.record("lease", action="expired", id="job-2", where="reaper")
+        j.record("worker", action="register", id="w1", tags=[])
+        j.record("worker", action="reaped", id="w2")
+        j.record("fence_rejected", id="job-2", where="http",
+                 detail="stale token")
+        j.record("service_dedup", kind="sweep", trace_key="t",
+                 from_store=3, simulated=1)
+        j.record("service_job", id="job-1", state="done", attempt=1)
+        j.record("http", client="127.0.0.1", line="GET /runs 200")
+        # Memory accounting.
+        j.record("linestream_evict", entries=2, bytes=4096)
+        j.record("rss", max_rss_bytes=1 << 24, budget_bytes=1 << 26)
+        # Analytics run recording (the subsystem's own breadcrumb).
+        j.record("analytics_run", id="run-x", kind="sweep", state="done",
+                 rows=4, wall_s=0.75)
+        return j
+
+    def test_summary_covers_every_family(self):
+        s = self.build().summary()
+        assert s["events"] == 30
+        assert s["passes"]["count"] == 2
+        assert s["passes"]["by_where"] == {"serial": 1, "worker": 1}
+        assert s["stackdist"]["count"] == 1
+        assert s["stackdist_fused"]["problems"] == 3
+        assert s["stackdist_fused"]["by_path"] == {"kernel": 2, "scalar": 1}
+        assert s["designspace"]["towers"] == 1
+        assert s["designspace"]["line_sizes"] == 3
+        assert s["jobs"] == {
+            "completed": 1,
+            "failed": 1,
+            "retries": 1,
+            "timeouts": 1,
+            "wall_s": 0.5,
+        }
+        assert s["fallbacks"] == {"broken_pool": 1}
+        assert s["checkpoints"] == {"hit": 1, "miss": 1, "store": 1}
+        assert s["caches"]["sweep-checkpoint"]["hit_rate"] == 0.5
+        assert s["trace_shipping"]["bytes_shipped"] == 100
+        assert s["trace_shipping"]["bytes_saved"] == (1 << 20) - 100
+        assert s["trace_shipping"]["segments"] == {"create": 1}
+        assert s["worker_util"]["utilization"] == 0.5
+        assert s["fleet"]["leases"] == {"grant": 1, "expired": 1}
+        assert s["fleet"]["workers"] == {"register": 1, "reaped": 1}
+        assert s["fleet"]["fence_rejections"] == 1
+        assert s["streaming"]["chunked_passes"] == 1
+        assert s["streaming"]["resumed_passes"] == 1
+        assert s["streaming"]["chunkpath_jobs"] == 2
+        assert s["sampling"] == {
+            "passes": 1,
+            "intervals": 3,
+            "sampled_ranges": 120,
+            "trace_ranges": 1200,
+        }
+        assert s["memory"]["linestream_evictions"] == 2
+        assert s["memory"]["max_rss_bytes"] == 1 << 24
+        assert s["memory"]["rss_budget_bytes"] == 1 << 26
+
+    def test_summary_text_mentions_every_section(self):
+        text = self.build().summary_text(title="Everything")
+        for needle in (
+            "simulation passes: 2",
+            "stack-distance kernel: 1 families",
+            "fused stack-distance dispatches: 1",
+            "jobs: 1 completed, 1 failed, 1 retries, 1 timeouts",
+            "design-space towers: 1",
+            "trace shipping: 1 shm jobs",
+            "fallbacks: broken_pool x1",
+            "checkpoints: hit=1, miss=1, store=1",
+            "sweep-checkpoint: hits=1",
+            "worker utilization: 50.0%",
+            "fleet: leases expired=1, grant=1; "
+            "workers reaped=1, register=1; 1 fence rejections",
+            "streaming: 1 chunked passes",
+            "sampling: 1 sampled passes",
+            "memory: 2 linestream evictions",
+        ):
+            assert needle in text, f"missing {needle!r} in:\n{text}"
+
+
 class TestActiveJournal:
     def test_default_is_null(self):
         assert isinstance(active_journal(), NullJournal)

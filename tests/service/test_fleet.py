@@ -111,7 +111,7 @@ class TestWakeRace:
         count = [0]
         lock = threading.Lock()
 
-        def slow_execute(spec, store, journal=None):
+        def slow_execute(spec, store, journal=None, **kwargs):
             with lock:
                 count[0] += 1
                 (started if count[0] == 1 else second_started).set()
